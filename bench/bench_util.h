@@ -1,0 +1,36 @@
+// Shared helpers for the paper-reproduction bench binaries.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/workload/experiment.h"
+
+namespace escort {
+
+inline const std::vector<int>& ClientSweep() {
+  static const std::vector<int> kClients = {1, 2, 4, 8, 16, 32, 48, 64};
+  return kClients;
+}
+
+struct DocSpec {
+  const char* label;
+  const char* path;
+};
+
+inline const std::vector<DocSpec>& DocSweep() {
+  static const std::vector<DocSpec> kDocs = {
+      {"1-byte", "/doc1b"}, {"1K-byte", "/doc1k"}, {"10K-byte", "/doc10k"}};
+  return kDocs;
+}
+
+inline void PrintHeaderRule() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+}  // namespace escort
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,107 @@
+// Extension experiment (paper §4.4.4): the offender-blacklist policy.
+//
+// "Clients that have previously violated some resource bound — e.g. the
+// CGI attackers in our example — can be identified and their future
+// connection request packets demultiplexed to a different distinct passive
+// path with a very small resource allocation."
+//
+// This bench extends Figure 11: the same CGI attack, with and without the
+// blacklist. Without it, every attack burns its full 2 ms budget before
+// detection; with it, an offender gets one free shot — subsequent attempts
+// are squeezed through the penalty listener's one-connection budget, so
+// best-effort throughput recovers.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/server/policy.h"
+#include "src/workload/experiment.h"
+
+using namespace escort;
+
+namespace {
+
+struct Result {
+  double conns_per_sec = 0;
+  uint64_t kills = 0;
+  uint64_t penalty_drops = 0;
+};
+
+Result Run(int attackers, bool blacklist) {
+  EventQueue eq;
+  SharedLink link(&eq, NetworkModel::Calibrated());
+  WebServerOptions opts;
+  opts.config = ServerConfig::kAccounting;
+  EscortWebServer server(&eq, &link, opts);
+  std::unique_ptr<BlacklistPolicy> policy;
+  if (blacklist) {
+    BlacklistPolicy::Options popts;
+    popts.strikes = 1;
+    popts.penalty_syn_limit = 1;
+    policy = std::make_unique<BlacklistPolicy>(&server, popts);
+  }
+
+  std::vector<std::unique_ptr<ClientMachine>> machines;
+  std::vector<std::unique_ptr<HttpClient>> clients;
+  std::vector<std::unique_ptr<CgiAttacker>> cgi;
+  RateMeter completions;
+
+  auto add_machine = [&](Ip4Addr ip, uint64_t mac, uint64_t seed) {
+    machines.push_back(std::make_unique<ClientMachine>(&eq, &link, MacAddr::FromIndex(mac), ip,
+                                                       NetworkModel::Calibrated(), seed));
+    machines.back()->AddArpEntry(opts.ip, opts.mac);
+    server.AddArpEntry(ip, machines.back()->mac());
+    return machines.back().get();
+  };
+
+  for (int i = 0; i < 32; ++i) {
+    ClientMachine* m = add_machine(Ip4Addr::FromOctets(10, 0, 1, static_cast<uint8_t>(i + 1)),
+                                   100 + static_cast<uint64_t>(i), 7 + static_cast<uint64_t>(i));
+    clients.push_back(std::make_unique<HttpClient>(m, opts.ip, "/doc1b"));
+    clients.back()->set_meter(&completions);
+    clients.back()->Start(CyclesFromMillis(i));
+  }
+  for (int i = 0; i < attackers; ++i) {
+    ClientMachine* m = add_machine(Ip4Addr::FromOctets(10, 0, 3, static_cast<uint8_t>(i + 1)),
+                                   200 + static_cast<uint64_t>(i), 99 + static_cast<uint64_t>(i));
+    // Aggressive: one attack every 100 ms per attacker.
+    cgi.push_back(std::make_unique<CgiAttacker>(m, opts.ip, CyclesFromMillis(100)));
+    cgi.back()->Start(CyclesFromMillis(3 * i));
+  }
+
+  double warmup = EnvSeconds("ESCORT_WARMUP_S", 0.6);
+  double window = EnvSeconds("ESCORT_WINDOW_S", 2.0);
+  eq.RunUntil(CyclesFromSeconds(warmup));
+  completions.OpenWindow(eq.now());
+  eq.RunUntil(eq.now() + CyclesFromSeconds(window));
+
+  Result r;
+  r.conns_per_sec = completions.CloseWindow(eq.now());
+  r.kills = server.paths_killed();
+  if (policy != nullptr) {
+    r.penalty_drops = policy->penalty_listener()->syns_dropped_at_demux;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension (paper §4.4.4): blacklisting repeat CGI offenders ===\n");
+  std::printf("32 best-effort clients; attackers fire one runaway CGI request per 100 ms.\n\n");
+  std::printf("%10s | %14s %8s | %14s %8s %14s\n", "attackers", "no-blacklist", "kills",
+              "blacklist", "kills", "penalty-drops");
+  for (int attackers : {0, 2, 5, 10}) {
+    Result off = Run(attackers, false);
+    Result on = Run(attackers, true);
+    std::printf("%10d | %14.1f %8llu | %14.1f %8llu %14llu\n", attackers, off.conns_per_sec,
+                static_cast<unsigned long long>(off.kills), on.conns_per_sec,
+                static_cast<unsigned long long>(on.kills),
+                static_cast<unsigned long long>(on.penalty_drops));
+  }
+  std::printf("\nWith the blacklist, each offender burns its 2 ms budget once; afterwards its\n"
+              "SYNs demux to the penalty passive path and are mostly dropped there, so the\n"
+              "kill rate collapses and best-effort throughput recovers.\n");
+  return 0;
+}

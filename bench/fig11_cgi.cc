@@ -1,0 +1,53 @@
+// Figure 11: best-effort client performance as 0..50 CGI attackers (one
+// runaway /cgi-bin/loop request per second each) attack a server with 64
+// clients and a 1 MB/s QoS stream.
+//
+// Paper shapes: the QoS stream stays within 1% of its target throughout;
+// best-effort throughput degrades with the attacker count (each attack
+// burns its 2 ms CPU budget before detection), and every killed path's
+// resources are fully reclaimed.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace escort;
+
+namespace {
+
+ExperimentResult RunPoint(ServerConfig config, const char* doc, int attackers) {
+  ExperimentSpec spec;
+  spec.config = config;
+  spec.clients = 64;
+  spec.doc = doc;
+  spec.qos_stream = true;
+  spec.cgi_attackers = attackers;
+  return RunExperiment(spec);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::vector<int> attackers = quick ? std::vector<int>{0, 10, 50}
+                                           : std::vector<int>{0, 1, 10, 25, 50};
+
+  std::printf(
+      "=== Figure 11: 64 clients + 1 MB/s QoS stream vs number of CGI attackers ===\n\n");
+
+  for (const char* doc : {"/doc1b", "/doc10k"}) {
+    std::printf("--- %s document ---\n", doc);
+    std::printf("%10s %12s %12s %12s %12s %10s %10s\n", "attackers", "Acct", "QoS MB/s",
+                "Acct_PD", "QoS MB/s", "kills", "kills_PD");
+    for (int n : attackers) {
+      ExperimentResult a = RunPoint(ServerConfig::kAccounting, doc, n);
+      ExperimentResult p = RunPoint(ServerConfig::kAccountingPd, doc, n);
+      std::printf("%10d %12.1f %12.3f %12.1f %12.3f %10llu %10llu\n", n, a.conns_per_sec,
+                  a.qos_bytes_per_sec / 1e6, p.conns_per_sec, p.qos_bytes_per_sec / 1e6,
+                  static_cast<unsigned long long>(a.paths_killed),
+                  static_cast<unsigned long long>(p.paths_killed));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

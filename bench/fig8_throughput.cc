@@ -1,0 +1,71 @@
+// Figure 8: basic performance of the four configurations, in connections
+// per second, for 1-byte, 1K-byte and 10K-byte documents, 1..64 parallel
+// clients.
+//
+// Paper shapes to reproduce (§4.2):
+//   * base Scout ~800 conn/s at saturation, over 2x Apache/Linux (~400);
+//   * fine-grain accounting costs ~8% on average;
+//   * one-protection-domain-per-module costs over 4x vs Accounting;
+//   * 1 KB within 3% of 1 B; 10 KB RTT-limited below 16 clients, then
+//     50-60% of the 1 KB rate.
+//
+// Absolute numbers depend on the calibrated cost model (see DESIGN.md);
+// the shape is the result.
+
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+
+using namespace escort;
+
+namespace {
+
+double RunPoint(bool linux_mode, ServerConfig config, const char* doc, int clients) {
+  ExperimentSpec spec;
+  spec.linux_server = linux_mode;
+  spec.config = config;
+  spec.clients = clients;
+  spec.doc = doc;
+  return RunExperiment(spec).conns_per_sec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    }
+  }
+  const std::vector<int> clients = quick ? std::vector<int>{4, 16, 64} : ClientSweep();
+
+  std::printf("=== Figure 8: connections/second vs number of parallel clients ===\n\n");
+
+  for (const DocSpec& doc : DocSweep()) {
+    std::printf("--- %s document ---\n", doc.label);
+    std::printf("%8s %10s %10s %12s %14s\n", "clients", "Linux", "Scout", "Accounting",
+                "Accounting_PD");
+    for (int n : clients) {
+      double linux_r = RunPoint(true, ServerConfig::kScout, doc.path, n);
+      double scout = RunPoint(false, ServerConfig::kScout, doc.path, n);
+      double acct = RunPoint(false, ServerConfig::kAccounting, doc.path, n);
+      double acct_pd = RunPoint(false, ServerConfig::kAccountingPd, doc.path, n);
+      std::printf("%8d %10.1f %10.1f %12.1f %14.1f\n", n, linux_r, scout, acct, acct_pd);
+    }
+    std::printf("\n");
+  }
+
+  // Overhead summary at saturation (64 clients, 1-byte doc): the prose
+  // claims of §4.2.
+  std::printf("--- Overhead summary (64 clients, 1-byte document) ---\n");
+  double linux_r = RunPoint(true, ServerConfig::kScout, "/doc1b", 64);
+  double scout = RunPoint(false, ServerConfig::kScout, "/doc1b", 64);
+  double acct = RunPoint(false, ServerConfig::kAccounting, "/doc1b", 64);
+  double acct_pd = RunPoint(false, ServerConfig::kAccountingPd, "/doc1b", 64);
+  std::printf("Scout vs Linux:            %.2fx   (paper: >2x, 800 vs 400)\n", scout / linux_r);
+  std::printf("Accounting overhead:       %.1f%%  (paper: ~8%%)\n", 100.0 * (1.0 - acct / scout));
+  std::printf("Accounting_PD slowdown:    %.2fx   (paper: over 4x)\n", acct / acct_pd);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Example: containing a runaway CGI script (paper §4.4.3).
+//
+// A GET /cgi-bin/loop request spawns an infinite-loop thread on the
+// request's path. The kernel's per-owner CPU budget (2 ms without a yield)
+// detects it; pathKill reclaims every resource the path owns — threads,
+// IOBuffers, pages, its stage state in every protection domain — at a
+// measured, bounded cost (the paper's Table 2).
+
+#include <cstdio>
+
+#include "src/workload/experiment.h"
+
+using namespace escort;
+
+int main() {
+  std::printf("== runaway CGI containment demo ==\n\n");
+
+  EventQueue eq;
+  SharedLink link(&eq, NetworkModel::Calibrated());
+  WebServerOptions opts;
+  opts.config = ServerConfig::kAccountingPd;  // full isolation: one domain per module
+  EscortWebServer server(&eq, &link, opts);
+
+  // A well-behaved client fetching documents...
+  Ip4Addr good_ip = Ip4Addr::FromOctets(10, 0, 1, 1);
+  ClientMachine good(&eq, &link, MacAddr::FromIndex(100), good_ip,
+                     NetworkModel::Calibrated(), 1);
+  good.AddArpEntry(opts.ip, opts.mac);
+  server.AddArpEntry(good_ip, good.mac());
+  HttpClient client(&good, opts.ip, "/doc1b");
+  client.Start();
+
+  // ...and an attacker launching one runaway CGI request per second.
+  Ip4Addr bad_ip = Ip4Addr::FromOctets(10, 0, 3, 1);
+  ClientMachine bad(&eq, &link, MacAddr::FromIndex(200), bad_ip,
+                    NetworkModel::Calibrated(), 2);
+  bad.AddArpEntry(opts.ip, opts.mac);
+  server.AddArpEntry(bad_ip, bad.mac());
+  CgiAttacker attacker(&bad, opts.ip);
+  attacker.Start(CyclesFromMillis(100));
+
+  eq.RunUntil(CyclesFromSeconds(3.0));
+
+  std::printf("attacks launched:        %llu\n",
+              static_cast<unsigned long long>(attacker.attacks_launched()));
+  std::printf("runaways detected:       %llu\n",
+              static_cast<unsigned long long>(server.kernel().runaway_detections()));
+  std::printf("paths killed:            %llu\n",
+              static_cast<unsigned long long>(server.paths_killed()));
+  std::printf("mean pathKill cost:      %s cycles (paper Table 2: 111,568 with PDs)\n",
+              WithCommas(static_cast<uint64_t>(server.kill_cost_cycles().Mean())).c_str());
+  std::printf("good client completions: %llu (service continued throughout)\n",
+              static_cast<unsigned long long>(client.completed()));
+
+  // Quiesce: stop the good client and let in-flight connections drain, then
+  // show that nothing of the attacks survives.
+  client.Stop();
+  attacker.Stop();
+  eq.RunUntil(eq.now() + CyclesFromSeconds(1.0));
+  std::printf("live paths after drain:  %zu (boot paths only: ARP + 2 listeners %s)\n",
+              server.paths().live_count(),
+              server.paths().live_count() == 3 ? "- all attack state reclaimed" : "!!");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Example: a guaranteed-bandwidth stream under load (paper §4.4.2).
+//
+// A receiver opens GET /stream; the server's QoS policy gives the stream's
+// path a proportional-share reservation. Even with 16 best-effort clients
+// saturating the CPU, the stream holds 1 MB/s (the paper: always within 1%
+// of the target) — accounting is what makes the guarantee possible.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/workload/experiment.h"
+
+using namespace escort;
+
+int main() {
+  std::printf("== QoS streaming demo ==\n\n");
+
+  EventQueue eq;
+  SharedLink link(&eq, NetworkModel::Calibrated());
+  WebServerOptions opts;
+  opts.config = ServerConfig::kAccounting;
+  opts.scheduler = SchedulerKind::kProportionalShare;
+  EscortWebServer server(&eq, &link, opts);
+
+  // Best-effort load: 16 clients.
+  std::vector<std::unique_ptr<ClientMachine>> machines;
+  std::vector<std::unique_ptr<HttpClient>> clients;
+  RateMeter completions;
+  for (int i = 0; i < 16; ++i) {
+    Ip4Addr ip = Ip4Addr::FromOctets(10, 0, 1, static_cast<uint8_t>(i + 1));
+    machines.push_back(std::make_unique<ClientMachine>(
+        &eq, &link, MacAddr::FromIndex(100 + static_cast<uint64_t>(i)), ip,
+        NetworkModel::Calibrated(), 10 + static_cast<uint64_t>(i)));
+    machines.back()->AddArpEntry(opts.ip, opts.mac);
+    server.AddArpEntry(ip, machines.back()->mac());
+    clients.push_back(std::make_unique<HttpClient>(machines.back().get(), opts.ip, "/doc1b"));
+    clients.back()->set_meter(&completions);
+    clients.back()->Start(CyclesFromMillis(i));
+  }
+
+  // The stream receiver.
+  Ip4Addr qos_ip = Ip4Addr::FromOctets(10, 0, 2, 1);
+  ClientMachine qos_machine(&eq, &link, MacAddr::FromIndex(50), qos_ip,
+                            NetworkModel::Calibrated(), 7);
+  qos_machine.AddArpEntry(opts.ip, opts.mac);
+  server.AddArpEntry(qos_ip, qos_machine.mac());
+  QosReceiver receiver(&qos_machine, opts.ip);
+  receiver.Start(CyclesFromMillis(5));
+
+  // Measure in half-second windows.
+  std::printf("%10s %14s %16s\n", "window", "QoS MB/s", "best-effort c/s");
+  eq.RunUntil(CyclesFromMillis(500));
+  for (int w = 0; w < 5; ++w) {
+    Cycles start = eq.now();
+    receiver.meter().OpenWindow(start);
+    completions.OpenWindow(start);
+    eq.RunUntil(start + CyclesFromMillis(500));
+    double mbs = receiver.meter().CloseWindowBytesPerSec(eq.now()) / 1e6;
+    double cps = completions.CloseWindow(eq.now());
+    std::printf("%10d %14.3f %16.1f\n", w + 1, mbs, cps);
+  }
+
+  std::printf("\nQoS path tickets: %llu vs %llu per best-effort path — the\n"
+              "proportional-share scheduler turns accounting into a guarantee.\n",
+              static_cast<unsigned long long>(server.http()->qos_tickets),
+              static_cast<unsigned long long>(opts.active_tickets));
+  return 0;
+}

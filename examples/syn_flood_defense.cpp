@@ -1,0 +1,60 @@
+// Example: defending against a SYN flood (paper §4.4.1).
+//
+// Two passive paths split the Internet into a trusted and an untrusted
+// part; the untrusted listener carries a SYN_RECVD budget enforced at
+// demux time. The attack is visible — and contained — in the listener
+// statistics, while trusted clients keep being served.
+
+#include <cstdio>
+
+#include "src/workload/experiment.h"
+
+using namespace escort;
+
+int main() {
+  std::printf("== SYN flood defense demo ==\n\n");
+
+  EventQueue eq;
+  SharedLink link(&eq, NetworkModel::Calibrated());
+  WebServerOptions opts;
+  opts.config = ServerConfig::kAccounting;
+  EscortWebServer server(&eq, &link, opts);
+
+  // A trusted client.
+  Ip4Addr client_ip = Ip4Addr::FromOctets(10, 0, 1, 1);
+  ClientMachine machine(&eq, &link, MacAddr::FromIndex(100), client_ip,
+                        NetworkModel::Calibrated(), 1);
+  machine.AddArpEntry(opts.ip, opts.mac);
+  server.AddArpEntry(client_ip, machine.mac());
+  HttpClient client(&machine, opts.ip, "/doc1k");
+  client.Start();
+
+  // The attacker: 1000 SYN/s from the untrusted subnet, spoofed source.
+  SynAttacker attacker(&eq, &link, MacAddr::FromIndex(60),
+                       Ip4Addr::FromOctets(192, 168, 9, 9), opts.ip, opts.mac, 1000.0);
+  attacker.Start(CyclesFromMillis(500));
+
+  auto report = [&](const char* phase) {
+    TcpListener* untrusted = server.untrusted_listener();
+    TcpListener* trusted = server.trusted_listener();
+    std::printf("%-18s client completions=%5llu | untrusted: half-open=%u (budget %u), "
+                "dropped-at-demux=%llu | trusted accepted=%llu\n",
+                phase, static_cast<unsigned long long>(client.completed()),
+                untrusted->syn_recvd, untrusted->syn_limit,
+                static_cast<unsigned long long>(untrusted->syns_dropped_at_demux),
+                static_cast<unsigned long long>(trusted->syns_accepted));
+  };
+
+  eq.RunUntil(CyclesFromMillis(500));
+  report("before attack:");
+  eq.RunUntil(CyclesFromMillis(1500));
+  report("under attack:");
+  eq.RunUntil(CyclesFromMillis(2500));
+  report("still attacking:");
+
+  std::printf("\nSYNs sent by attacker: %llu\n",
+              static_cast<unsigned long long>(attacker.syns_sent()));
+  std::printf("Attack contained: the untrusted passive path's budget caps half-open state;\n"
+              "over-budget SYNs are identified during demultiplexing and dropped instantly.\n");
+  return 0;
+}

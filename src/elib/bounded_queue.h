@@ -1,0 +1,58 @@
+// Bounded FIFO queue (one of the Escort support libraries). Paths use four
+// of these for their source/sink ends; drops are counted so overload
+// behaviour is observable.
+
+#ifndef SRC_ELIB_BOUNDED_QUEUE_H_
+#define SRC_ELIB_BOUNDED_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace escort {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity = 64) : capacity_(capacity) {}
+
+  bool Push(T item) {
+    if (queue_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    queue_.push_back(std::move(item));
+    if (queue_.size() > high_water_) {
+      high_water_ = queue_.size();
+    }
+    return true;
+  }
+
+  std::optional<T> Pop() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    return item;
+  }
+
+  void Clear() { queue_.clear(); }
+
+  size_t size() const { return queue_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return queue_.empty(); }
+  bool full() const { return queue_.size() >= capacity_; }
+  uint64_t drops() const { return drops_; }
+  size_t high_water() const { return high_water_; }
+
+ private:
+  size_t capacity_;
+  std::deque<T> queue_;
+  uint64_t drops_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_ELIB_BOUNDED_QUEUE_H_

@@ -1,0 +1,24 @@
+#include "src/elib/byte_io.h"
+
+namespace escort {
+
+uint32_t ChecksumPartial(const uint8_t* data, size_t len, uint32_t acc) {
+  size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    acc += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < len) {
+    acc += static_cast<uint32_t>(data[i]) << 8;
+  }
+  return acc;
+}
+
+uint16_t InternetChecksum(const uint8_t* data, size_t len, uint32_t initial) {
+  uint32_t acc = ChecksumPartial(data, len, initial);
+  while (acc >> 16) {
+    acc = (acc & 0xffff) + (acc >> 16);
+  }
+  return static_cast<uint16_t>(~acc);
+}
+
+}  // namespace escort

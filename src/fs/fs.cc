@@ -1,0 +1,129 @@
+#include "src/fs/fs.h"
+
+#include "src/path/path_manager.h"
+
+namespace escort {
+
+void FsModule::AddFile(const std::string& name, const std::vector<uint8_t>& bytes) {
+  uint64_t blocks = (bytes.size() + ScsiDiskModule::kBlockSize - 1) / ScsiDiskModule::kBlockSize;
+  if (blocks == 0) {
+    blocks = 1;
+  }
+  Inode inode;
+  inode.name = name;
+  inode.lba = scsi_->AllocBlocks(blocks);
+  inode.size = bytes.size();
+  scsi_->WriteDirect(inode.lba, bytes);
+  inodes_[name] = inode;
+}
+
+void FsModule::AddDocument(const std::string& name, uint64_t size) {
+  std::vector<uint8_t> bytes(size);
+  for (uint64_t i = 0; i < size; ++i) {
+    bytes[i] = static_cast<uint8_t>('A' + (i % 26));
+  }
+  AddFile(name, bytes);
+}
+
+const Inode* FsModule::Lookup(const std::string& name) const {
+  auto it = inodes_.find(name);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+OpenResult FsModule::Open(Path* path, const Attributes& attrs) {
+  (void)path;
+  (void)attrs;
+  OpenResult r;
+  r.ok = true;
+  r.next = scsi_;
+  return r;
+}
+
+void FsModule::ReplyFromCache(Stage& stage, const Inode& inode, IoBuffer* buf) {
+  // Associate the cached buffer with the requesting path: the path gets
+  // read mappings along its stages, is fully charged for the buffer, and
+  // the association includes a lock on the path's behalf. No data is
+  // copied.
+  Path* path = stage.path;
+  std::vector<PdId> read_pds;
+  for (const auto& s : path->stages()) {
+    read_pds.push_back(s->pd);
+  }
+  kernel()->AssociateIoBuffer(buf, path, read_pds);
+  Message reply = Message::FromBuffer(kernel(), buf, path, 0, inode.size);
+  reply.kind = MsgKind::kFileData;
+  reply.note = inode.name;
+  path->ForwardDown(stage, std::move(reply));
+}
+
+void FsModule::Process(Stage& stage, Message msg, Direction dir) {
+  ConsumeCost(dir);
+
+  if (dir == Direction::kUp) {
+    if (msg.kind != MsgKind::kFileRequest) {
+      return;
+    }
+    const Inode* inode = Lookup(msg.note);
+    if (inode == nullptr) {
+      ++lookup_failures_;
+      Message err = Message::Alloc(kernel(), stage.path, pd(), stage.path->StageDomains(), 1, 0);
+      if (err.valid()) {
+        err.kind = MsgKind::kFileError;
+        err.note = msg.note;
+        stage.path->ForwardDown(stage, std::move(err));
+      }
+      return;
+    }
+    auto cached = cache_.find(inode->name);
+    if (cached != cache_.end()) {
+      ++cache_hits_;
+      kernel()->ConsumeCharged(kernel()->costs().fs_read_block_hit);
+      ReplyFromCache(stage, *inode, cached->second);
+      return;
+    }
+    // Miss: read the extent from the device; the reply comes back kDown.
+    ++cache_misses_;
+    Message disk_req = std::move(msg);
+    disk_req.kind = MsgKind::kFileRequest;
+    disk_req.aux = ScsiDiskModule::PackRequest(inode->lba, inode->size);
+    disk_req.note = inode->name;
+    stage.path->ForwardUp(stage, std::move(disk_req));
+    return;
+  }
+
+  // Down: completion from SCSI.
+  if (msg.kind == MsgKind::kFileData) {
+    const Inode* inode = Lookup(msg.note);
+    const uint8_t* data = msg.Data(pd());
+    if (inode != nullptr && data != nullptr && cache_.find(inode->name) == cache_.end()) {
+      // Populate the cache: the buffer is owned by FS's protection domain
+      // and lives until the domain dies.
+      Owner* fs_domain = domain();
+      IoBuffer* buf = kernel()->AllocIoBuffer(fs_domain, inode->size, pd(), {pd()});
+      if (buf != nullptr) {
+        buf->Write(pd(), 0, data, inode->size);
+        kernel()->Consume(inode->size * kernel()->costs().per_byte_touch);
+        cache_[inode->name] = buf;
+        ReplyFromCache(stage, *inode, buf);
+        return;
+      }
+    }
+    if (inode != nullptr && data != nullptr) {
+      auto it = cache_.find(inode->name);
+      if (it != cache_.end()) {
+        ReplyFromCache(stage, *inode, it->second);
+        return;
+      }
+    }
+    // Fall back: pass the raw data down as the document.
+    stage.path->ForwardDown(stage, std::move(msg));
+    return;
+  }
+  if (msg.kind == MsgKind::kFileError) {
+    stage.path->ForwardDown(stage, std::move(msg));
+  }
+}
+
+Cycles FsModule::ProcessCost(Direction /*dir*/) const { return kernel()->costs().fs_lookup; }
+
+}  // namespace escort

@@ -1,0 +1,61 @@
+// SCSI: simulated block-device driver module.
+//
+// Holds the disk image (an array of fixed-size blocks) and models the
+// device: one outstanding operation at a time, seek latency plus a transfer
+// time proportional to the bytes moved. Reads complete asynchronously — the
+// completion is delivered back down the path as a work item charged to the
+// requesting path.
+
+#ifndef SRC_FS_SCSI_H_
+#define SRC_FS_SCSI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/path/path.h"
+
+namespace escort {
+
+class ScsiDiskModule : public Module {
+ public:
+  static constexpr uint64_t kBlockSize = 4096;
+
+  ScsiDiskModule() : Module("SCSI", {ServiceInterface::kAsyncIo, ServiceInterface::kFileAccess}) {}
+
+  // Disk geometry / timing (CDC-era SCSI disk).
+  Cycles seek_latency = CyclesFromMillis(1.5);
+  double transfer_bytes_per_sec = 20e6;
+
+  // --- Configuration-time direct access (mkfs) --------------------------------
+  // Allocates `count` contiguous blocks, returns the first LBA.
+  uint64_t AllocBlocks(uint64_t count);
+  // Writes bytes into the image starting at `lba` (no simulation cost;
+  // used when the file system is populated at build time).
+  void WriteDirect(uint64_t lba, const std::vector<uint8_t>& bytes);
+  // Reads `len` bytes starting at `lba` into `out` (test/config helper).
+  bool ReadDirect(uint64_t lba, uint64_t len, std::vector<uint8_t>* out) const;
+
+  // Packs a read request into a message aux word.
+  static uint64_t PackRequest(uint64_t lba, uint64_t byte_len) {
+    return (lba << 32) | (byte_len & 0xffffffffULL);
+  }
+  static uint64_t AuxLba(uint64_t aux) { return aux >> 32; }
+  static uint64_t AuxLen(uint64_t aux) { return aux & 0xffffffffULL; }
+
+  OpenResult Open(Path* path, const Attributes& attrs) override;
+  void Process(Stage& stage, Message msg, Direction dir) override;
+  Cycles ProcessCost(Direction dir) const override;
+
+  uint64_t reads_issued() const { return reads_; }
+  uint64_t blocks_allocated() const { return next_lba_; }
+
+ private:
+  std::vector<uint8_t> image_;
+  uint64_t next_lba_ = 0;
+  Cycles disk_free_ = 0;  // time the head becomes available
+  uint64_t reads_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_FS_SCSI_H_

@@ -1,0 +1,65 @@
+#include "src/kernel/acl.h"
+
+namespace escort {
+
+namespace {
+
+bool PrivilegedOnlyByDefault(Syscall sc) {
+  switch (sc) {
+    case Syscall::kPageAlloc:
+    case Syscall::kPageFree:
+    case Syscall::kPageTransfer:
+    case Syscall::kDevOpen:
+    case Syscall::kDevClose:
+    case Syscall::kDevRead:
+    case Syscall::kDevWrite:
+    case Syscall::kDevControl:
+    case Syscall::kDevInterruptRegister:
+    case Syscall::kOwnerSetPolicy:
+    case Syscall::kOwnerSetSchedParams:
+    case Syscall::kOwnerDestroy:
+    case Syscall::kPathKill:
+    case Syscall::kConsoleGetc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+AclTable::AclTable() {
+  for (int i = 0; i < kNumSyscalls; ++i) {
+    auto sc = static_cast<Syscall>(i);
+    unprivileged_default_[i] = !PrivilegedOnlyByDefault(sc);
+  }
+}
+
+bool AclTable::Allows(const Role& role, Syscall sc) const {
+  if (role.domain == kKernelDomain) {
+    return true;
+  }
+  const int idx = static_cast<int>(sc);
+  if (auto it = revocations_.find(role.domain); it != revocations_.end() && it->second[idx]) {
+    return false;
+  }
+  if (unprivileged_default_[idx]) {
+    return true;
+  }
+  if (auto it = grants_.find(role.domain); it != grants_.end() && it->second[idx]) {
+    return true;
+  }
+  return false;
+}
+
+void AclTable::Grant(PdId domain, Syscall sc) {
+  grants_[domain][static_cast<int>(sc)] = true;
+  revocations_[domain][static_cast<int>(sc)] = false;
+}
+
+void AclTable::Revoke(PdId domain, Syscall sc) {
+  revocations_[domain][static_cast<int>(sc)] = true;
+  grants_[domain][static_cast<int>(sc)] = false;
+}
+
+}  // namespace escort

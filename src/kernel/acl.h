@@ -1,0 +1,53 @@
+// Role-based access control for the kernel (paper §2.5, enforcement level 1).
+//
+// "A conventional role-based access control list is used to guard the kernel
+// against unauthorized access. The role is determined by the owner of the
+// thread and the current protection domain."
+
+#ifndef SRC_KERNEL_ACL_H_
+#define SRC_KERNEL_ACL_H_
+
+#include <bitset>
+#include <map>
+
+#include "src/kernel/owner.h"
+#include "src/kernel/syscall.h"
+#include "src/kernel/thread.h"
+
+namespace escort {
+
+struct Role {
+  PdId domain = kKernelDomain;
+  OwnerType owner_type = OwnerType::kKernel;
+};
+
+class AclTable {
+ public:
+  // Builds the default policy:
+  //  * the privileged domain (0) may issue every syscall;
+  //  * unprivileged domains may not manage raw pages, devices, other owners,
+  //    or policy (those require the privileged domain), but may use paths,
+  //    IOBuffers, threads, events, semaphores, heap, console output and
+  //    queries.
+  AclTable();
+
+  bool Allows(const Role& role, Syscall sc) const;
+
+  // Grants/revokes a specific syscall for a specific unprivileged domain
+  // (e.g. a device-driver module's domain gets device access).
+  void Grant(PdId domain, Syscall sc);
+  void Revoke(PdId domain, Syscall sc);
+
+  uint64_t denied_count() const { return denied_; }
+  void RecordDenied() const { ++denied_; }
+
+ private:
+  std::bitset<kNumSyscalls> unprivileged_default_;
+  std::map<PdId, std::bitset<kNumSyscalls>> grants_;
+  std::map<PdId, std::bitset<kNumSyscalls>> revocations_;
+  mutable uint64_t denied_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_KERNEL_ACL_H_

@@ -1,0 +1,216 @@
+#include "src/kernel/iobuffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/kernel/page_allocator.h"
+
+namespace escort {
+
+namespace {
+
+uint64_t RoundUpToPages(uint64_t bytes) {
+  if (bytes == 0) {
+    return kPageSize;
+  }
+  return (bytes + kPageSize - 1) / kPageSize * kPageSize;
+}
+
+}  // namespace
+
+// --- IoBuffer -----------------------------------------------------------------
+
+MapPerm IoBuffer::PermFor(PdId pd) const {
+  auto it = mappings_.find(pd);
+  if (it == mappings_.end()) {
+    return MapPerm::kNone;
+  }
+  return it->second;
+}
+
+bool IoBuffer::Write(PdId pd, uint64_t offset, const void* src, uint64_t len) {
+  if (!CanWrite(pd) || offset + len > data_.size()) {
+    ++fault_count_;
+    return false;
+  }
+  std::memcpy(data_.data() + offset, src, len);
+  return true;
+}
+
+bool IoBuffer::Read(PdId pd, uint64_t offset, void* dst, uint64_t len) const {
+  if (!CanRead(pd) || offset + len > data_.size()) {
+    ++fault_count_;
+    return false;
+  }
+  std::memcpy(dst, data_.data() + offset, len);
+  return true;
+}
+
+bool IoBuffer::HeldBy(const Owner* owner) const {
+  return holders_.find(const_cast<Owner*>(owner)) != holders_.end();
+}
+
+// --- IoBufferManager ------------------------------------------------------------
+
+IoBufferManager::~IoBufferManager() {
+  for (IoBuffer* buf : live_) {
+    delete buf;
+  }
+  for (IoBuffer* buf : cache_) {
+    delete buf;
+  }
+}
+
+void IoBufferManager::AddHolder(IoBuffer* buf, Owner* owner) {
+  auto [it, inserted] = buf->holders_.try_emplace(owner);
+  if (inserted) {
+    owner->iobuffer_locks().push_front(buf);
+    it->second.link = owner->iobuffer_locks().begin();
+    owner->usage().kmem_bytes += buf->size();
+  }
+  it->second.locks += 1;
+  owner->usage().iobuffer_locks += 1;
+  buf->lock_count_ += 1;
+}
+
+void IoBufferManager::DropHolder(IoBuffer* buf, Owner* owner) {
+  auto it = buf->holders_.find(owner);
+  if (it == buf->holders_.end()) {
+    return;
+  }
+  buf->lock_count_ -= it->second.locks;
+  owner->usage().iobuffer_locks -= static_cast<uint64_t>(it->second.locks);
+  owner->usage().kmem_bytes -= buf->size();
+  owner->iobuffer_locks().erase(it->second.link);
+  buf->holders_.erase(it);
+}
+
+IoBuffer* IoBufferManager::Alloc(Owner* owner, uint64_t size, PdId current_pd,
+                                 const std::vector<PdId>& read_domains, bool* cache_hit) {
+  uint64_t rounded = RoundUpToPages(size);
+  ++alloc_count_;
+
+  // Buffer-cache lookup: a cached buffer of the right size whose read
+  // mappings already cover the requested domains needs only the current
+  // domain's mapping upgraded to read/write — no cleaning required.
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    IoBuffer* buf = *it;
+    if (buf->size() != rounded) {
+      continue;
+    }
+    bool covers = true;
+    for (PdId pd : read_domains) {
+      if (!buf->CanRead(pd) && pd != current_pd) {
+        covers = false;
+        break;
+      }
+    }
+    if (!covers) {
+      continue;
+    }
+    cache_.erase(it);
+    buf->in_cache_ = false;
+    buf->mappings_[current_pd] = MapPerm::kReadWrite;
+    buf->writer_pd_ = current_pd;
+    live_.push_back(buf);
+    AddHolder(buf, owner);
+    ++cache_hit_count_;
+    if (cache_hit != nullptr) {
+      *cache_hit = true;
+    }
+    return buf;
+  }
+
+  auto* buf = new IoBuffer(next_id_++, rounded);
+  buf->mappings_[current_pd] = MapPerm::kReadWrite;
+  buf->writer_pd_ = current_pd;
+  for (PdId pd : read_domains) {
+    if (pd != current_pd) {
+      buf->mappings_.emplace(pd, MapPerm::kRead);
+    }
+  }
+  live_.push_back(buf);
+  AddHolder(buf, owner);
+  if (cache_hit != nullptr) {
+    *cache_hit = false;
+  }
+  return buf;
+}
+
+void IoBufferManager::Lock(IoBuffer* buf, Owner* locker) {
+  AddHolder(buf, locker);
+  // Locking removes all write privileges: the buffer can now be checked for
+  // consistency and cannot be altered by the original writer.
+  buf->writer_pd_ = IoBuffer::kNoWriter;
+}
+
+void IoBufferManager::Unlock(IoBuffer* buf, Owner* locker) {
+  auto it = buf->holders_.find(locker);
+  if (it == buf->holders_.end()) {
+    return;
+  }
+  it->second.locks -= 1;
+  locker->usage().iobuffer_locks -= 1;
+  buf->lock_count_ -= 1;
+  if (it->second.locks == 0) {
+    locker->usage().kmem_bytes -= buf->size();
+    locker->iobuffer_locks().erase(it->second.link);
+    buf->holders_.erase(it);
+  }
+  if (buf->lock_count_ == 0) {
+    MoveToCache(buf);
+  }
+}
+
+void IoBufferManager::Associate(IoBuffer* buf, Owner* second_owner,
+                                const std::vector<PdId>& read_domains) {
+  for (PdId pd : read_domains) {
+    buf->mappings_.try_emplace(pd, MapPerm::kRead);
+  }
+  // Association includes locking for — and fully charging — the second
+  // owner, so the buffer survives the original owner dropping its lock.
+  Lock(buf, second_owner);
+}
+
+uint64_t IoBufferManager::ReleaseAllFor(Owner* owner) {
+  uint64_t released = 0;
+  while (!owner->iobuffer_locks().empty()) {
+    IoBuffer* buf = owner->iobuffer_locks().front();
+    DropHolder(buf, owner);
+    if (buf->lock_count_ == 0) {
+      MoveToCache(buf);
+    }
+    ++released;
+  }
+  return released;
+}
+
+void IoBufferManager::MoveToCache(IoBuffer* buf) {
+  // All write mappings are removed when the buffer is cached; read mappings
+  // are kept so a future allocation in the same domains is a cheap hit.
+  auto it = std::find(live_.begin(), live_.end(), buf);
+  if (it != live_.end()) {
+    live_.erase(it);
+  }
+  for (auto& [pd, perm] : buf->mappings_) {
+    if (perm == MapPerm::kReadWrite) {
+      perm = MapPerm::kRead;
+    }
+  }
+  buf->writer_pd_ = IoBuffer::kNoWriter;
+  buf->in_cache_ = true;
+  cache_.push_back(buf);
+}
+
+uint64_t IoBufferManager::total_fault_count() const {
+  uint64_t total = 0;
+  for (const IoBuffer* buf : live_) {
+    total += buf->fault_count();
+  }
+  for (const IoBuffer* buf : cache_) {
+    total += buf->fault_count();
+  }
+  return total;
+}
+
+}  // namespace escort

@@ -1,0 +1,275 @@
+// The Escort kernel: the privileged protection domain.
+//
+// Owns the simulated server CPU and everything §3 of the paper describes:
+// the syscall surface and its ACL, owners and their accounting ledgers,
+// threads and the configured scheduler, timer events + softclock,
+// semaphores, page/kmem allocation, IOBuffers, runaway-thread detection, and
+// the owner-destruction machinery behind pathDestroy/pathKill.
+//
+// Execution model (see src/kernel/thread.h): threads carry work items;
+// the kernel dispatches the next runnable thread non-preemptively, advances
+// simulated time by the item's cost, and charges the cycles to the thread's
+// owner. Idle time is charged to the Idle pseudo-owner, so the Table 1
+// invariant — total accounted cycles == total elapsed cycles — holds by
+// construction and is verified by tests.
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/acl.h"
+#include "src/kernel/device.h"
+#include "src/kernel/iobuffer.h"
+#include "src/kernel/kernel_event.h"
+#include "src/kernel/owner.h"
+#include "src/kernel/page_allocator.h"
+#include "src/kernel/protection_domain.h"
+#include "src/kernel/scheduler.h"
+#include "src/kernel/semaphore.h"
+#include "src/kernel/syscall.h"
+#include "src/kernel/thread.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+
+namespace escort {
+
+enum class SchedulerKind { kPriority, kProportionalShare, kEdf };
+
+struct KernelConfig {
+  // Fine-grain resource accounting (the Accounting configurations). Usage is
+  // always *tracked* (the experiments need the numbers); enabling this adds
+  // the bookkeeping overhead cycles to every charge, reproducing the ~8%.
+  bool accounting = false;
+  // Hardware-enforced protection domains (the Accounting_PD configuration):
+  // charges the crossing cost on every domain boundary and enforces IOBuffer
+  // mappings.
+  bool protection_domains = false;
+  SchedulerKind scheduler = SchedulerKind::kPriority;
+  uint64_t total_pages = 64 * 1024;  // 512 MB of 8 KB pages
+  CostModel costs = CostModel::Calibrated();
+  // Start the 1 ms softclock (disable for micro-tests that want silence).
+  bool start_softclock = true;
+};
+
+// Aggregated per-label cycle accounting for reports like Table 1. Owners
+// carry a free-form account label ("idle", "active-path", ...); cycles of
+// destroyed owners accumulate under their label.
+class CycleLedger {
+ public:
+  void Charge(const std::string& label, Cycles c) { totals_[label] += c; }
+  Cycles Get(const std::string& label) const {
+    auto it = totals_.find(label);
+    return it == totals_.end() ? 0 : it->second;
+  }
+  Cycles Total() const;
+  const std::map<std::string, Cycles>& totals() const { return totals_; }
+  void Reset() { totals_.clear(); }
+
+ private:
+  std::map<std::string, Cycles> totals_;
+};
+
+class Kernel {
+ public:
+  Kernel(EventQueue* eq, KernelConfig config);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  EventQueue* event_queue() { return eq_; }
+  const KernelConfig& config() const { return config_; }
+  const CostModel& costs() const { return config_.costs; }
+  Cycles now() const { return eq_->now(); }
+
+  // --- Owners and domains ---------------------------------------------------
+  Owner* kernel_owner() { return kernel_owner_.get(); }
+  Owner* idle_owner() { return idle_owner_.get(); }
+
+  ProtectionDomain* CreateDomain(const std::string& name);
+  ProtectionDomain* domain(PdId id);
+  const std::vector<std::unique_ptr<ProtectionDomain>>& domains() const { return domains_; }
+
+  // Owner-id allocation and registration for path owners (created by the
+  // path layer, which lives above the kernel).
+  uint64_t NextOwnerId() { return next_owner_id_++; }
+  void RegisterOwner(Owner* owner, const std::string& account_label);
+  void UnregisterOwner(Owner* owner);
+  const std::string& AccountLabel(const Owner* owner) const;
+
+  // --- Devices and console ---------------------------------------------------
+  DeviceRegistry& devices() { return devices_; }
+  Console& console() { return console_; }
+
+  // --- ACL ----------------------------------------------------------------
+  AclTable& acl() { return acl_; }
+  // Checks the role (current domain, current thread's owner type) against
+  // the ACL. Denied calls are counted and return false.
+  bool CheckSyscall(PdId domain, Syscall sc);
+
+  // --- Threads + CPU ---------------------------------------------------------
+  Thread* CreateThread(Owner* owner, const std::string& name);
+  // Called by Thread::Push; makes the thread runnable and kicks the CPU.
+  void OnThreadHasWork(Thread* t);
+  // Generates a new thread belonging to `target` and moves the remaining
+  // work of `t` onto it (Escort's threadHandoff).
+  Thread* Handoff(Thread* t, Owner* target, const std::string& name);
+  void StopThread(Thread* t);
+
+  // Dynamic cost consumption: module/kernel code invoked from inside a work
+  // item calls this to extend the current busy period (e.g. per-byte costs
+  // discovered at run time, syscall overheads). Outside a work item the cost
+  // is charged directly to `fallback_owner` (or the kernel) without
+  // advancing time (boot-time setup).
+  void Consume(Cycles cost);
+  // Consume + the accounting surcharge if accounting is enabled.
+  void ConsumeCharged(Cycles cost);
+  // Charges `cost` cycles to `owner` immediately and extends the current
+  // busy period by the same amount without charging the running thread.
+  // Used for work performed *on behalf of* another owner (pathDestroy
+  // teardown is charged to the dying path, not to whichever thread noticed
+  // the connection finished).
+  void ConsumePrechargedTo(Owner* owner, Cycles cost);
+  // Adds the syscall trap overhead when called from an unprivileged domain.
+  void ConsumeSyscall(PdId from_domain);
+
+  Thread* current_thread() { return running_; }
+
+  // --- Timer events + softclock ---------------------------------------------
+  KernelEvent* RegisterEvent(Owner* owner, const std::string& name, Cycles delay, Cycles period,
+                             Cycles dispatch_cost, PdId pd, KernelEvent::Handler handler);
+  void CancelEvent(KernelEvent* ev);
+
+  // --- Semaphores --------------------------------------------------------------
+  Semaphore* CreateSemaphore(Owner* owner, const std::string& name, int initial);
+  void DestroySemaphore(Semaphore* sem);
+
+  // --- Memory --------------------------------------------------------------------
+  PageAllocator& pages() { return pages_; }
+  Page* AllocPage(Owner* owner);
+  void FreePage(Page* page);
+  bool ChargeKmem(Owner* owner, uint64_t bytes);
+  void UnchargeKmem(Owner* owner, uint64_t bytes);
+
+  // --- IOBuffers -------------------------------------------------------------------
+  IoBufferManager& iobuffers() { return iob_; }
+  IoBuffer* AllocIoBuffer(Owner* owner, uint64_t size, PdId current_pd,
+                          const std::vector<PdId>& read_domains);
+  void LockIoBuffer(IoBuffer* buf, Owner* locker);
+  void UnlockIoBuffer(IoBuffer* buf, Owner* locker);
+  void AssociateIoBuffer(IoBuffer* buf, Owner* second, const std::vector<PdId>& read_domains);
+
+  // --- Owner destruction (pathDestroy/pathKill backend) -------------------------
+  // Reclaims every kernel object on the owner's tracking lists. `pd_count`
+  // is the number of protection domains the owner's paths cross (per-domain
+  // teardown cost applies when protection domains are enabled). Returns the
+  // number of cycles the reclamation consumed; the cycles are charged to the
+  // kernel owner (reclamation must not need resources of the dying owner —
+  // the containment requirement).
+  Cycles DestroyOwner(Owner* owner, int pd_count);
+
+  // Handler invoked when a thread exceeds its owner's max-run-without-yield
+  // budget. Installed by the policy layer; default kills nothing.
+  using RunawayHandler = std::function<void(Owner*, Thread*)>;
+  void set_runaway_handler(RunawayHandler h) { runaway_handler_ = std::move(h); }
+  uint64_t runaway_detections() const { return runaway_detections_; }
+
+  // --- Accounting reports ---------------------------------------------------------
+  // Charges any in-progress idle period up to `now` so reports balance.
+  void SettleIdle();
+  // Per-label cycle totals (live owners + retired owners).
+  CycleLedger Snapshot();
+  // Total cycles charged to anyone since construction.
+  Cycles TotalCharged();
+  Cycles start_time() const { return start_time_; }
+  // Resets all cycle counters (start of a measurement window).
+  void ResetAccounting();
+
+  uint64_t dispatch_count() const { return dispatch_count_; }
+  uint64_t pd_crossings() const { return pd_crossings_; }
+  // Crossings rejected by the owner's allowed-crossings map. The offending
+  // item is dropped (trap with no handler); the fault handler, if any, is
+  // invoked with the offender.
+  uint64_t crossing_violations() const { return crossing_violations_; }
+  using FaultHandler = std::function<void(Owner*, Thread*)>;
+  void set_fault_handler(FaultHandler h) { fault_handler_ = std::move(h); }
+  Cycles accounting_overhead_cycles() const { return accounting_overhead_cycles_; }
+
+ private:
+  friend class Thread;
+
+  void ChargeCycles(Owner* owner, Cycles c);
+  // Starts the CPU if it is idle and something is runnable.
+  void MaybeDispatch();
+  // Picks the next thread and begins its front work item.
+  void DispatchNext();
+  // Runs the action of the item whose busy period just ended.
+  void CompleteItem();
+  void FinishItem();
+  void ScheduleSoftclock();
+  void SoftclockTick();
+  void FireEvent(KernelEvent* ev);
+  Thread* EventThreadFor(Owner* owner);
+  void ReapGraveyard();
+
+  EventQueue* const eq_;
+  KernelConfig config_;
+  AclTable acl_;
+  DeviceRegistry devices_{this};
+  Console console_{this};
+  PageAllocator pages_;
+  IoBufferManager iob_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::unique_ptr<Owner> kernel_owner_;
+  std::unique_ptr<Owner> idle_owner_;
+  std::vector<std::unique_ptr<ProtectionDomain>> domains_;
+  uint64_t next_owner_id_ = 1;
+  std::map<const Owner*, std::string> account_labels_;
+  CycleLedger retired_;
+
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<std::unique_ptr<Thread>> graveyard_;
+  std::vector<std::unique_ptr<Semaphore>> semaphores_;
+  std::vector<std::unique_ptr<KernelEvent>> events_;
+  uint64_t next_tid_ = 1;
+
+  // CPU state.
+  Thread* running_ = nullptr;
+  bool cpu_busy_ = false;
+  bool idle_ = true;
+  Cycles idle_since_ = 0;
+  WorkItem current_item_;
+  Cycles current_cost_ = 0;
+  bool current_item_crossed_ = false;
+  Cycles pending_consume_ = 0;
+  Cycles pending_precharged_ = 0;  // already charged; only time must pass
+  bool in_item_ = false;
+
+  // Softclock.
+  Thread* softclock_thread_ = nullptr;
+  uint64_t softclock_ticks_ = 0;
+  EventQueue::EventId softclock_event_id_ = 0;
+  bool softclock_event_id_valid_ = false;
+  std::map<Owner*, Thread*> event_threads_;
+
+  RunawayHandler runaway_handler_;
+  uint64_t runaway_detections_ = 0;
+  FaultHandler fault_handler_;
+  uint64_t crossing_violations_ = 0;
+
+  Cycles start_time_ = 0;
+  uint64_t dispatch_count_ = 0;
+  uint64_t pd_crossings_ = 0;
+  Cycles accounting_overhead_cycles_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_KERNEL_KERNEL_H_

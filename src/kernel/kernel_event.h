@@ -1,0 +1,68 @@
+// Kernel timer events (paper §3.2).
+//
+// Events allow modules to fork new threads that start executing a given
+// function after a specified delay. Events are owned by a path or a
+// protection domain and are dispatched by the softclock, which increments
+// the system timer every millisecond: the softclock tick itself is charged
+// to the kernel, the dispatch of each event is charged to the event's owner
+// (this split is exactly what Table 1 reports as "Softclock" vs "TCP Master
+// Event").
+
+#ifndef SRC_KERNEL_KERNEL_EVENT_H_
+#define SRC_KERNEL_KERNEL_EVENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/kernel/owner.h"
+#include "src/kernel/thread.h"
+
+namespace escort {
+
+class Kernel;
+
+class KernelEvent {
+ public:
+  using Handler = std::function<void()>;
+
+  Owner* owner() const { return owner_; }
+  const std::string& name() const { return name_; }
+  bool periodic() const { return periodic_; }
+  Cycles deadline() const { return deadline_; }
+  Cycles period() const { return period_; }
+  bool cancelled() const { return cancelled_; }
+  uint64_t fire_count() const { return fire_count_; }
+
+ private:
+  friend class Kernel;
+
+  KernelEvent(Kernel* kernel, Owner* owner, std::string name, Cycles deadline, Cycles period,
+              Cycles dispatch_cost, PdId pd, Handler handler)
+      : kernel_(kernel),
+        owner_(owner),
+        name_(std::move(name)),
+        deadline_(deadline),
+        period_(period),
+        dispatch_cost_(dispatch_cost),
+        pd_(pd),
+        periodic_(period > 0),
+        handler_(std::move(handler)) {}
+
+  Kernel* const kernel_;
+  Owner* const owner_;
+  const std::string name_;
+  Cycles deadline_;
+  const Cycles period_;
+  const Cycles dispatch_cost_;  // charged to owner_ when the event fires
+  const PdId pd_;               // domain the handler executes in
+  const bool periodic_;
+  Handler handler_;
+  bool cancelled_ = false;
+  uint64_t fire_count_ = 0;
+  std::list<KernelEvent*>::iterator owner_link_;
+};
+
+}  // namespace escort
+
+#endif  // SRC_KERNEL_KERNEL_EVENT_H_

@@ -1,0 +1,25 @@
+#include "src/kernel/owner.h"
+
+namespace escort {
+
+bool Owner::CrossingAllowed(PdId from, PdId to) const {
+  // Non-path owners: a thread stays in its domain; entering or leaving the
+  // privileged domain (syscalls, event dispatch) is always legal.
+  return from == to || from == kKernelDomain || to == kKernelDomain;
+}
+
+const char* OwnerTypeName(OwnerType type) {
+  switch (type) {
+    case OwnerType::kPath:
+      return "path";
+    case OwnerType::kProtectionDomain:
+      return "protection-domain";
+    case OwnerType::kKernel:
+      return "kernel";
+    case OwnerType::kIdle:
+      return "idle";
+  }
+  return "unknown";
+}
+
+}  // namespace escort

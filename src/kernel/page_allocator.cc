@@ -1,0 +1,54 @@
+#include "src/kernel/page_allocator.h"
+
+#include <algorithm>
+
+namespace escort {
+
+Page* PageAllocator::Alloc(Owner* owner) {
+  if (allocated_ >= total_pages_ || owner == nullptr || owner->destroyed()) {
+    return nullptr;
+  }
+  auto page = std::make_unique<Page>();
+  page->id = next_id_++;
+  page->owner = owner;
+  owner->pages().push_front(page.get());
+  page->owner_link = owner->pages().begin();
+  owner->usage().pages += 1;
+  ++allocated_;
+  Page* raw = page.get();
+  live_.push_back(std::move(page));
+  return raw;
+}
+
+void PageAllocator::Free(Page* page) {
+  if (page == nullptr) {
+    return;
+  }
+  if (page->owner != nullptr) {
+    page->owner->pages().erase(page->owner_link);
+    page->owner->usage().pages -= 1;
+    page->owner = nullptr;
+  }
+  auto it = std::find_if(live_.begin(), live_.end(),
+                         [page](const std::unique_ptr<Page>& p) { return p.get() == page; });
+  if (it != live_.end()) {
+    live_.erase(it);
+    --allocated_;
+  }
+}
+
+void PageAllocator::Transfer(Page* page, Owner* new_owner) {
+  if (page == nullptr || new_owner == nullptr) {
+    return;
+  }
+  if (page->owner != nullptr) {
+    page->owner->pages().erase(page->owner_link);
+    page->owner->usage().pages -= 1;
+  }
+  page->owner = new_owner;
+  new_owner->pages().push_front(page);
+  page->owner_link = new_owner->pages().begin();
+  new_owner->usage().pages += 1;
+}
+
+}  // namespace escort

@@ -1,0 +1,58 @@
+// Page-level memory allocator.
+//
+// The Escort kernel allocates memory to owners at page granularity only
+// (paper §2.4); protection domains run heaps on top of pages and hand out
+// smaller objects to the paths crossing them, transferring the charge.
+
+#ifndef SRC_KERNEL_PAGE_ALLOCATOR_H_
+#define SRC_KERNEL_PAGE_ALLOCATOR_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "src/kernel/owner.h"
+
+namespace escort {
+
+inline constexpr uint64_t kPageSize = 8192;  // Alpha page size
+
+struct Page {
+  uint64_t id = 0;
+  Owner* owner = nullptr;
+  std::list<Page*>::iterator owner_link;  // position in owner->pages()
+};
+
+class PageAllocator {
+ public:
+  // `total_pages` caps physical memory; allocation beyond it fails.
+  explicit PageAllocator(uint64_t total_pages) : total_pages_(total_pages) {}
+
+  PageAllocator(const PageAllocator&) = delete;
+  PageAllocator& operator=(const PageAllocator&) = delete;
+
+  // Allocates one page charged to `owner`. Returns nullptr if out of memory.
+  Page* Alloc(Owner* owner);
+
+  // Frees a page, uncharging its owner.
+  void Free(Page* page);
+
+  // Reassigns a page to a new owner (used when a protection-domain heap
+  // hands memory to a path and on destructor-time charge-back).
+  void Transfer(Page* page, Owner* new_owner);
+
+  uint64_t allocated_pages() const { return allocated_; }
+  uint64_t total_pages() const { return total_pages_; }
+  uint64_t free_pages() const { return total_pages_ - allocated_; }
+
+ private:
+  const uint64_t total_pages_;
+  uint64_t allocated_ = 0;
+  uint64_t next_id_ = 1;
+  std::vector<std::unique_ptr<Page>> live_;
+};
+
+}  // namespace escort
+
+#endif  // SRC_KERNEL_PAGE_ALLOCATOR_H_

@@ -1,0 +1,64 @@
+#include "src/kernel/protection_domain.h"
+
+#include "src/kernel/kernel.h"
+#include "src/kernel/page_allocator.h"
+
+namespace escort {
+
+bool ProtectionDomain::HeapAlloc(Owner* for_owner, uint64_t bytes) {
+  // Grow the heap by whole pages; the kernel only deals in pages and the
+  // pages are charged to this domain.
+  while (heap_in_use_ + bytes > heap_reserved_) {
+    Page* page = kernel_->AllocPage(this);
+    if (page == nullptr) {
+      return false;
+    }
+    heap_reserved_ += kPageSize;
+  }
+  heap_in_use_ += bytes;
+  heap_charges_[for_owner] += bytes;
+  // The sub-page charge lands on the requesting owner (typically a path
+  // crossing this domain); the backing pages stay charged to the domain.
+  for_owner->usage().kmem_bytes += bytes;
+  kernel_->ConsumeCharged(kernel_->costs().heap_alloc);
+  return true;
+}
+
+void ProtectionDomain::HeapFree(Owner* for_owner, uint64_t bytes) {
+  auto it = heap_charges_.find(for_owner);
+  if (it == heap_charges_.end()) {
+    return;
+  }
+  if (bytes > it->second) {
+    bytes = it->second;
+  }
+  it->second -= bytes;
+  if (it->second == 0) {
+    heap_charges_.erase(it);
+  }
+  heap_in_use_ -= bytes;
+  for_owner->usage().kmem_bytes -= bytes;
+  kernel_->ConsumeCharged(kernel_->costs().heap_free);
+}
+
+uint64_t ProtectionDomain::HeapChargedTo(const Owner* owner) const {
+  auto it = heap_charges_.find(owner);
+  return it == heap_charges_.end() ? 0 : it->second;
+}
+
+uint64_t ProtectionDomain::HeapChargeBack(Owner* path_owner) {
+  auto it = heap_charges_.find(path_owner);
+  if (it == heap_charges_.end()) {
+    return 0;
+  }
+  uint64_t bytes = it->second;
+  heap_charges_.erase(it);
+  // Charge transfers back to the domain, which remains responsible for
+  // ultimately returning the pages to the kernel.
+  path_owner->usage().kmem_bytes -= bytes;
+  usage().kmem_bytes += bytes;
+  heap_charges_[this] += bytes;
+  return bytes;
+}
+
+}  // namespace escort

@@ -1,0 +1,138 @@
+#include "src/kernel/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace escort {
+
+namespace {
+
+// Removes `t` from a deque, returning true if it was present.
+bool EraseFrom(std::deque<Thread*>& dq, Thread* t) {
+  auto it = std::find(dq.begin(), dq.end(), t);
+  if (it == dq.end()) {
+    return false;
+  }
+  dq.erase(it);
+  return true;
+}
+
+}  // namespace
+
+// --- PriorityScheduler -----------------------------------------------------
+
+void PriorityScheduler::Enqueue(Thread* t) { ready_[t->owner()->sched().priority].push_back(t); }
+
+Thread* PriorityScheduler::Dequeue() {
+  for (auto it = ready_.begin(); it != ready_.end();) {
+    if (it->second.empty()) {
+      it = ready_.erase(it);
+      continue;
+    }
+    Thread* t = it->second.front();
+    it->second.pop_front();
+    return t;
+  }
+  return nullptr;
+}
+
+void PriorityScheduler::Remove(Thread* t) {
+  for (auto& [prio, dq] : ready_) {
+    if (EraseFrom(dq, t)) {
+      return;
+    }
+  }
+}
+
+bool PriorityScheduler::Empty() const {
+  for (const auto& [prio, dq] : ready_) {
+    if (!dq.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- ProportionalShareScheduler ---------------------------------------------
+
+void ProportionalShareScheduler::Enqueue(Thread* t) {
+  SchedState& s = t->owner()->sched();
+  if (!s.pass_initialized || s.pass < global_pass_) {
+    // A newly arriving (or long-sleeping) owner joins at the current virtual
+    // time so it cannot starve others by hoarding credit.
+    s.pass = global_pass_;
+    s.pass_initialized = true;
+  }
+  ready_.push_back(t);
+}
+
+Thread* ProportionalShareScheduler::Dequeue() {
+  if (ready_.empty()) {
+    return nullptr;
+  }
+  auto best = ready_.begin();
+  for (auto it = std::next(ready_.begin()); it != ready_.end(); ++it) {
+    if ((*it)->owner()->sched().pass < (*best)->owner()->sched().pass) {
+      best = it;
+    }
+  }
+  Thread* t = *best;
+  ready_.erase(best);
+  // The global virtual time is the *minimum* pass in the system (the pass
+  // of the owner just selected). Arriving owners join at this time: they
+  // cannot hoard credit from a sleep, and a high-ticket owner that blocks
+  // briefly keeps its low pass — its reservation survives re-joining.
+  global_pass_ = t->owner()->sched().pass;
+  return t;
+}
+
+void ProportionalShareScheduler::Remove(Thread* t) { EraseFrom(ready_, t); }
+
+void ProportionalShareScheduler::AccountRun(Thread* t, Cycles used) {
+  SchedState& s = t->owner()->sched();
+  uint64_t tickets = s.tickets == 0 ? 1 : s.tickets;
+  // Pass advances inversely to the ticket allocation; the scale keeps
+  // precision for small runs against large ticket counts.
+  s.pass += used * kStrideScale / tickets;
+}
+
+bool ProportionalShareScheduler::Empty() const { return ready_.empty(); }
+
+// --- EdfScheduler -------------------------------------------------------------
+
+void EdfScheduler::Enqueue(Thread* t) {
+  SchedState& s = t->owner()->sched();
+  if (s.period != 0 && s.next_deadline <= *now_) {
+    s.next_deadline = *now_ + s.period;
+  }
+  ready_.push_back(t);
+}
+
+Thread* EdfScheduler::Dequeue() {
+  if (ready_.empty()) {
+    return nullptr;
+  }
+  auto best = ready_.end();
+  Cycles best_deadline = std::numeric_limits<Cycles>::max();
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    const SchedState& s = (*it)->owner()->sched();
+    Cycles deadline =
+        s.period == 0 ? std::numeric_limits<Cycles>::max() - 1 : s.next_deadline;
+    if (deadline < best_deadline) {
+      best_deadline = deadline;
+      best = it;
+    }
+  }
+  if (best == ready_.end()) {
+    best = ready_.begin();
+  }
+  Thread* t = *best;
+  ready_.erase(best);
+  return t;
+}
+
+void EdfScheduler::Remove(Thread* t) { EraseFrom(ready_, t); }
+
+bool EdfScheduler::Empty() const { return ready_.empty(); }
+
+}  // namespace escort

@@ -1,0 +1,67 @@
+#include "src/kernel/semaphore.h"
+
+#include <algorithm>
+
+#include "src/kernel/kernel.h"
+
+namespace escort {
+
+Semaphore::Semaphore(Kernel* kernel, Owner* owner, std::string name, int initial)
+    : kernel_(kernel), owner_(owner), name_(std::move(name)), count_(initial) {
+  owner_->semaphores().push_front(this);
+  owner_link_ = owner_->semaphores().begin();
+  owner_->usage().semaphores += 1;
+}
+
+Semaphore::~Semaphore() {
+  if (!owner_->destroyed()) {
+    owner_->semaphores().erase(owner_link_);
+    owner_->usage().semaphores -= 1;
+  }
+}
+
+bool Semaphore::P(Thread* t) {
+  kernel_->ConsumeCharged(kernel_->costs().semaphore_op);
+  if (count_ > 0) {
+    --count_;
+    return true;
+  }
+  waiters_.push_back(t);
+  t->blocked_on_ = this;
+  return false;
+}
+
+void Semaphore::V() {
+  kernel_->ConsumeCharged(kernel_->costs().semaphore_op);
+  // Skip over threads that died while blocked.
+  while (!waiters_.empty()) {
+    Thread* t = waiters_.front();
+    if (t->state() == ThreadState::kDead) {
+      waiters_.pop_front();
+      continue;
+    }
+    waiters_.pop_front();
+    t->blocked_on_ = nullptr;
+    kernel_->OnThreadHasWork(t);
+    return;
+  }
+  ++count_;
+}
+
+void Semaphore::UnblockForeign() {
+  std::deque<Thread*> keep;
+  for (Thread* t : waiters_) {
+    if (t->state() == ThreadState::kDead) {
+      continue;
+    }
+    if (t->owner() != owner_) {
+      t->blocked_on_ = nullptr;
+      kernel_->OnThreadHasWork(t);
+    } else {
+      keep.push_back(t);
+    }
+  }
+  waiters_ = std::move(keep);
+}
+
+}  // namespace escort

@@ -1,0 +1,59 @@
+// Kernel semaphores (paper §3.2).
+//
+// Semaphores are owned by a path or protection domain. Threads blocked on a
+// semaphore are not limited to threads of the semaphore's owner — but if the
+// semaphore is destroyed, all *foreign* threads blocked on it are unblocked
+// (the owner's threads die with the owner anyway).
+
+#ifndef SRC_KERNEL_SEMAPHORE_H_
+#define SRC_KERNEL_SEMAPHORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/kernel/owner.h"
+#include "src/kernel/thread.h"
+
+namespace escort {
+
+class Kernel;
+
+class Semaphore {
+ public:
+  Semaphore(Kernel* kernel, Owner* owner, std::string name, int initial);
+  ~Semaphore();
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  Owner* owner() const { return owner_; }
+  int count() const { return count_; }
+  size_t waiters() const { return waiters_.size(); }
+
+  // P: decrements; if the count would go negative, blocks `t` (the thread
+  // stops being scheduled until a matching V). Returns true if the thread
+  // acquired without blocking.
+  bool P(Thread* t);
+
+  // V: increments; wakes the longest-waiting thread if any.
+  void V();
+
+  // Destruction semantics: unblocks all waiting threads that do not belong
+  // to this semaphore's owner. Called by the kernel on owner teardown.
+  void UnblockForeign();
+
+ private:
+  friend class Kernel;
+
+  Kernel* const kernel_;
+  Owner* const owner_;
+  const std::string name_;
+  int count_;
+  std::deque<Thread*> waiters_;
+  std::list<Semaphore*>::iterator owner_link_;
+};
+
+}  // namespace escort
+
+#endif  // SRC_KERNEL_SEMAPHORE_H_

@@ -1,0 +1,64 @@
+#include "src/kernel/syscall.h"
+
+namespace escort {
+
+const char* SyscallName(Syscall sc) {
+  switch (sc) {
+    case Syscall::kPathCreate: return "pathCreate";
+    case Syscall::kPathDestroy: return "pathDestroy";
+    case Syscall::kPathKill: return "pathKill";
+    case Syscall::kPathEnqueue: return "pathEnqueue";
+    case Syscall::kPathDequeue: return "pathDequeue";
+    case Syscall::kPathExtendCrossing: return "pathExtendCrossing";
+    case Syscall::kPathGetAttr: return "pathGetAttr";
+    case Syscall::kPathSetAttr: return "pathSetAttr";
+    case Syscall::kPathRef: return "pathRef";
+    case Syscall::kPathUnref: return "pathUnref";
+    case Syscall::kIobAlloc: return "iobAlloc";
+    case Syscall::kIobLock: return "iobLock";
+    case Syscall::kIobUnlock: return "iobUnlock";
+    case Syscall::kIobAssociate: return "iobAssociate";
+    case Syscall::kIobSetDirection: return "iobSetDirection";
+    case Syscall::kIobQuery: return "iobQuery";
+    case Syscall::kThreadCreate: return "threadCreate";
+    case Syscall::kThreadYield: return "threadYield";
+    case Syscall::kThreadStop: return "threadStop";
+    case Syscall::kThreadHandoff: return "threadHandoff";
+    case Syscall::kThreadSetRunLimit: return "threadSetRunLimit";
+    case Syscall::kThreadQuery: return "threadQuery";
+    case Syscall::kEventRegister: return "eventRegister";
+    case Syscall::kEventCancel: return "eventCancel";
+    case Syscall::kEventQuery: return "eventQuery";
+    case Syscall::kSemCreate: return "semCreate";
+    case Syscall::kSemDestroy: return "semDestroy";
+    case Syscall::kSemP: return "semP";
+    case Syscall::kSemV: return "semV";
+    case Syscall::kSemQuery: return "semQuery";
+    case Syscall::kPageAlloc: return "pageAlloc";
+    case Syscall::kPageFree: return "pageFree";
+    case Syscall::kPageTransfer: return "pageTransfer";
+    case Syscall::kHeapAlloc: return "heapAlloc";
+    case Syscall::kHeapFree: return "heapFree";
+    case Syscall::kKmemCharge: return "kmemCharge";
+    case Syscall::kKmemUncharge: return "kmemUncharge";
+    case Syscall::kMemQuery: return "memQuery";
+    case Syscall::kDevOpen: return "devOpen";
+    case Syscall::kDevClose: return "devClose";
+    case Syscall::kDevRead: return "devRead";
+    case Syscall::kDevWrite: return "devWrite";
+    case Syscall::kDevControl: return "devControl";
+    case Syscall::kDevInterruptRegister: return "devInterruptRegister";
+    case Syscall::kConsolePutc: return "consolePutc";
+    case Syscall::kConsoleGetc: return "consoleGetc";
+    case Syscall::kConsoleWrite: return "consoleWrite";
+    case Syscall::kOwnerQueryUsage: return "ownerQueryUsage";
+    case Syscall::kOwnerSetPolicy: return "ownerSetPolicy";
+    case Syscall::kOwnerSetSchedParams: return "ownerSetSchedParams";
+    case Syscall::kOwnerDestroy: return "ownerDestroy";
+    case Syscall::kGetTime: return "getTime";
+    case Syscall::kSyscallCount: break;
+  }
+  return "invalid";
+}
+
+}  // namespace escort

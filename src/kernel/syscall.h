@@ -1,0 +1,90 @@
+// The Escort system-call surface.
+//
+// The paper (§3): "Escort currently implements 52 system calls that provide
+// access to the following kernel objects: paths, IObuffers, threads, events,
+// semaphores, memory pages, devices, and the console." This enumeration
+// reproduces that surface; the role-based ACL (paper §2.5, first enforcement
+// level) guards each call by (protection domain, owner type).
+
+#ifndef SRC_KERNEL_SYSCALL_H_
+#define SRC_KERNEL_SYSCALL_H_
+
+#include <cstdint>
+
+namespace escort {
+
+enum class Syscall : uint8_t {
+  // Paths
+  kPathCreate,
+  kPathDestroy,
+  kPathKill,
+  kPathEnqueue,
+  kPathDequeue,
+  kPathExtendCrossing,
+  kPathGetAttr,
+  kPathSetAttr,
+  kPathRef,
+  kPathUnref,
+  // IOBuffers
+  kIobAlloc,
+  kIobLock,
+  kIobUnlock,
+  kIobAssociate,
+  kIobSetDirection,
+  kIobQuery,
+  // Threads
+  kThreadCreate,
+  kThreadYield,
+  kThreadStop,
+  kThreadHandoff,
+  kThreadSetRunLimit,
+  kThreadQuery,
+  // Events
+  kEventRegister,
+  kEventCancel,
+  kEventQuery,
+  // Semaphores
+  kSemCreate,
+  kSemDestroy,
+  kSemP,
+  kSemV,
+  kSemQuery,
+  // Memory
+  kPageAlloc,
+  kPageFree,
+  kPageTransfer,
+  kHeapAlloc,
+  kHeapFree,
+  kKmemCharge,
+  kKmemUncharge,
+  kMemQuery,
+  // Devices
+  kDevOpen,
+  kDevClose,
+  kDevRead,
+  kDevWrite,
+  kDevControl,
+  kDevInterruptRegister,
+  // Console
+  kConsolePutc,
+  kConsoleGetc,
+  kConsoleWrite,
+  // Owners / accounting / policy
+  kOwnerQueryUsage,
+  kOwnerSetPolicy,
+  kOwnerSetSchedParams,
+  kOwnerDestroy,
+  // Misc
+  kGetTime,
+
+  kSyscallCount,
+};
+
+inline constexpr int kNumSyscalls = static_cast<int>(Syscall::kSyscallCount);
+static_assert(kNumSyscalls == 52, "Escort implements exactly 52 system calls");
+
+const char* SyscallName(Syscall sc);
+
+}  // namespace escort
+
+#endif  // SRC_KERNEL_SYSCALL_H_

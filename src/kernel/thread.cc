@@ -1,0 +1,30 @@
+#include "src/kernel/thread.h"
+
+#include "src/kernel/kernel.h"
+
+namespace escort {
+
+Thread::Thread(Kernel* kernel, Owner* owner, std::string name)
+    : kernel_(kernel), owner_(owner), name_(std::move(name)), tid_(kernel->NextOwnerId()) {
+  owner_->threads().push_front(this);
+  owner_link_ = owner_->threads().begin();
+  owner_->usage().threads += 1;
+  stacks_.insert(kKernelDomain);
+  owner_->usage().stacks += 1;
+}
+
+Thread::~Thread() = default;
+
+void Thread::Push(WorkItem item) {
+  if (state_ == ThreadState::kDead) {
+    return;
+  }
+  queue_.push_back(std::move(item));
+  kernel_->OnThreadHasWork(this);
+}
+
+void Thread::Push(Cycles cost, PdId pd, std::function<void()> fn, bool yields) {
+  Push(WorkItem{cost, pd, std::move(fn), yields});
+}
+
+}  // namespace escort

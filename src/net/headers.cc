@@ -1,0 +1,174 @@
+#include "src/net/headers.h"
+
+#include <cstring>
+
+#include "src/elib/byte_io.h"
+
+namespace escort {
+
+namespace {
+
+// Builds the TCP/IPv4 pseudo-header partial checksum.
+uint32_t PseudoHeaderSum(Ip4Addr src, Ip4Addr dst, uint16_t tcp_len) {
+  uint8_t pseudo[12];
+  PutU32(pseudo, src.value);
+  PutU32(pseudo + 4, dst.value);
+  pseudo[8] = 0;
+  pseudo[9] = kIpProtoTcp;
+  PutU16(pseudo + 10, tcp_len);
+  return ChecksumPartial(pseudo, sizeof(pseudo));
+}
+
+}  // namespace
+
+// --- Ethernet ---------------------------------------------------------------
+
+void SerializeEthHeader(const EthHeader& hdr, uint8_t out[kEthHeaderLen]) {
+  std::memcpy(out, hdr.dst.bytes.data(), 6);
+  std::memcpy(out + 6, hdr.src.bytes.data(), 6);
+  PutU16(out + 12, hdr.ethertype);
+}
+
+void SerializeIpHeader(const Ip4Header& hdr, uint64_t payload_len, uint8_t out[kIpHeaderLen]) {
+  uint16_t total_len = static_cast<uint16_t>(kIpHeaderLen + payload_len);
+  out[0] = 0x45;  // version 4, IHL 5
+  out[1] = 0;     // TOS
+  PutU16(out + 2, total_len);
+  PutU16(out + 4, hdr.id);
+  PutU16(out + 6, 0);
+  out[8] = hdr.ttl;
+  out[9] = hdr.protocol;
+  PutU16(out + 10, 0);
+  PutU32(out + 12, hdr.src.value);
+  PutU32(out + 16, hdr.dst.value);
+  PutU16(out + 10, InternetChecksum(out, kIpHeaderLen));
+}
+
+bool WriteEthHeader(Message& msg, PdId pd, const EthHeader& hdr) {
+  uint8_t bytes[kEthHeaderLen];
+  SerializeEthHeader(hdr, bytes);
+  return msg.Prepend(pd, bytes, kEthHeaderLen);
+}
+
+std::optional<EthHeader> ParseEthHeader(const Message& msg, PdId pd) {
+  const uint8_t* p = msg.Data(pd);
+  if (p == nullptr || msg.size() < kEthHeaderLen) {
+    return std::nullopt;
+  }
+  EthHeader hdr;
+  std::memcpy(hdr.dst.bytes.data(), p, 6);
+  std::memcpy(hdr.src.bytes.data(), p + 6, 6);
+  hdr.ethertype = GetU16(p + 12);
+  return hdr;
+}
+
+// --- ARP ---------------------------------------------------------------------
+
+bool WriteArpPacket(Message& msg, PdId pd, const ArpPacket& pkt) {
+  uint8_t bytes[kArpPacketLen];
+  PutU16(bytes, 1);       // htype: Ethernet
+  PutU16(bytes + 2, kEtherTypeIp);
+  bytes[4] = 6;           // hlen
+  bytes[5] = 4;           // plen
+  PutU16(bytes + 6, pkt.opcode);
+  std::memcpy(bytes + 8, pkt.sender_mac.bytes.data(), 6);
+  PutU32(bytes + 14, pkt.sender_ip.value);
+  std::memcpy(bytes + 18, pkt.target_mac.bytes.data(), 6);
+  PutU32(bytes + 24, pkt.target_ip.value);
+  return msg.Append(pd, bytes, kArpPacketLen);
+}
+
+std::optional<ArpPacket> ParseArpPacket(const Message& msg, PdId pd) {
+  const uint8_t* p = msg.Data(pd);
+  if (p == nullptr || msg.size() < kArpPacketLen) {
+    return std::nullopt;
+  }
+  if (GetU16(p) != 1 || GetU16(p + 2) != kEtherTypeIp || p[4] != 6 || p[5] != 4) {
+    return std::nullopt;
+  }
+  ArpPacket pkt;
+  pkt.opcode = GetU16(p + 6);
+  std::memcpy(pkt.sender_mac.bytes.data(), p + 8, 6);
+  pkt.sender_ip.value = GetU32(p + 14);
+  std::memcpy(pkt.target_mac.bytes.data(), p + 18, 6);
+  pkt.target_ip.value = GetU32(p + 24);
+  return pkt;
+}
+
+// --- IPv4 ---------------------------------------------------------------------
+
+bool WriteIpHeader(Message& msg, PdId pd, const Ip4Header& hdr) {
+  uint8_t bytes[kIpHeaderLen];
+  SerializeIpHeader(hdr, msg.size(), bytes);
+  return msg.Prepend(pd, bytes, kIpHeaderLen);
+}
+
+std::optional<Ip4Header> ParseIpHeader(const Message& msg, PdId pd) {
+  const uint8_t* p = msg.Data(pd);
+  if (p == nullptr || msg.size() < kIpHeaderLen) {
+    return std::nullopt;
+  }
+  if ((p[0] >> 4) != 4 || (p[0] & 0x0f) != 5) {
+    return std::nullopt;
+  }
+  Ip4Header hdr;
+  hdr.total_length = GetU16(p + 2);
+  hdr.id = GetU16(p + 4);
+  hdr.ttl = p[8];
+  hdr.protocol = p[9];
+  hdr.src.value = GetU32(p + 12);
+  hdr.dst.value = GetU32(p + 16);
+  hdr.checksum_ok = InternetChecksum(p, kIpHeaderLen) == 0;
+  return hdr;
+}
+
+// --- TCP ----------------------------------------------------------------------
+
+bool WriteTcpHeader(Message& msg, PdId pd, const TcpHeader& hdr, Ip4Addr src, Ip4Addr dst) {
+  uint16_t tcp_len = static_cast<uint16_t>(kTcpHeaderLen + msg.size());
+  uint8_t bytes[kTcpHeaderLen];
+  PutU16(bytes, hdr.src_port);
+  PutU16(bytes + 2, hdr.dst_port);
+  PutU32(bytes + 4, hdr.seq);
+  PutU32(bytes + 8, hdr.ack);
+  bytes[12] = 5 << 4;  // data offset 5 words
+  bytes[13] = hdr.flags;
+  PutU16(bytes + 14, hdr.window);
+  PutU16(bytes + 16, 0);  // checksum placeholder
+  PutU16(bytes + 18, 0);  // urgent pointer
+  // Checksum covers pseudo-header + TCP header + payload.
+  uint32_t acc = PseudoHeaderSum(src, dst, tcp_len);
+  acc = ChecksumPartial(bytes, kTcpHeaderLen, acc);
+  const uint8_t* payload = msg.Data(pd);
+  if (payload != nullptr) {
+    acc = ChecksumPartial(payload, msg.size(), acc);
+  }
+  while (acc >> 16) {
+    acc = (acc & 0xffff) + (acc >> 16);
+  }
+  PutU16(bytes + 16, static_cast<uint16_t>(~acc));
+  return msg.Prepend(pd, bytes, kTcpHeaderLen);
+}
+
+std::optional<TcpHeader> ParseTcpHeader(const Message& msg, PdId pd, Ip4Addr src, Ip4Addr dst) {
+  const uint8_t* p = msg.Data(pd);
+  if (p == nullptr || msg.size() < kTcpHeaderLen) {
+    return std::nullopt;
+  }
+  TcpHeader hdr;
+  hdr.src_port = GetU16(p);
+  hdr.dst_port = GetU16(p + 2);
+  hdr.seq = GetU32(p + 4);
+  hdr.ack = GetU32(p + 8);
+  hdr.flags = p[13];
+  hdr.window = GetU16(p + 14);
+  uint32_t acc = PseudoHeaderSum(src, dst, static_cast<uint16_t>(msg.size()));
+  acc = ChecksumPartial(p, msg.size(), acc);
+  while (acc >> 16) {
+    acc = (acc & 0xffff) + (acc >> 16);
+  }
+  hdr.checksum_ok = static_cast<uint16_t>(~acc) == 0;
+  return hdr;
+}
+
+}  // namespace escort

@@ -1,0 +1,107 @@
+// Wire-format header codecs: Ethernet II, ARP, IPv4, TCP.
+//
+// Headers are real bytes in network order, written into and parsed out of
+// IOBuffer-backed messages; IPv4 and TCP checksums are computed with the
+// RFC 1071 algorithm. Assumptions kept from the testbed: no VLAN tags,
+// IPv4 IHL is always 5 (no options), TCP data offset is always 5.
+
+#ifndef SRC_NET_HEADERS_H_
+#define SRC_NET_HEADERS_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/elib/address.h"
+#include "src/elib/message.h"
+
+namespace escort {
+
+inline constexpr uint16_t kEtherTypeIp = 0x0800;
+inline constexpr uint16_t kEtherTypeArp = 0x0806;
+
+inline constexpr size_t kEthHeaderLen = 14;
+inline constexpr size_t kIpHeaderLen = 20;
+inline constexpr size_t kTcpHeaderLen = 20;
+inline constexpr size_t kArpPacketLen = 28;
+
+// Combined headroom a transmit message needs for all downstream headers.
+inline constexpr size_t kFullHeadroom = kEthHeaderLen + kIpHeaderLen + kTcpHeaderLen;
+
+struct EthHeader {
+  MacAddr dst;
+  MacAddr src;
+  uint16_t ethertype = 0;
+};
+
+struct ArpPacket {
+  uint16_t opcode = 0;  // 1 request, 2 reply
+  MacAddr sender_mac;
+  Ip4Addr sender_ip;
+  MacAddr target_mac;
+  Ip4Addr target_ip;
+};
+
+struct Ip4Header {
+  uint8_t ttl = 64;
+  uint8_t protocol = 0;  // 6 = TCP
+  Ip4Addr src;
+  Ip4Addr dst;
+  uint16_t total_length = 0;  // filled by codec on write
+  uint16_t id = 0;
+  bool checksum_ok = true;  // set by parse
+};
+
+inline constexpr uint8_t kIpProtoTcp = 6;
+
+// TCP flag bits.
+inline constexpr uint8_t kTcpFin = 0x01;
+inline constexpr uint8_t kTcpSyn = 0x02;
+inline constexpr uint8_t kTcpRst = 0x04;
+inline constexpr uint8_t kTcpPsh = 0x08;
+inline constexpr uint8_t kTcpAck = 0x10;
+
+struct TcpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint8_t flags = 0;
+  uint16_t window = 0xffff;
+  bool checksum_ok = true;  // set by parse
+};
+
+// --- Ethernet ---------------------------------------------------------------
+// Serializes a header into a caller-provided buffer (for header-fragment
+// prepends from domains without payload write permission).
+void SerializeEthHeader(const EthHeader& hdr, uint8_t out[kEthHeaderLen]);
+void SerializeIpHeader(const Ip4Header& hdr, uint64_t payload_len, uint8_t out[kIpHeaderLen]);
+
+// Prepends an Ethernet header; fails if headroom or permission is missing.
+bool WriteEthHeader(Message& msg, PdId pd, const EthHeader& hdr);
+// Parses (without stripping) the header at the front of `msg`.
+std::optional<EthHeader> ParseEthHeader(const Message& msg, PdId pd);
+
+// --- ARP ---------------------------------------------------------------------
+// Serializes a full ARP packet as the message payload (after any strip of
+// the Ethernet header).
+bool WriteArpPacket(Message& msg, PdId pd, const ArpPacket& pkt);
+std::optional<ArpPacket> ParseArpPacket(const Message& msg, PdId pd);
+
+// --- IPv4 ---------------------------------------------------------------------
+// Prepends an IPv4 header covering the current payload, computing the
+// header checksum.
+bool WriteIpHeader(Message& msg, PdId pd, const Ip4Header& hdr);
+std::optional<Ip4Header> ParseIpHeader(const Message& msg, PdId pd);
+
+// --- TCP ----------------------------------------------------------------------
+// Prepends a TCP header covering the current payload and computes the
+// checksum over the pseudo-header + segment. `src`/`dst` feed the
+// pseudo-header.
+bool WriteTcpHeader(Message& msg, PdId pd, const TcpHeader& hdr, Ip4Addr src, Ip4Addr dst);
+// Parses + verifies the TCP checksum for a message whose front is the TCP
+// header and whose tail is the payload.
+std::optional<TcpHeader> ParseTcpHeader(const Message& msg, PdId pd, Ip4Addr src, Ip4Addr dst);
+
+}  // namespace escort
+
+#endif  // SRC_NET_HEADERS_H_

@@ -1,0 +1,62 @@
+// Path attributes: the invariants fixed at pathCreate time (paper §2.2),
+// e.g. the peer's address and port, the document root, QoS labels.
+
+#ifndef SRC_PATH_ATTRIBUTE_H_
+#define SRC_PATH_ATTRIBUTE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace escort {
+
+class Attributes {
+ public:
+  Attributes& SetInt(const std::string& key, uint64_t value) {
+    ints_[key] = value;
+    return *this;
+  }
+  Attributes& SetStr(const std::string& key, std::string value) {
+    strs_[key] = std::move(value);
+    return *this;
+  }
+
+  std::optional<uint64_t> GetInt(const std::string& key) const {
+    auto it = ints_.find(key);
+    if (it == ints_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  uint64_t GetIntOr(const std::string& key, uint64_t fallback) const {
+    return GetInt(key).value_or(fallback);
+  }
+
+  std::optional<std::string> GetStr(const std::string& key) const {
+    auto it = strs_.find(key);
+    if (it == strs_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+  std::string GetStrOr(const std::string& key, const std::string& fallback) const {
+    return GetStr(key).value_or(fallback);
+  }
+
+  bool Has(const std::string& key) const {
+    return ints_.count(key) != 0 || strs_.count(key) != 0;
+  }
+
+  size_t size() const { return ints_.size() + strs_.size(); }
+
+ private:
+  std::map<std::string, uint64_t> ints_;
+  std::map<std::string, std::string> strs_;
+};
+
+}  // namespace escort
+
+#endif  // SRC_PATH_ATTRIBUTE_H_

@@ -1,0 +1,77 @@
+// Filter modules (paper §2.5, enforcement level 4).
+//
+// Syntactically a filter is a module like any other; its purpose is to
+// enforce policy rather than provide functionality: placed between two
+// modules it narrows their interface by dropping traffic that does not
+// satisfy a predicate (e.g. "receive packets" -> "receive packets to port
+// 80"). Filters compose with vanilla modules — the flanked module needs no
+// knowledge of the policy.
+
+#ifndef SRC_PATH_FILTER_H_
+#define SRC_PATH_FILTER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/path/path.h"
+
+namespace escort {
+
+class FilterModule : public Module {
+ public:
+  // Returns true if the message may pass in the given direction.
+  using Predicate = std::function<bool(const Message&, Direction)>;
+
+  FilterModule(std::string name, ServiceInterface iface, Module* next_up, Predicate allow,
+               Cycles check_cost = 1'200)
+      : Module(std::move(name), {iface}),
+        next_up_(next_up),
+        allow_(std::move(allow)),
+        check_cost_(check_cost) {}
+
+  OpenResult Open(Path* path, const Attributes& attrs) override {
+    (void)path;
+    (void)attrs;
+    OpenResult r;
+    r.ok = true;
+    r.next = next_up_;
+    return r;
+  }
+
+  DemuxDecision Demux(const Message& msg) override {
+    if (!allow_(msg, Direction::kUp)) {
+      return DemuxDecision::Drop("filter");
+    }
+    return DemuxDecision::Continue(next_up_);
+  }
+
+  void Process(Stage& stage, Message msg, Direction dir) override {
+    kernel()->ConsumeCharged(check_cost_);
+    if (!allow_(msg, dir)) {
+      ++dropped_;
+      return;
+    }
+    ++passed_;
+    if (dir == Direction::kUp) {
+      stage.path->ForwardUp(stage, std::move(msg));
+    } else {
+      stage.path->ForwardDown(stage, std::move(msg));
+    }
+  }
+
+  Cycles ProcessCost(Direction /*dir*/) const override { return check_cost_; }
+
+  uint64_t dropped() const { return dropped_; }
+  uint64_t passed() const { return passed_; }
+
+ private:
+  Module* const next_up_;
+  Predicate allow_;
+  const Cycles check_cost_;
+  uint64_t dropped_ = 0;
+  uint64_t passed_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_PATH_FILTER_H_

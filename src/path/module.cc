@@ -1,0 +1,17 @@
+#include "src/path/module.h"
+
+#include "src/path/path.h"
+
+namespace escort {
+
+ProtectionDomain* Module::domain() const {
+  return kernel_ != nullptr ? kernel_->domain(pd_) : nullptr;
+}
+
+void Module::ConsumeCost(Direction dir) const {
+  if (kernel_ != nullptr) {
+    kernel_->ConsumeCharged(ProcessCost(dir));
+  }
+}
+
+}  // namespace escort

@@ -1,0 +1,139 @@
+// Modules: the unit of program development and configurability in Scout
+// (paper §2.1). Each module provides a well-defined, independent service —
+// a protocol (HTTP, TCP, IP, ARP), a storage component (FS, SCSI), a device
+// driver (ETH) — and contributes a *stage* to every path that traverses it.
+//
+// Modules implement three side-effect-sensitive entry points:
+//   * Open   — path creation: initialize this module's stage and name the
+//              next module to visit (side effects allowed: it builds state);
+//   * Demux  — incremental classification of incoming data (side-effect
+//              free, may be called speculatively);
+//   * Process— the per-message work a stage performs when a path thread
+//              executes in this module's protection domain.
+
+#ifndef SRC_PATH_MODULE_H_
+#define SRC_PATH_MODULE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "src/elib/message.h"
+#include "src/kernel/kernel.h"
+#include "src/path/attribute.h"
+
+namespace escort {
+
+class Path;
+class Stage;
+class Module;
+class PathManager;
+
+// Typed service interfaces (paper §2.1: edges in the module graph connect
+// modules that support a common interface; §3.1: Escort currently supports
+// interfaces for asynchronous I/O, name resolution, and file access).
+enum class ServiceInterface { kAsyncIo, kNameResolution, kFileAccess };
+
+// Message travel direction along a path. Stages are ordered with index 0 at
+// the network/device source (ETH) and the highest index at the far end
+// (SCSI in the web-server path). kUp moves toward higher indices.
+enum class Direction { kUp, kDown };
+
+// Per-stage module state (PCBs, HTTP parser state, ...).
+class StageState {
+ public:
+  virtual ~StageState() = default;
+};
+
+struct OpenResult {
+  bool ok = false;
+  std::unique_ptr<StageState> state;
+  Module* next = nullptr;  // nullptr terminates the path
+  // Destructor function the module registers with the path (paper §2.4);
+  // invoked in the module's domain on pathDestroy (not pathKill).
+  std::function<void(Path*, Stage*)> destructor;
+
+  static OpenResult Fail() { return OpenResult{}; }
+};
+
+struct DemuxDecision {
+  enum class Action { kContinue, kDeliver, kDrop };
+  Action action = Action::kDrop;
+  Module* next = nullptr;  // kContinue: consult this module next
+  Path* path = nullptr;    // kDeliver: the unique path identified
+  const char* drop_reason = "";
+
+  static DemuxDecision Continue(Module* next_module) {
+    DemuxDecision d;
+    d.action = Action::kContinue;
+    d.next = next_module;
+    return d;
+  }
+  static DemuxDecision Deliver(Path* p) {
+    DemuxDecision d;
+    d.action = Action::kDeliver;
+    d.path = p;
+    return d;
+  }
+  static DemuxDecision Drop(const char* reason) {
+    DemuxDecision d;
+    d.action = Action::kDrop;
+    d.drop_reason = reason;
+    return d;
+  }
+};
+
+class Module {
+ public:
+  Module(std::string name, std::set<ServiceInterface> interfaces)
+      : name_(std::move(name)), interfaces_(std::move(interfaces)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  const std::string& name() const { return name_; }
+  bool Supports(ServiceInterface iface) const { return interfaces_.count(iface) != 0; }
+
+  // Configuration-time wiring (done by ModuleGraph::Add).
+  PdId pd() const { return pd_; }
+  Kernel* kernel() const { return kernel_; }
+  PathManager* paths() const { return path_manager_; }
+  ProtectionDomain* domain() const;
+
+  // Well-known initialization function, called in the module's domain when
+  // the system boots (paper §2.3).
+  virtual void Init() {}
+
+  // Path creation step. Returns the stage contribution and the next module.
+  virtual OpenResult Open(Path* path, const Attributes& attrs) = 0;
+
+  // Incremental demultiplexing step. MUST be side-effect free.
+  virtual DemuxDecision Demux(const Message& /*msg*/) { return DemuxDecision::Drop("no demux"); }
+
+  // Data processing for one message at this module's stage of a path.
+  virtual void Process(Stage& stage, Message msg, Direction dir) = 0;
+
+  // Fixed per-message processing cost of this module (consumed by Process
+  // implementations; exposed so the demux engine can estimate costs).
+  virtual Cycles ProcessCost(Direction /*dir*/) const { return 0; }
+
+ protected:
+  // Helper for Process implementations: consume this module's cycles.
+  void ConsumeCost(Direction dir) const;
+
+ private:
+  friend class ModuleGraph;
+
+  const std::string name_;
+  const std::set<ServiceInterface> interfaces_;
+  PdId pd_ = kKernelDomain;
+  Kernel* kernel_ = nullptr;
+  PathManager* path_manager_ = nullptr;
+};
+
+}  // namespace escort
+
+#endif  // SRC_PATH_MODULE_H_

@@ -1,0 +1,32 @@
+#include "src/path/module_graph.h"
+
+namespace escort {
+
+bool ModuleGraph::Connect(Module* a, Module* b, ServiceInterface iface) {
+  if (a == nullptr || b == nullptr || !a->Supports(iface) || !b->Supports(iface)) {
+    return false;
+  }
+  edges_.emplace(a, b);
+  edges_.emplace(b, a);
+  return true;
+}
+
+bool ModuleGraph::Connected(const Module* a, const Module* b) const {
+  return edges_.count({a, b}) != 0;
+}
+
+Module* ModuleGraph::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void ModuleGraph::InitAll(PathManager* manager) {
+  for (auto& module : modules_) {
+    module->path_manager_ = manager;
+  }
+  for (auto& module : modules_) {
+    module->Init();
+  }
+}
+
+}  // namespace escort

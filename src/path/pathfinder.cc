@@ -1,0 +1,124 @@
+#include "src/path/pathfinder.h"
+
+#include "src/net/headers.h"
+
+namespace escort {
+
+bool Cell::Matches(const uint8_t* data, size_t size) const {
+  if (offset + length > size) {
+    return false;
+  }
+  uint32_t field = 0;
+  for (uint8_t i = 0; i < length; ++i) {
+    field = (field << 8) | data[offset + i];
+  }
+  return (field & mask) == (value & mask);
+}
+
+PathFinder::PathFinder() {
+  nodes_.push_back(Node{});  // root
+  nodes_[kRoot].refs = 1;
+}
+
+PathFinder::NodeId PathFinder::Insert(NodeId parent, const Line& line) {
+  Node& p = nodes_[parent];
+  // Shared lines: an identical line under the same parent reuses the node.
+  for (NodeId child : p.children) {
+    if (nodes_[child].line == line) {
+      nodes_[child].refs += 1;
+      return child;
+    }
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.line = line;
+  node.refs = 1;
+  nodes_.push_back(std::move(node));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+void PathFinder::Bind(NodeId node, Path* target, int priority) {
+  nodes_[node].target = target;
+  nodes_[node].priority = priority;
+  nodes_[node].bound = true;
+}
+
+void PathFinder::Unbind(NodeId node) {
+  nodes_[node].bound = false;
+  nodes_[node].target = nullptr;
+  if (nodes_[node].refs > 0) {
+    nodes_[node].refs -= 1;
+  }
+  // Node slots of fully-released leaves are left in place (ids stay
+  // stable); Classify skips unbound, childless nodes.
+}
+
+void PathFinder::ClassifyFrom(NodeId id, const uint8_t* data, size_t size, int depth,
+                              Path** best, int* best_depth, int* best_priority) const {
+  const Node& node = nodes_[id];
+  if (id != kRoot) {
+    for (const Cell& cell : node.line) {
+      ++last_cells_;
+      if (!cell.Matches(data, size)) {
+        return;
+      }
+    }
+    if (node.bound && node.refs > 0 &&
+        (depth > *best_depth || (depth == *best_depth && node.priority > *best_priority))) {
+      *best = node.target;
+      *best_depth = depth;
+      *best_priority = node.priority;
+    }
+  }
+  for (NodeId child : node.children) {
+    ClassifyFrom(child, data, size, depth + 1, best, best_depth, best_priority);
+  }
+}
+
+Path* PathFinder::Classify(const uint8_t* data, size_t size) const {
+  ++classifies_;
+  last_cells_ = 0;
+  Path* best = nullptr;
+  int best_depth = -1;
+  int best_priority = -1;
+  ClassifyFrom(kRoot, data, size, 0, &best, &best_depth, &best_priority);
+  return best;
+}
+
+namespace pattern {
+
+namespace {
+constexpr uint32_t kIpOff = kEthHeaderLen;
+constexpr uint32_t kTcpOff = kEthHeaderLen + kIpHeaderLen;
+}  // namespace
+
+Line EthIpv4() { return {Cell{12, 2, 0xffff, kEtherTypeIp}}; }
+
+Line EthArp() { return {Cell{12, 2, 0xffff, kEtherTypeArp}}; }
+
+Line IpTcpTo(uint32_t dst_ip) {
+  return {
+      Cell{kIpOff + 0, 1, 0xf0, 0x40},        // version 4
+      Cell{kIpOff + 9, 1, 0xff, kIpProtoTcp},  // protocol
+      Cell{kIpOff + 16, 4, 0xffffffff, dst_ip},
+  };
+}
+
+Line TcpDstPort(uint16_t port) { return {Cell{kTcpOff + 2, 2, 0xffff, port}}; }
+
+Line TcpSynOnly() {
+  // flags byte: SYN set, ACK clear.
+  return {Cell{kTcpOff + 13, 1, kTcpSyn | kTcpAck, kTcpSyn}};
+}
+
+Line TcpConn(uint32_t src_ip, uint16_t src_port) {
+  return {
+      Cell{kIpOff + 12, 4, 0xffffffff, src_ip},
+      Cell{kTcpOff + 0, 2, 0xffff, src_port},
+  };
+}
+
+}  // namespace pattern
+
+}  // namespace escort

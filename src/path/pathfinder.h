@@ -1,0 +1,119 @@
+// PathFinder: a pattern-based packet classifier (Bailey et al., OSDI '94 —
+// the paper's reference [2]).
+//
+// §2.3 of the Escort paper notes that the base Scout demux trusts each
+// module's demux function, and that a pattern-based classifier like
+// PathFinder "would be more appropriate since [it has] more liberal trust
+// assumptions": modules *declare* what their packets look like instead of
+// running code on every arrival.
+//
+// The classifier is a DAG of *cells* — (offset, length, mask, value)
+// comparisons against the raw packet — grouped into *lines* (one line per
+// protocol layer). Lines that share a prefix of cells share DAG nodes, so
+// adding the thousandth TCP connection only adds its distinguishing cells.
+// Longest match wins; each leaf names the path the packet belongs to.
+
+#ifndef SRC_PATH_PATHFINDER_H_
+#define SRC_PATH_PATHFINDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace escort {
+
+class Path;
+
+// One comparison against the packet: packet[offset..offset+length) masked
+// equals value. length is 1, 2 or 4 bytes (network order).
+struct Cell {
+  uint32_t offset = 0;
+  uint8_t length = 1;
+  uint32_t mask = 0xffffffff;
+  uint32_t value = 0;
+
+  bool Matches(const uint8_t* data, size_t size) const;
+  bool operator==(const Cell& other) const {
+    return offset == other.offset && length == other.length && mask == other.mask &&
+           value == other.value;
+  }
+};
+
+// A line: the conjunction of cells contributed by one protocol layer.
+using Line = std::vector<Cell>;
+
+class PathFinder {
+ public:
+  using NodeId = uint32_t;
+  static constexpr NodeId kRoot = 0;
+
+  PathFinder();
+
+  PathFinder(const PathFinder&) = delete;
+  PathFinder& operator=(const PathFinder&) = delete;
+
+  // Inserts a line under `parent`. Lines with identical cells under the
+  // same parent are shared (the PathFinder DAG property). Returns the node
+  // to hang deeper lines (or a target) off.
+  NodeId Insert(NodeId parent, const Line& line);
+
+  // Binds a target path to a node: packets whose deepest match is this
+  // node classify to `target`. `priority` breaks ties among equally deep
+  // matches (higher wins) — e.g. an exact connection pattern outranks the
+  // wildcard listener pattern at the same depth.
+  void Bind(NodeId node, Path* target, int priority = 0);
+
+  // Removes the binding (and prunes now-useless nodes). Used when a
+  // connection closes.
+  void Unbind(NodeId node);
+
+  // Classifies a packet: returns the bound target of the deepest
+  // (highest-priority) matching node, or nullptr.
+  Path* Classify(const uint8_t* data, size_t size) const;
+  Path* Classify(const std::vector<uint8_t>& packet) const {
+    return Classify(packet.data(), packet.size());
+  }
+
+  // Number of cell comparisons performed by the last Classify (the demux
+  // cost driver).
+  uint64_t last_cell_count() const { return last_cells_; }
+  uint64_t classify_count() const { return classifies_; }
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Line line;                      // cells guarding entry to this node
+    std::vector<NodeId> children;   // deeper lines
+    Path* target = nullptr;
+    int priority = 0;
+    bool bound = false;
+    uint32_t refs = 0;  // shared-line reference count
+  };
+
+  void ClassifyFrom(NodeId id, const uint8_t* data, size_t size, int depth, Path** best,
+                    int* best_depth, int* best_priority) const;
+
+  std::vector<Node> nodes_;
+  mutable uint64_t last_cells_ = 0;
+  mutable uint64_t classifies_ = 0;
+};
+
+// Convenience cell builders for the web-server protocol stack (fixed
+// offsets: Ethernet II, IPv4 IHL=5, TCP).
+namespace pattern {
+
+Line EthIpv4();                         // ethertype == 0x0800
+Line EthArp();                          // ethertype == 0x0806
+Line IpTcpTo(uint32_t dst_ip);          // proto TCP && ip.dst == dst_ip
+Line TcpDstPort(uint16_t port);         // tcp.dport == port
+Line TcpSynOnly();                      // SYN set, ACK clear
+Line TcpConn(uint32_t src_ip, uint16_t src_port);  // exact peer (with dst port line above)
+
+}  // namespace pattern
+
+}  // namespace escort
+
+#endif  // SRC_PATH_PATHFINDER_H_

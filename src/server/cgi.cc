@@ -1,0 +1,89 @@
+#include "src/server/cgi.h"
+
+#include "src/path/path_manager.h"
+
+namespace escort {
+
+OpenResult CgiModule::Open(Path* path, const Attributes& attrs) {
+  (void)path;
+  (void)attrs;
+  OpenResult r;
+  r.ok = true;
+  r.next = fs_;
+  return r;
+}
+
+void CgiModule::Process(Stage& stage, Message msg, Direction dir) {
+  ConsumeCost(dir);
+
+  if (dir == Direction::kDown) {
+    // File data / errors pass through on their way back to HTTP.
+    stage.path->ForwardDown(stage, std::move(msg));
+    return;
+  }
+
+  switch (msg.kind) {
+    case MsgKind::kFileRequest:
+      // Static content: pass through to the file system.
+      stage.path->ForwardUp(stage, std::move(msg));
+      return;
+    case MsgKind::kCgiRequest:
+      break;
+    default:
+      return;
+  }
+
+  kernel()->ConsumeCharged(kernel()->costs().cgi_dispatch);
+  ++scripts_;
+  const std::string script = msg.note.rfind("/cgi-bin/", 0) == 0 ? msg.note.substr(9) : msg.note;
+
+  if (script == "loop") {
+    // The attack: a runaway script. The thread never yields; the kernel's
+    // per-owner run budget catches it and the policy removes the path.
+    ++runaways_;
+    StartRunaway(stage.path);
+    return;
+  }
+
+  if (script == "hello") {
+    // A benign script: burn a little CPU, produce output.
+    kernel()->Consume(CyclesFromMicros(200));
+    static const char kBody[] = "Hello from the Escort CGI module\n";
+    Message out =
+        Message::Alloc(kernel(), stage.path, pd(), stage.path->StageDomains(), sizeof(kBody) - 1, 0);
+    if (out.valid()) {
+      out.Append(pd(), kBody, sizeof(kBody) - 1);
+      out.kind = MsgKind::kFileData;
+      stage.path->ForwardDown(stage, std::move(out));
+    }
+    return;
+  }
+
+  Message err = Message::Alloc(kernel(), stage.path, pd(), stage.path->StageDomains(), 1, 0);
+  if (err.valid()) {
+    err.kind = MsgKind::kFileError;
+    stage.path->ForwardDown(stage, std::move(err));
+  }
+}
+
+void CgiModule::StartRunaway(Path* path) {
+  // Self-requeueing, never-yielding work chunks. The closure lives in the
+  // thread's queue and dies with it when the path is killed; `path` and the
+  // thread outlive every queued item.
+  PushRunawayChunk(path->GrabThread(), path);
+}
+
+void CgiModule::PushRunawayChunk(Thread* t, Path* path) {
+  t->Push(runaway_chunk, pd(),
+          [this, t, path] {
+            ++chunks_;
+            if (!path->destroyed()) {
+              PushRunawayChunk(t, path);
+            }
+          },
+          /*yields=*/false);
+}
+
+Cycles CgiModule::ProcessCost(Direction /*dir*/) const { return 800; }
+
+}  // namespace escort

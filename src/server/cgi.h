@@ -1,0 +1,50 @@
+// CGI: the untrusted script-execution module.
+//
+// Placed between HTTP and FS in the active web path so scripts run inside
+// their own protection domain in the Accounting_PD configuration. File
+// traffic passes through transparently. The /cgi-bin/loop target emulates
+// the paper's attack: an infinite-loop thread on the request's path that
+// never yields — detected by the kernel's max-runtime check and removed
+// with pathKill.
+
+#ifndef SRC_SERVER_CGI_H_
+#define SRC_SERVER_CGI_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/path/path.h"
+
+namespace escort {
+
+class CgiModule : public Module {
+ public:
+  CgiModule() : Module("CGI", {ServiceInterface::kFileAccess, ServiceInterface::kAsyncIo}) {}
+
+  void SetNeighbors(Module* fs_above) { fs_ = fs_above; }
+
+  // Work-chunk size of the runaway loop (it re-queues itself with no yield
+  // until the kernel intervenes).
+  Cycles runaway_chunk = CyclesFromMicros(50);
+
+  OpenResult Open(Path* path, const Attributes& attrs) override;
+  void Process(Stage& stage, Message msg, Direction dir) override;
+  Cycles ProcessCost(Direction dir) const override;
+
+  uint64_t scripts_started() const { return scripts_; }
+  uint64_t runaways_started() const { return runaways_; }
+  uint64_t runaway_chunks_run() const { return chunks_; }
+
+ private:
+  void StartRunaway(Path* path);
+  void PushRunawayChunk(Thread* t, Path* path);
+
+  Module* fs_ = nullptr;
+  uint64_t scripts_ = 0;
+  uint64_t runaways_ = 0;
+  uint64_t chunks_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_SERVER_CGI_H_

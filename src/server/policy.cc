@@ -1,0 +1,46 @@
+#include "src/server/policy.h"
+
+#include "src/server/web_server.h"
+
+namespace escort {
+
+BlacklistPolicy::BlacklistPolicy(EscortWebServer* server, Options options)
+    : server_(server), options_(options) {
+  // The penalty passive path: same port, whole Internet, but only reachable
+  // through the demux override, with a tiny budget and tiny tickets.
+  penalty_listener_ = server_->tcp()->Listen(80, Subnet{Ip4Addr{0}, 0});
+  penalty_listener_->penalty = true;
+  penalty_listener_->syn_limit = options_.penalty_syn_limit;
+  penalty_listener_->active_label = "Penalty Path";
+  penalty_listener_->active_tickets = options_.penalty_tickets;
+  penalty_listener_->active_max_run = options_.penalty_max_run;
+
+  server_->tcp()->listener_override = [this](Ip4Addr src) -> TcpListener* {
+    if (IsBlacklisted(src, server_->kernel().now())) {
+      return penalty_listener_;
+    }
+    return nullptr;
+  };
+  server_->set_violation_hook(
+      [this](Ip4Addr addr) { RecordViolation(addr, server_->kernel().now()); });
+}
+
+void BlacklistPolicy::RecordViolation(Ip4Addr addr, Cycles now) {
+  ++violations_;
+  Entry& e = entries_[addr];
+  e.strikes += 1;
+  e.last_violation = now;
+}
+
+bool BlacklistPolicy::IsBlacklisted(Ip4Addr addr, Cycles now) const {
+  auto it = entries_.find(addr);
+  if (it == entries_.end() || it->second.strikes < options_.strikes) {
+    return false;
+  }
+  if (options_.expiry != 0 && now > it->second.last_violation + options_.expiry) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace escort

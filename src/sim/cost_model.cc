@@ -1,0 +1,15 @@
+#include "src/sim/cost_model.h"
+
+namespace escort {
+
+const CostModel& CostModel::Calibrated() {
+  static const CostModel model{};
+  return model;
+}
+
+const NetworkModel& NetworkModel::Calibrated() {
+  static const NetworkModel model{};
+  return model;
+}
+
+}  // namespace escort

@@ -1,0 +1,78 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace escort {
+
+EventQueue::EventId EventQueue::ScheduleAt(Cycles when, Callback fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  EventId id = next_id_++;
+  cancelled_.push_back(false);
+  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (id >= cancelled_.size() || cancelled_[id]) {
+    return false;
+  }
+  cancelled_[id] = true;
+  if (live_count_ > 0) {
+    --live_count_;
+  }
+  return true;
+}
+
+void EventQueue::SkipCancelled() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+    heap_.pop();
+  }
+}
+
+bool EventQueue::Step() {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  // Move the callback out before popping so the event can reschedule itself.
+  Event ev = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  cancelled_[ev.id] = true;  // mark consumed so Cancel() on a fired id fails
+  --live_count_;
+  now_ = ev.when;
+  ++fired_count_;
+  ev.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(Cycles deadline) {
+  for (;;) {
+    SkipCancelled();
+    if (heap_.empty() || heap_.top().when > deadline) {
+      break;
+    }
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+void EventQueue::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+bool EventQueue::PeekNext(Cycles* when) const {
+  SkipCancelled();
+  if (heap_.empty()) {
+    return false;
+  }
+  *when = heap_.top().when;
+  return true;
+}
+
+}  // namespace escort

@@ -1,0 +1,92 @@
+// Discrete-event queue: the single source of simulated time.
+//
+// Every actor in the system (the server CPU, network links, the disk, client
+// machines) schedules callbacks at absolute cycle times. Events at equal
+// times fire in scheduling order (FIFO), which keeps runs deterministic.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace escort {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = uint64_t;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Current simulated time. Only advances inside RunUntil/Step.
+  Cycles now() const { return now_; }
+
+  // Stable reference to the clock, for components that need to observe time
+  // without holding the whole queue (e.g. the EDF scheduler).
+  const Cycles& now_ref() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when`. Times in the past are
+  // clamped to `now()`. Returns an id usable with Cancel().
+  EventId ScheduleAt(Cycles when, Callback fn);
+
+  // Schedules `fn` to run `delay` cycles from now.
+  EventId ScheduleAfter(Cycles delay, Callback fn) { return ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Cancels a pending event. Returns false if it already fired or was
+  // cancelled. Cancellation is O(1); the slot is dropped lazily on pop.
+  bool Cancel(EventId id);
+
+  // Fires the next pending event, advancing time to its deadline.
+  // Returns false if the queue is empty.
+  bool Step();
+
+  // Runs events until `deadline` (inclusive). Time is left at `deadline`
+  // even if the queue drains earlier.
+  void RunUntil(Cycles deadline);
+
+  // Runs until no events remain.
+  void RunToCompletion();
+
+  // Time of the earliest pending event; returns false via `ok` if none.
+  bool PeekNext(Cycles* when) const;
+
+  bool empty() const { return live_count_ == 0; }
+  size_t pending() const { return live_count_; }
+  uint64_t fired_count() const { return fired_count_; }
+
+ private:
+  struct Event {
+    Cycles when;
+    uint64_t seq;
+    EventId id;
+    Callback fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Skips over cancelled entries at the head of the heap.
+  void SkipCancelled() const;
+
+  mutable std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  mutable std::vector<bool> cancelled_;  // indexed by EventId
+  Cycles now_ = 0;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 0;
+  size_t live_count_ = 0;
+  uint64_t fired_count_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

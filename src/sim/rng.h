@@ -1,0 +1,39 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// All stochastic choices in the simulation (client think times, attacker
+// jitter) draw from explicitly seeded Rng instances so experiments are
+// reproducible bit-for-bit.
+
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace escort {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Exponentially distributed with the given mean (for Poisson arrivals).
+  double NextExponential(double mean);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace escort
+
+#endif  // SRC_SIM_RNG_H_

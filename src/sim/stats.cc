@@ -1,0 +1,68 @@
+#include "src/sim/stats.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace escort {
+
+double Samples::Mean() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return std::accumulate(values_.begin(), values_.end(), 0.0) / static_cast<double>(values_.size());
+}
+
+double Samples::Min() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::Max() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::Percentile(double p) const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Samples::StdDev() const {
+  if (values_.size() < 2) {
+    return 0.0;
+  }
+  double mean = Mean();
+  double sum = 0.0;
+  for (double v : values_) {
+    sum += (v - mean) * (v - mean);
+  }
+  return std::sqrt(sum / static_cast<double>(values_.size() - 1));
+}
+
+std::string WithCommas(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace escort

@@ -1,0 +1,37 @@
+// Basic time and identifier types for the Escort simulation substrate.
+//
+// The entire system is timed in CPU cycles of the simulated server processor,
+// matching the paper's presentation (all micro-results are given in cycles on
+// a 300 MHz AlphaPC 21064).
+
+#ifndef SRC_SIM_TYPES_H_
+#define SRC_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace escort {
+
+// Simulated time, measured in CPU cycles of the server processor.
+using Cycles = uint64_t;
+
+// Frequency of the simulated server CPU (300 MHz AlphaPC 21064).
+inline constexpr Cycles kCpuHz = 300'000'000;
+
+// Converts between wall-clock units and cycles at kCpuHz.
+constexpr Cycles CyclesFromSeconds(double seconds) {
+  return static_cast<Cycles>(seconds * static_cast<double>(kCpuHz));
+}
+
+constexpr Cycles CyclesFromMillis(double ms) { return CyclesFromSeconds(ms / 1e3); }
+
+constexpr Cycles CyclesFromMicros(double us) { return CyclesFromSeconds(us / 1e6); }
+
+constexpr double SecondsFromCycles(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kCpuHz);
+}
+
+constexpr double MillisFromCycles(Cycles c) { return SecondsFromCycles(c) * 1e3; }
+
+}  // namespace escort
+
+#endif  // SRC_SIM_TYPES_H_

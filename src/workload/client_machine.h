@@ -1,0 +1,153 @@
+// Client machines: the PentiumPro workstations of the testbed.
+//
+// Each machine owns a MAC/IP, answers ARP, and multiplexes TCP connections
+// by local port. The client-side TCP (TcpPeer) is a deliberately small,
+// independent implementation — it interoperates with the server's TCP
+// module over real frames, which cross-checks both codecs and state
+// machines. Client-side compute is modelled as fixed delays; client
+// machines are never the bottleneck (one logical client per machine, as in
+// the paper).
+
+#ifndef SRC_WORKLOAD_CLIENT_MACHINE_H_
+#define SRC_WORKLOAD_CLIENT_MACHINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/workload/network.h"
+#include "src/workload/wire.h"
+
+namespace escort {
+
+class ClientMachine;
+
+class TcpPeer {
+ public:
+  struct Callbacks {
+    std::function<void()> on_connected;
+    std::function<void(const std::vector<uint8_t>&)> on_data;
+    std::function<void()> on_closed;  // graceful close completed
+    std::function<void()> on_failed;  // gave up (retransmit limit)
+  };
+
+  enum class State { kClosed, kSynSent, kEstablished, kCloseWait, kLastAck, kFinWait1, kFinWait2, kTimeWait, kFailed };
+
+  State state() const { return state_; }
+  uint16_t local_port() const { return local_port_; }
+  uint64_t bytes_received() const { return bytes_received_; }
+  int retransmits() const { return retransmits_; }
+
+  void Connect();
+  void SendData(const std::vector<uint8_t>& bytes);  // one segment worth
+  void Close();                                      // active close
+  void Abort();                                      // silent abandon
+
+  // ACK coalescing: acknowledge every n-th data segment (plus a delayed
+  // ACK for the tail). Streaming receivers set this above 1.
+  int ack_every = 1;
+  Cycles delayed_ack = CyclesFromMillis(2.0);
+
+ private:
+  friend class ClientMachine;
+
+  TcpPeer(ClientMachine* machine, uint16_t local_port, Ip4Addr remote, uint16_t remote_port,
+          uint32_t iss, Callbacks cbs)
+      : machine_(machine),
+        local_port_(local_port),
+        remote_(remote),
+        remote_port_(remote_port),
+        iss_(iss),
+        snd_nxt_(iss),
+        cbs_(std::move(cbs)) {}
+
+  void OnSegment(const TcpHeader& hdr, const std::vector<uint8_t>& payload);
+  void SendFlags(uint8_t flags, uint32_t seq, const std::vector<uint8_t>& payload);
+  void ArmTimer();
+  void CancelTimer();
+  void OnTimer();
+  void Fail();
+
+  ClientMachine* const machine_;
+  const uint16_t local_port_;
+  const Ip4Addr remote_;
+  const uint16_t remote_port_;
+  const uint32_t iss_;
+
+  State state_ = State::kClosed;
+  uint32_t snd_nxt_;
+  uint32_t snd_una_ = 0;
+  uint32_t rcv_nxt_ = 0;
+  bool fin_sent_ = false;
+  uint32_t fin_seq_ = 0;
+  uint64_t bytes_received_ = 0;
+  int retransmits_ = 0;
+
+  // Last thing we sent, for the (simple) client retransmit.
+  uint8_t last_flags_ = 0;
+  uint32_t last_seq_ = 0;
+  std::vector<uint8_t> last_payload_;
+
+  uint64_t timer_id_ = 0;
+  bool timer_armed_ = false;
+  int unacked_segments_ = 0;
+  bool delack_pending_ = false;
+
+  Callbacks cbs_;
+};
+
+class ClientMachine : public NetEndpoint {
+ public:
+  ClientMachine(EventQueue* eq, SharedLink* link, MacAddr mac, Ip4Addr ip, NetworkModel model,
+                uint64_t seed);
+  ~ClientMachine() override;
+
+  EventQueue* eq() { return eq_; }
+  MacAddr mac() const { return mac_; }
+  Ip4Addr ip() const { return ip_; }
+  Rng& rng() { return rng_; }
+  const NetworkModel& model() const { return model_; }
+
+  void AddArpEntry(Ip4Addr ip, MacAddr mac) { arp_[ip] = mac; }
+
+  // Opens a connection object (does not send the SYN; call Connect()).
+  TcpPeer* OpenConnection(Ip4Addr remote, uint16_t remote_port, TcpPeer::Callbacks cbs);
+  void ReleaseConnection(TcpPeer* peer);
+
+  // NetEndpoint
+  void DeliverFrame(const std::vector<uint8_t>& frame) override;
+
+  // Sends a raw frame onto the wire (also used by the SYN attacker).
+  void Transmit(std::vector<uint8_t> frame) { link_->Send(mac_, std::move(frame)); }
+
+  // Client-side TCP knobs.
+  Cycles retransmit_timeout = CyclesFromMillis(1000);
+  int max_retransmits = 4;
+
+  uint64_t frames_received() const { return frames_rx_; }
+
+ private:
+  friend class TcpPeer;
+
+  void SendTcp(TcpPeer* peer, uint8_t flags, uint32_t seq, uint32_t ack,
+               const std::vector<uint8_t>& payload);
+
+  EventQueue* const eq_;
+  SharedLink* const link_;
+  const MacAddr mac_;
+  const Ip4Addr ip_;
+  const NetworkModel model_;
+  Rng rng_;
+
+  std::map<Ip4Addr, MacAddr> arp_;
+  std::map<uint16_t, std::unique_ptr<TcpPeer>> conns_;
+  uint16_t next_port_ = 4096;
+  uint64_t frames_rx_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_WORKLOAD_CLIENT_MACHINE_H_

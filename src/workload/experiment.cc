@@ -1,0 +1,238 @@
+#include "src/workload/experiment.h"
+
+#include <cstdlib>
+
+namespace escort {
+
+double EnvSeconds(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  double parsed = std::atof(v);
+  return parsed > 0 ? parsed : fallback;
+}
+
+namespace {
+
+// Fixed testbed addressing (Figure 7).
+const Ip4Addr kServerIp = Ip4Addr::FromOctets(10, 0, 0, 1);
+const MacAddr kServerMac = MacAddr::FromIndex(1);
+const Ip4Addr kQosIp = Ip4Addr::FromOctets(10, 0, 2, 1);
+const Ip4Addr kSynAttackerIp = Ip4Addr::FromOctets(192, 168, 9, 9);
+
+Ip4Addr ClientIp(int i) {
+  return Ip4Addr::FromOctets(10, 0, 1, static_cast<uint8_t>(1 + i));
+}
+Ip4Addr CgiAttackerIp(int i) {
+  return Ip4Addr::FromOctets(10, 0, 3, static_cast<uint8_t>(1 + i));
+}
+
+struct Testbed {
+  EventQueue eq;
+  std::unique_ptr<SharedLink> link;
+  std::unique_ptr<EscortWebServer> server;
+  std::unique_ptr<MonolithicServer> linux_server;
+  std::vector<std::unique_ptr<ClientMachine>> machines;
+  std::vector<std::unique_ptr<HttpClient>> clients;
+  std::vector<std::unique_ptr<CgiAttacker>> cgi_attackers;
+  std::unique_ptr<SynAttacker> syn_attacker;
+  std::unique_ptr<ClientMachine> qos_machine;
+  std::unique_ptr<QosReceiver> qos_receiver;
+  RateMeter completions;
+};
+
+std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
+  auto tb = std::make_unique<Testbed>();
+  tb->link = std::make_unique<SharedLink>(&tb->eq, NetworkModel::Calibrated());
+
+  if (spec.linux_server) {
+    tb->linux_server =
+        std::make_unique<MonolithicServer>(&tb->eq, tb->link.get(), kServerMac, kServerIp,
+                                           spec.server_options.costs);
+    for (const auto& doc : spec.server_options.documents) {
+      tb->linux_server->AddDocument(doc.name, doc.size);
+    }
+  } else {
+    WebServerOptions opts = spec.server_options;
+    opts.config = spec.config;
+    opts.mac = kServerMac;
+    opts.ip = kServerIp;
+    tb->server = std::make_unique<EscortWebServer>(&tb->eq, tb->link.get(), opts);
+  }
+
+  auto add_machine = [&](Ip4Addr ip, uint64_t mac_index, uint64_t seed) {
+    auto machine = std::make_unique<ClientMachine>(&tb->eq, tb->link.get(),
+                                                   MacAddr::FromIndex(mac_index), ip,
+                                                   NetworkModel::Calibrated(), seed);
+    machine->AddArpEntry(kServerIp, kServerMac);
+    if (tb->server != nullptr) {
+      tb->server->AddArpEntry(ip, machine->mac());
+    }
+    tb->machines.push_back(std::move(machine));
+    return tb->machines.back().get();
+  };
+
+  // Regular clients.
+  for (int i = 0; i < spec.clients; ++i) {
+    ClientMachine* m = add_machine(ClientIp(i), 100 + static_cast<uint64_t>(i),
+                                   0xc11e47 + static_cast<uint64_t>(i));
+    auto client = std::make_unique<HttpClient>(m, kServerIp, spec.doc);
+    client->set_meter(&tb->completions);
+    client->Start(CyclesFromMillis(static_cast<double>(i % 37) * 0.9));
+    tb->clients.push_back(std::move(client));
+  }
+
+  // CGI attackers (trusted subnet, like regular clients).
+  for (int i = 0; i < spec.cgi_attackers; ++i) {
+    ClientMachine* m = add_machine(CgiAttackerIp(i), 200 + static_cast<uint64_t>(i),
+                                   0xa77acc + static_cast<uint64_t>(i));
+    auto attacker = std::make_unique<CgiAttacker>(m, kServerIp);
+    attacker->Start(CyclesFromMillis(5.0 + static_cast<double>(i % 50) * 19.0));
+    tb->cgi_attackers.push_back(std::move(attacker));
+  }
+
+  // QoS stream.
+  if (spec.qos_stream) {
+    tb->qos_machine = std::make_unique<ClientMachine>(&tb->eq, tb->link.get(),
+                                                      MacAddr::FromIndex(50), kQosIp,
+                                                      NetworkModel::Calibrated(), 0x9075ULL);
+    tb->qos_machine->AddArpEntry(kServerIp, kServerMac);
+    if (tb->server != nullptr) {
+      tb->server->AddArpEntry(kQosIp, tb->qos_machine->mac());
+    }
+    tb->qos_receiver = std::make_unique<QosReceiver>(tb->qos_machine.get(), kServerIp);
+    tb->qos_receiver->Start(CyclesFromMillis(3.0));
+  }
+
+  // SYN attacker (untrusted subnet).
+  if (spec.syn_attack_rate > 0) {
+    MacAddr amac = MacAddr::FromIndex(60);
+    tb->syn_attacker = std::make_unique<SynAttacker>(&tb->eq, tb->link.get(), amac,
+                                                     kSynAttackerIp, kServerIp, kServerMac,
+                                                     spec.syn_attack_rate);
+    // The attacker is not attached to the link: SYN-ACKs to it vanish,
+    // exactly like replies to a spoofed source.
+    tb->syn_attacker->Start(CyclesFromMillis(1.0));
+  }
+
+  return tb;
+}
+
+}  // namespace
+
+ExperimentResult RunExperiment(const ExperimentSpec& spec) {
+  double warmup_s = EnvSeconds("ESCORT_WARMUP_S", spec.warmup_s);
+  double window_s = EnvSeconds("ESCORT_WINDOW_S", spec.window_s);
+
+  auto tb = BuildTestbed(spec);
+  EventQueue& eq = tb->eq;
+
+  eq.RunUntil(CyclesFromSeconds(warmup_s));
+
+  Cycles window_start = eq.now();
+  tb->completions.OpenWindow(window_start);
+  if (tb->qos_receiver != nullptr) {
+    tb->qos_receiver->meter().OpenWindow(window_start);
+  }
+  if (tb->server != nullptr) {
+    tb->server->kernel().ResetAccounting();
+  }
+
+  eq.RunUntil(window_start + CyclesFromSeconds(window_s));
+  Cycles window_end = eq.now();
+
+  ExperimentResult r;
+  r.conns_per_sec = tb->completions.CloseWindow(window_end);
+  r.completions_total = tb->completions.total();
+  r.window_cycles = window_end - window_start;
+  if (tb->qos_receiver != nullptr) {
+    r.qos_bytes_per_sec = tb->qos_receiver->meter().CloseWindowBytesPerSec(window_end);
+  }
+  for (const auto& c : tb->clients) {
+    r.client_failures += c->failed();
+  }
+  if (tb->syn_attacker != nullptr) {
+    r.syns_sent = tb->syn_attacker->syns_sent();
+  }
+  if (tb->server != nullptr) {
+    EscortWebServer& s = *tb->server;
+    r.paths_killed = s.paths_killed();
+    r.runaway_detections = s.kernel().runaway_detections();
+    r.kill_cost_mean = s.kill_cost_cycles().Mean();
+    r.ledger = s.kernel().Snapshot();
+    r.pd_crossings = s.kernel().pd_crossings();
+    r.accounting_overhead = s.kernel().accounting_overhead_cycles();
+    for (const auto& l : s.tcp()->listeners()) {
+      r.syns_dropped_at_demux += l->syns_dropped_at_demux;
+    }
+  }
+  return r;
+}
+
+AccuracyResult RunAccountingAccuracy(ServerConfig config, uint64_t requests) {
+  ExperimentSpec spec;
+  spec.config = config;
+  spec.clients = 0;
+
+  auto tb = BuildTestbed(spec);
+  EventQueue& eq = tb->eq;
+
+  // One serial client, driven manually so we can bracket exactly N
+  // requests. The serial-measurement client is fast (the paper's
+  // micro-measurement host), so idle time reflects the wire, not a slow
+  // client.
+  NetworkModel fast_client = NetworkModel::Calibrated();
+  fast_client.client_processing = CyclesFromMicros(250);
+  auto machine = std::make_unique<ClientMachine>(&eq, tb->link.get(), MacAddr::FromIndex(100),
+                                                 ClientIp(0), fast_client, 0x7ab1e1);
+  machine->AddArpEntry(kServerIp, kServerMac);
+  tb->server->AddArpEntry(ClientIp(0), machine->mac());
+  HttpClient client(machine.get(), kServerIp, "/doc1b");
+
+  // Warm caches with a handful of requests first.
+  client.max_requests = 5;
+  client.Start();
+  while (client.completed() < 5 && eq.Step()) {
+  }
+  // Let in-flight teardown settle.
+  eq.RunUntil(eq.now() + CyclesFromMillis(50));
+
+  tb->server->kernel().ResetAccounting();
+  Cycles start = eq.now();
+  client.max_requests = 5 + requests;
+  client.Start();
+  while (client.completed() < 5 + requests && eq.Step()) {
+  }
+  Cycles end = client.last_completion() != 0 ? client.last_completion() : eq.now();
+
+  AccuracyResult res;
+  res.requests = requests;
+  res.ledger = tb->server->kernel().Snapshot();
+  res.total_measured = end - start;
+  return res;
+}
+
+KillCostResult RunKillCost(ServerConfig config, int attacks) {
+  ExperimentSpec spec;
+  spec.config = config;
+  spec.clients = 0;
+  spec.cgi_attackers = 1;
+
+  auto tb = BuildTestbed(spec);
+  EventQueue& eq = tb->eq;
+  Cycles deadline = CyclesFromSeconds(static_cast<double>(attacks) + 2.0);
+  while (tb->server->paths_killed() < static_cast<uint64_t>(attacks) && eq.now() < deadline) {
+    if (!eq.Step()) {
+      break;
+    }
+  }
+  KillCostResult res;
+  res.kills = tb->server->paths_killed();
+  res.mean_cycles = tb->server->kill_cost_cycles().Mean();
+  res.min_cycles = tb->server->kill_cost_cycles().Min();
+  res.max_cycles = tb->server->kill_cost_cycles().Max();
+  return res;
+}
+
+}  // namespace escort

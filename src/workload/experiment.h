@@ -1,0 +1,76 @@
+// Experiment harness: builds the Figure 7 testbed, applies load, and
+// measures using the paper's protocol (warm-up, then a fixed measurement
+// window; the paper used 60 s + 10 s averages, scaled down here and
+// overridable through ESCORT_WARMUP_S / ESCORT_WINDOW_S).
+
+#ifndef SRC_WORKLOAD_EXPERIMENT_H_
+#define SRC_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/server/monolithic_server.h"
+#include "src/server/web_server.h"
+#include "src/workload/http_client.h"
+
+namespace escort {
+
+struct ExperimentSpec {
+  bool linux_server = false;               // use the Apache/Linux comparator
+  ServerConfig config = ServerConfig::kAccounting;
+  int clients = 1;
+  std::string doc = "/doc1b";
+  bool qos_stream = false;
+  double syn_attack_rate = 0.0;            // SYNs/s from the untrusted subnet
+  int cgi_attackers = 0;                   // one attack/s each
+  double warmup_s = 0.6;
+  double window_s = 2.0;
+  WebServerOptions server_options;         // config/scheduler filled in by Run
+};
+
+struct ExperimentResult {
+  double conns_per_sec = 0.0;
+  double qos_bytes_per_sec = 0.0;
+  uint64_t completions_total = 0;
+  uint64_t client_failures = 0;
+  uint64_t paths_killed = 0;
+  uint64_t syns_dropped_at_demux = 0;
+  uint64_t syns_sent = 0;
+  uint64_t runaway_detections = 0;
+  double kill_cost_mean = 0.0;
+  CycleLedger ledger;       // cycles by account label over the window
+  Cycles window_cycles = 0;  // elapsed cycles in the window
+  uint64_t pd_crossings = 0;
+  Cycles accounting_overhead = 0;
+};
+
+// Scale factors from the environment (ESCORT_WARMUP_S / ESCORT_WINDOW_S),
+// for quick runs vs full fidelity.
+double EnvSeconds(const char* name, double fallback);
+
+// The full testbed: server + clients + optional attackers/QoS stream.
+ExperimentResult RunExperiment(const ExperimentSpec& spec);
+
+// Table 1: N serial one-byte requests against an otherwise idle server;
+// returns the ledger covering exactly those requests.
+struct AccuracyResult {
+  CycleLedger ledger;
+  Cycles total_measured = 0;
+  uint64_t requests = 0;
+};
+AccuracyResult RunAccountingAccuracy(ServerConfig config, uint64_t requests = 100);
+
+// Table 2: launch runaway-CGI attacks and report the measured pathKill
+// reclamation cost.
+struct KillCostResult {
+  double mean_cycles = 0.0;
+  double min_cycles = 0.0;
+  double max_cycles = 0.0;
+  uint64_t kills = 0;
+};
+KillCostResult RunKillCost(ServerConfig config, int attacks = 10);
+
+}  // namespace escort
+
+#endif  // SRC_WORKLOAD_EXPERIMENT_H_

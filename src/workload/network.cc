@@ -1,0 +1,69 @@
+#include "src/workload/network.h"
+
+#include <algorithm>
+
+namespace escort {
+
+void SharedLink::Attach(const MacAddr& mac, NetEndpoint* endpoint, Cycles extra_latency) {
+  ports_[mac] = Port{endpoint, extra_latency};
+}
+
+void SharedLink::Detach(const MacAddr& mac) { ports_.erase(mac); }
+
+Cycles SharedLink::SerializationTime(size_t frame_bytes) const {
+  // Preamble + IFG + CRC overhead on the wire; 64-byte minimum frame.
+  size_t wire_bytes = std::max<size_t>(frame_bytes + 24, 84);
+  double secs = static_cast<double>(wire_bytes * 8) / model_.link_bandwidth_bps;
+  return CyclesFromSeconds(secs);
+}
+
+void SharedLink::Send(const MacAddr& src, std::vector<uint8_t> frame) {
+  if (frame.size() < 14) {
+    return;
+  }
+  if (drop_every_ != 0 && (frames_ + 1) % drop_every_ == 0) {
+    ++frames_;
+    ++dropped_;
+    return;
+  }
+  MacAddr dst;
+  std::copy_n(frame.begin(), 6, dst.bytes.begin());
+
+  Cycles tx = SerializationTime(frame.size());
+  Cycles start = std::max(eq_->now(), medium_free_);
+  medium_free_ = start + tx;
+  busy_cycles_ += tx;
+  ++frames_;
+  bytes_ += frame.size();
+
+  auto deliver = [this, src, dst](std::vector<uint8_t> bytes, Cycles at) {
+    if (dst.IsBroadcast()) {
+      for (auto& [mac, port] : ports_) {
+        if (mac == src) {
+          continue;
+        }
+        NetEndpoint* ep = port.endpoint;
+        eq_->ScheduleAt(at + port.extra_latency,
+                        [ep, bytes] { ep->DeliverFrame(bytes); });
+      }
+      return;
+    }
+    auto it = ports_.find(dst);
+    if (it == ports_.end()) {
+      return;
+    }
+    NetEndpoint* ep = it->second.endpoint;
+    eq_->ScheduleAt(at + it->second.extra_latency,
+                    [ep, bytes = std::move(bytes)] { ep->DeliverFrame(bytes); });
+  };
+  deliver(std::move(frame), medium_free_);
+}
+
+double SharedLink::utilization(Cycles window_start, Cycles window_end) const {
+  if (window_end <= window_start) {
+    return 0.0;
+  }
+  return static_cast<double>(busy_cycles_) / static_cast<double>(window_end - window_start);
+}
+
+}  // namespace escort

@@ -1,0 +1,74 @@
+// The simulated testbed network (paper Figure 7).
+//
+// One shared 100 Mbps Ethernet segment connects the server, the QoS
+// receiver, the SYN attacker, and (through the switch + hub, which we fold
+// into per-endpoint latency) the client/attacker machines. The segment
+// serializes transmissions (a busy medium delays later frames) so the QoS
+// stream competes with client traffic for wire capacity exactly as in the
+// paper's topology.
+
+#ifndef SRC_WORKLOAD_NETWORK_H_
+#define SRC_WORKLOAD_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/elib/address.h"
+#include "src/sim/cost_model.h"
+#include "src/sim/event_queue.h"
+
+namespace escort {
+
+class NetEndpoint {
+ public:
+  virtual ~NetEndpoint() = default;
+  virtual void DeliverFrame(const std::vector<uint8_t>& frame) = 0;
+};
+
+class SharedLink {
+ public:
+  SharedLink(EventQueue* eq, NetworkModel model) : eq_(eq), model_(model) {}
+
+  SharedLink(const SharedLink&) = delete;
+  SharedLink& operator=(const SharedLink&) = delete;
+
+  void Attach(const MacAddr& mac, NetEndpoint* endpoint, Cycles extra_latency = 0);
+  void Detach(const MacAddr& mac);
+
+  // Transmits a frame. Unicast goes to the owner of the destination MAC;
+  // broadcast goes to everyone except the sender. Delivery happens after
+  // the medium frees up + serialization + latency.
+  void Send(const MacAddr& src, std::vector<uint8_t> frame);
+
+  // Test hook: drop every n-th frame (0 = no loss).
+  void set_drop_every(uint64_t n) { drop_every_ = n; }
+
+  uint64_t frames_sent() const { return frames_; }
+  uint64_t bytes_sent() const { return bytes_; }
+  uint64_t frames_dropped() const { return dropped_; }
+  double utilization(Cycles window_start, Cycles window_end) const;
+
+ private:
+  struct Port {
+    NetEndpoint* endpoint = nullptr;
+    Cycles extra_latency = 0;
+  };
+
+  Cycles SerializationTime(size_t frame_bytes) const;
+
+  EventQueue* const eq_;
+  const NetworkModel model_;
+  std::map<MacAddr, Port, bool (*)(const MacAddr&, const MacAddr&)> ports_{
+      [](const MacAddr& a, const MacAddr& b) { return a.bytes < b.bytes; }};
+  Cycles medium_free_ = 0;
+  uint64_t frames_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t drop_every_ = 0;
+  Cycles busy_cycles_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_WORKLOAD_NETWORK_H_

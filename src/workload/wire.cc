@@ -1,0 +1,153 @@
+#include "src/workload/wire.h"
+
+#include <cstring>
+
+#include "src/elib/byte_io.h"
+
+namespace escort {
+
+namespace {
+
+uint32_t PseudoSum(Ip4Addr src, Ip4Addr dst, uint16_t tcp_len) {
+  uint8_t pseudo[12];
+  PutU32(pseudo, src.value);
+  PutU32(pseudo + 4, dst.value);
+  pseudo[8] = 0;
+  pseudo[9] = kIpProtoTcp;
+  PutU16(pseudo + 10, tcp_len);
+  return ChecksumPartial(pseudo, sizeof(pseudo));
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildTcpFrame(const MacAddr& src_mac, const MacAddr& dst_mac, Ip4Addr src_ip,
+                                   Ip4Addr dst_ip, const TcpHeader& tcp,
+                                   const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> f(kEthHeaderLen + kIpHeaderLen + kTcpHeaderLen + payload.size(), 0);
+  uint8_t* p = f.data();
+
+  // Ethernet
+  std::memcpy(p, dst_mac.bytes.data(), 6);
+  std::memcpy(p + 6, src_mac.bytes.data(), 6);
+  PutU16(p + 12, kEtherTypeIp);
+
+  // IPv4
+  uint8_t* ip = p + kEthHeaderLen;
+  ip[0] = 0x45;
+  PutU16(ip + 2, static_cast<uint16_t>(kIpHeaderLen + kTcpHeaderLen + payload.size()));
+  PutU16(ip + 4, 0);
+  ip[8] = 64;
+  ip[9] = kIpProtoTcp;
+  PutU32(ip + 12, src_ip.value);
+  PutU32(ip + 16, dst_ip.value);
+  PutU16(ip + 10, InternetChecksum(ip, kIpHeaderLen));
+
+  // TCP
+  uint8_t* t = ip + kIpHeaderLen;
+  PutU16(t, tcp.src_port);
+  PutU16(t + 2, tcp.dst_port);
+  PutU32(t + 4, tcp.seq);
+  PutU32(t + 8, tcp.ack);
+  t[12] = 5 << 4;
+  t[13] = tcp.flags;
+  PutU16(t + 14, tcp.window);
+  if (!payload.empty()) {
+    std::memcpy(t + kTcpHeaderLen, payload.data(), payload.size());
+  }
+  uint16_t tcp_len = static_cast<uint16_t>(kTcpHeaderLen + payload.size());
+  uint32_t acc = PseudoSum(src_ip, dst_ip, tcp_len);
+  acc = ChecksumPartial(t, tcp_len, acc);
+  while (acc >> 16) {
+    acc = (acc & 0xffff) + (acc >> 16);
+  }
+  PutU16(t + 16, static_cast<uint16_t>(~acc));
+  return f;
+}
+
+std::vector<uint8_t> BuildArpFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                                   const ArpPacket& arp) {
+  std::vector<uint8_t> f(kEthHeaderLen + kArpPacketLen, 0);
+  uint8_t* p = f.data();
+  std::memcpy(p, dst_mac.bytes.data(), 6);
+  std::memcpy(p + 6, src_mac.bytes.data(), 6);
+  PutU16(p + 12, kEtherTypeArp);
+  uint8_t* a = p + kEthHeaderLen;
+  PutU16(a, 1);
+  PutU16(a + 2, kEtherTypeIp);
+  a[4] = 6;
+  a[5] = 4;
+  PutU16(a + 6, arp.opcode);
+  std::memcpy(a + 8, arp.sender_mac.bytes.data(), 6);
+  PutU32(a + 14, arp.sender_ip.value);
+  std::memcpy(a + 18, arp.target_mac.bytes.data(), 6);
+  PutU32(a + 24, arp.target_ip.value);
+  return f;
+}
+
+std::optional<WireFrame> ParseFrame(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kEthHeaderLen) {
+    return std::nullopt;
+  }
+  WireFrame f;
+  const uint8_t* p = bytes.data();
+  std::memcpy(f.eth.dst.bytes.data(), p, 6);
+  std::memcpy(f.eth.src.bytes.data(), p + 6, 6);
+  f.eth.ethertype = GetU16(p + 12);
+
+  if (f.eth.ethertype == kEtherTypeArp) {
+    if (bytes.size() < kEthHeaderLen + kArpPacketLen) {
+      return std::nullopt;
+    }
+    const uint8_t* a = p + kEthHeaderLen;
+    f.is_arp = true;
+    f.arp.opcode = GetU16(a + 6);
+    std::memcpy(f.arp.sender_mac.bytes.data(), a + 8, 6);
+    f.arp.sender_ip.value = GetU32(a + 14);
+    std::memcpy(f.arp.target_mac.bytes.data(), a + 18, 6);
+    f.arp.target_ip.value = GetU32(a + 24);
+    return f;
+  }
+
+  if (f.eth.ethertype != kEtherTypeIp || bytes.size() < kEthHeaderLen + kIpHeaderLen) {
+    return std::nullopt;
+  }
+  const uint8_t* ip = p + kEthHeaderLen;
+  if ((ip[0] >> 4) != 4 || (ip[0] & 0xf) != 5) {
+    return std::nullopt;
+  }
+  f.ip.total_length = GetU16(ip + 2);
+  f.ip.ttl = ip[8];
+  f.ip.protocol = ip[9];
+  f.ip.src.value = GetU32(ip + 12);
+  f.ip.dst.value = GetU32(ip + 16);
+  f.ip.checksum_ok = InternetChecksum(ip, kIpHeaderLen) == 0;
+  if (f.ip.protocol != kIpProtoTcp) {
+    return f;
+  }
+  if (bytes.size() < kEthHeaderLen + kIpHeaderLen + kTcpHeaderLen ||
+      f.ip.total_length < kIpHeaderLen + kTcpHeaderLen) {
+    return std::nullopt;
+  }
+  const uint8_t* t = ip + kIpHeaderLen;
+  f.is_tcp = true;
+  f.tcp.src_port = GetU16(t);
+  f.tcp.dst_port = GetU16(t + 2);
+  f.tcp.seq = GetU32(t + 4);
+  f.tcp.ack = GetU32(t + 8);
+  f.tcp.flags = t[13];
+  f.tcp.window = GetU16(t + 14);
+  uint16_t tcp_len = static_cast<uint16_t>(f.ip.total_length - kIpHeaderLen);
+  if (kEthHeaderLen + kIpHeaderLen + tcp_len > bytes.size()) {
+    return std::nullopt;
+  }
+  uint32_t acc = PseudoSum(f.ip.src, f.ip.dst, tcp_len);
+  acc = ChecksumPartial(t, tcp_len, acc);
+  while (acc >> 16) {
+    acc = (acc & 0xffff) + (acc >> 16);
+  }
+  f.tcp.checksum_ok = static_cast<uint16_t>(~acc) == 0;
+  f.payload.assign(t + kTcpHeaderLen, t + tcp_len);
+  return f;
+}
+
+}  // namespace escort

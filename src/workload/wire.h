@@ -1,0 +1,45 @@
+// Raw-frame builders/parsers for the client machines.
+//
+// Client machines live outside the server under test, so they do not use
+// kernel IOBuffers; they build and parse frames as plain byte vectors. The
+// implementation is deliberately independent of src/net/headers.cc — the
+// two codecs cross-check each other in the interop tests.
+
+#ifndef SRC_WORKLOAD_WIRE_H_
+#define SRC_WORKLOAD_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/elib/address.h"
+#include "src/net/headers.h"
+
+namespace escort {
+
+struct WireFrame {
+  EthHeader eth;
+  Ip4Header ip;
+  TcpHeader tcp;
+  std::vector<uint8_t> payload;
+  bool is_tcp = false;
+  bool is_arp = false;
+  ArpPacket arp;
+};
+
+// Builds a complete Ethernet+IPv4+TCP frame with correct checksums.
+std::vector<uint8_t> BuildTcpFrame(const MacAddr& src_mac, const MacAddr& dst_mac, Ip4Addr src_ip,
+                                   Ip4Addr dst_ip, const TcpHeader& tcp,
+                                   const std::vector<uint8_t>& payload);
+
+// Builds an Ethernet+ARP frame.
+std::vector<uint8_t> BuildArpFrame(const MacAddr& src_mac, const MacAddr& dst_mac,
+                                   const ArpPacket& arp);
+
+// Parses a frame; returns nullopt on malformed input. Checksums are
+// verified and reported in the embedded headers.
+std::optional<WireFrame> ParseFrame(const std::vector<uint8_t>& bytes);
+
+}  // namespace escort
+
+#endif  // SRC_WORKLOAD_WIRE_H_

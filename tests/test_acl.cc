@@ -1,0 +1,85 @@
+// Role-based ACL tests (paper §2.5 enforcement level 1; §3: 52 syscalls).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/kernel/acl.h"
+#include "src/kernel/kernel.h"
+
+namespace escort {
+namespace {
+
+TEST(Acl, ExactlyFiftyTwoSyscalls) {
+  EXPECT_EQ(kNumSyscalls, 52);
+  // Every syscall has a distinct non-"invalid" name.
+  std::set<std::string> names;
+  for (int i = 0; i < kNumSyscalls; ++i) {
+    std::string n = SyscallName(static_cast<Syscall>(i));
+    EXPECT_NE(n, "invalid");
+    names.insert(n);
+  }
+  EXPECT_EQ(names.size(), 52u);
+}
+
+TEST(Acl, PrivilegedDomainMayCallEverything) {
+  AclTable acl;
+  Role priv{kKernelDomain, OwnerType::kKernel};
+  for (int i = 0; i < kNumSyscalls; ++i) {
+    EXPECT_TRUE(acl.Allows(priv, static_cast<Syscall>(i)));
+  }
+}
+
+TEST(Acl, UnprivilegedDomainDeniedDeviceAndPageCalls) {
+  AclTable acl;
+  Role user{3, OwnerType::kPath};
+  EXPECT_FALSE(acl.Allows(user, Syscall::kPageAlloc));
+  EXPECT_FALSE(acl.Allows(user, Syscall::kDevWrite));
+  EXPECT_FALSE(acl.Allows(user, Syscall::kOwnerDestroy));
+  EXPECT_FALSE(acl.Allows(user, Syscall::kPathKill));
+  // But common object calls pass.
+  EXPECT_TRUE(acl.Allows(user, Syscall::kPathCreate));
+  EXPECT_TRUE(acl.Allows(user, Syscall::kIobAlloc));
+  EXPECT_TRUE(acl.Allows(user, Syscall::kSemP));
+  EXPECT_TRUE(acl.Allows(user, Syscall::kHeapAlloc));
+  EXPECT_TRUE(acl.Allows(user, Syscall::kConsoleWrite));
+  EXPECT_TRUE(acl.Allows(user, Syscall::kGetTime));
+}
+
+TEST(Acl, GrantAllowsSpecificDomain) {
+  AclTable acl;
+  Role driver{5, OwnerType::kProtectionDomain};
+  Role other{6, OwnerType::kProtectionDomain};
+  acl.Grant(5, Syscall::kDevWrite);
+  acl.Grant(5, Syscall::kDevInterruptRegister);
+  EXPECT_TRUE(acl.Allows(driver, Syscall::kDevWrite));
+  EXPECT_TRUE(acl.Allows(driver, Syscall::kDevInterruptRegister));
+  EXPECT_FALSE(acl.Allows(other, Syscall::kDevWrite));
+}
+
+TEST(Acl, RevokeDeniesDefaultAllowedCall) {
+  AclTable acl;
+  Role sandboxed{7, OwnerType::kPath};
+  EXPECT_TRUE(acl.Allows(sandboxed, Syscall::kPathCreate));
+  acl.Revoke(7, Syscall::kPathCreate);
+  EXPECT_FALSE(acl.Allows(sandboxed, Syscall::kPathCreate));
+  // Re-granting restores.
+  acl.Grant(7, Syscall::kPathCreate);
+  EXPECT_TRUE(acl.Allows(sandboxed, Syscall::kPathCreate));
+}
+
+TEST(Acl, KernelCheckCountsDenials) {
+  EventQueue eq;
+  KernelConfig kc;
+  kc.start_softclock = false;
+  kc.protection_domains = true;
+  Kernel kernel(&eq, kc);
+  ProtectionDomain* pd = kernel.CreateDomain("mod");
+  EXPECT_TRUE(kernel.CheckSyscall(pd->pd_id(), Syscall::kIobAlloc));
+  EXPECT_FALSE(kernel.CheckSyscall(pd->pd_id(), Syscall::kDevControl));
+  EXPECT_EQ(kernel.acl().denied_count(), 1u);
+}
+
+}  // namespace
+}  // namespace escort

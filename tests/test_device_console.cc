@@ -1,0 +1,118 @@
+// Device registry and console tests: ACL-guarded access (a driver domain
+// may only touch its own device), charged console output.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/kernel/kernel.h"
+
+namespace escort {
+namespace {
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  DeviceTest() {
+    KernelConfig kc;
+    kc.start_softclock = false;
+    kc.protection_domains = true;
+    kernel_ = std::make_unique<Kernel>(&eq_, kc);
+    eth_domain_ = kernel_->CreateDomain("eth-driver")->pd_id();
+    scsi_domain_ = kernel_->CreateDomain("scsi-driver")->pd_id();
+    app_domain_ = kernel_->CreateDomain("app")->pd_id();
+  }
+
+  EventQueue eq_;
+  std::unique_ptr<Kernel> kernel_;
+  PdId eth_domain_;
+  PdId scsi_domain_;
+  PdId app_domain_;
+};
+
+TEST_F(DeviceTest, DriverDomainCanOpenItsDevice) {
+  kernel_->devices().Register("de500", eth_domain_);
+  Device* dev = kernel_->devices().Open("de500", eth_domain_);
+  ASSERT_NE(dev, nullptr);
+  EXPECT_TRUE(dev->opened());
+  EXPECT_EQ(dev->name(), "de500");
+}
+
+TEST_F(DeviceTest, ForeignDomainCannotTouchDevice) {
+  kernel_->devices().Register("de500", eth_domain_);
+  // Another driver's domain has the syscalls, but not for this device.
+  kernel_->devices().Register("disk0", scsi_domain_);
+  EXPECT_EQ(kernel_->devices().Open("de500", scsi_domain_), nullptr);
+  // A plain application domain lacks even the syscall.
+  EXPECT_EQ(kernel_->devices().Open("de500", app_domain_), nullptr);
+  EXPECT_GE(kernel_->devices().denied(), 2u);
+}
+
+TEST_F(DeviceTest, PrivilegedDomainMayOpenAnything) {
+  kernel_->devices().Register("de500", eth_domain_);
+  EXPECT_NE(kernel_->devices().Open("de500", kKernelDomain), nullptr);
+}
+
+TEST_F(DeviceTest, ReadWriteGoThroughHandlers) {
+  Device* dev = kernel_->devices().Register("disk0", scsi_domain_);
+  std::vector<uint8_t> backing(64, 0);
+  dev->set_write_handler([&](uint64_t off, const void* data, uint64_t len) {
+    std::memcpy(backing.data() + off, data, len);
+    return len;
+  });
+  dev->set_read_handler([&](uint64_t off, const void* buf, uint64_t len) {
+    std::memcpy(const_cast<void*>(buf), backing.data() + off, len);
+    return len;
+  });
+  kernel_->devices().Open("disk0", scsi_domain_);
+
+  const char msg[] = "sector0";
+  EXPECT_EQ(kernel_->devices().Write(dev, scsi_domain_, 0, msg, 7), 7u);
+  char out[8] = {0};
+  EXPECT_EQ(kernel_->devices().Read(dev, scsi_domain_, 0, out, 7), 7u);
+  EXPECT_STREQ(out, "sector0");
+  EXPECT_EQ(dev->reads(), 1u);
+  EXPECT_EQ(dev->writes(), 1u);
+  // The wrong domain gets nothing.
+  EXPECT_EQ(kernel_->devices().Read(dev, eth_domain_, 0, out, 7), 0u);
+}
+
+TEST_F(DeviceTest, ClosedDeviceRefusesIo) {
+  Device* dev = kernel_->devices().Register("disk0", scsi_domain_);
+  dev->set_read_handler([](uint64_t, const void*, uint64_t len) { return len; });
+  char buf[4];
+  EXPECT_EQ(kernel_->devices().Read(dev, scsi_domain_, 0, buf, 4), 0u);  // never opened
+  kernel_->devices().Open("disk0", scsi_domain_);
+  EXPECT_EQ(kernel_->devices().Read(dev, scsi_domain_, 0, buf, 4), 4u);
+  kernel_->devices().Close(dev, scsi_domain_);
+  EXPECT_EQ(kernel_->devices().Read(dev, scsi_domain_, 0, buf, 4), 0u);
+}
+
+TEST_F(DeviceTest, ConsoleWriteRecordsAndCharges) {
+  Owner o(OwnerType::kKernel, kernel_->NextOwnerId(), "writer");
+  kernel_->RegisterOwner(&o, "writer");
+  Thread* t = kernel_->CreateThread(&o, "t");
+  bool ok = false;
+  t->Push(100, kKernelDomain, [&] { ok = kernel_->console().Write(kKernelDomain, "panic: just kidding"); });
+  eq_.RunToCompletion();
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(kernel_->console().lines().size(), 1u);
+  EXPECT_EQ(kernel_->console().lines()[0], "panic: just kidding");
+  EXPECT_GT(o.usage().cycles, 100u);  // the write cost landed on the writer
+}
+
+TEST_F(DeviceTest, ConsoleRingBounded) {
+  for (size_t i = 0; i < Console::kMaxLines + 10; ++i) {
+    kernel_->console().Write(kKernelDomain, "line " + std::to_string(i));
+  }
+  EXPECT_EQ(kernel_->console().lines().size(), Console::kMaxLines);
+  EXPECT_EQ(kernel_->console().lines().front(), "line 10");
+}
+
+TEST_F(DeviceTest, ConsoleGetcIsPrivileged) {
+  // Reading the console is privileged-only by default (kConsoleGetc).
+  EXPECT_FALSE(kernel_->CheckSyscall(app_domain_, Syscall::kConsoleGetc));
+  EXPECT_TRUE(kernel_->CheckSyscall(kKernelDomain, Syscall::kConsoleGetc));
+}
+
+}  // namespace
+}  // namespace escort

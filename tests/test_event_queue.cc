@@ -1,0 +1,121 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace escort {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty) {
+  EventQueue eq;
+  EXPECT_EQ(eq.now(), 0u);
+  EXPECT_TRUE(eq.empty());
+  EXPECT_FALSE(eq.Step());
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(300, [&] { order.push_back(3); });
+  eq.ScheduleAt(100, [&] { order.push_back(1); });
+  eq.ScheduleAt(200, [&] { order.push_back(2); });
+  eq.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, EqualTimesFireInScheduleOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    eq.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  eq.RunToCompletion();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, PastDeadlinesClampToNow) {
+  EventQueue eq;
+  eq.ScheduleAt(100, [] {});
+  eq.RunToCompletion();
+  bool fired = false;
+  eq.ScheduleAt(10, [&] { fired = true; });  // in the past
+  Cycles when = 0;
+  ASSERT_TRUE(eq.PeekNext(&when));
+  EXPECT_EQ(when, 100u);
+  eq.RunToCompletion();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue eq;
+  bool fired = false;
+  auto id = eq.ScheduleAt(10, [&] { fired = true; });
+  EXPECT_TRUE(eq.Cancel(id));
+  EXPECT_FALSE(eq.Cancel(id));  // double cancel fails
+  eq.RunToCompletion();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue eq;
+  auto id = eq.ScheduleAt(10, [] {});
+  eq.RunToCompletion();
+  EXPECT_FALSE(eq.Cancel(id));
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWhenIdle) {
+  EventQueue eq;
+  eq.RunUntil(12345);
+  EXPECT_EQ(eq.now(), 12345u);
+}
+
+TEST(EventQueue, RunUntilDoesNotFireLaterEvents) {
+  EventQueue eq;
+  bool fired = false;
+  eq.ScheduleAt(1000, [&] { fired = true; });
+  eq.RunUntil(999);
+  EXPECT_FALSE(fired);
+  eq.RunUntil(1000);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, EventsCanRescheduleThemselves) {
+  EventQueue eq;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) {
+      eq.ScheduleAfter(10, tick);
+    }
+  };
+  eq.ScheduleAfter(10, tick);
+  eq.RunToCompletion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents) {
+  EventQueue eq;
+  auto a = eq.ScheduleAt(10, [] {});
+  eq.ScheduleAt(20, [] {});
+  EXPECT_EQ(eq.pending(), 2u);
+  eq.Cancel(a);
+  EXPECT_EQ(eq.pending(), 1u);
+  eq.RunToCompletion();
+  EXPECT_EQ(eq.pending(), 0u);
+  EXPECT_EQ(eq.fired_count(), 1u);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenOnlyCancelledRemain) {
+  EventQueue eq;
+  auto id = eq.ScheduleAt(10, [] {});
+  eq.Cancel(id);
+  EXPECT_FALSE(eq.Step());
+}
+
+}  // namespace
+}  // namespace escort

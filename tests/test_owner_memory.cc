@@ -1,0 +1,141 @@
+// Owner accounting, page allocator, kmem, heaps (paper §2.4): every
+// resource is charged to an owner; protection-domain heaps hand sub-page
+// objects to paths and charge back on destruction.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+
+namespace escort {
+namespace {
+
+class OwnerMemoryTest : public ::testing::Test {
+ protected:
+  OwnerMemoryTest() {
+    KernelConfig kc;
+    kc.start_softclock = false;
+    kc.total_pages = 16;
+    kernel_ = std::make_unique<Kernel>(&eq_, kc);
+  }
+
+  EventQueue eq_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(OwnerMemoryTest, PageAllocationChargesOwner) {
+  Owner o(OwnerType::kKernel, kernel_->NextOwnerId(), "o");
+  Page* p = kernel_->AllocPage(&o);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(o.usage().pages, 1u);
+  EXPECT_EQ(o.pages().size(), 1u);
+  kernel_->FreePage(p);
+  EXPECT_EQ(o.usage().pages, 0u);
+  EXPECT_TRUE(o.pages().empty());
+}
+
+TEST_F(OwnerMemoryTest, AllocationFailsWhenMemoryExhausted) {
+  Owner o(OwnerType::kKernel, kernel_->NextOwnerId(), "o");
+  std::vector<Page*> pages;
+  for (uint64_t i = 0; i < kernel_->pages().total_pages(); ++i) {
+    Page* p = kernel_->AllocPage(&o);
+    if (p != nullptr) {
+      pages.push_back(p);
+    }
+  }
+  EXPECT_EQ(kernel_->pages().free_pages(), 0u);
+  EXPECT_EQ(kernel_->AllocPage(&o), nullptr);
+  kernel_->FreePage(pages.back());
+  EXPECT_NE(kernel_->AllocPage(&o), nullptr);
+}
+
+TEST_F(OwnerMemoryTest, PageTransferMovesCharge) {
+  Owner a(OwnerType::kKernel, kernel_->NextOwnerId(), "a");
+  Owner b(OwnerType::kKernel, kernel_->NextOwnerId(), "b");
+  Page* p = kernel_->AllocPage(&a);
+  kernel_->pages().Transfer(p, &b);
+  EXPECT_EQ(a.usage().pages, 0u);
+  EXPECT_EQ(b.usage().pages, 1u);
+  EXPECT_EQ(p->owner, &b);
+  kernel_->FreePage(p);
+}
+
+TEST_F(OwnerMemoryTest, DestroyedOwnerCannotAllocate) {
+  Owner o(OwnerType::kKernel, kernel_->NextOwnerId(), "o");
+  o.mark_destroyed();
+  EXPECT_EQ(kernel_->AllocPage(&o), nullptr);
+}
+
+TEST_F(OwnerMemoryTest, KmemChargeAndUncharge) {
+  Owner o(OwnerType::kKernel, kernel_->NextOwnerId(), "o");
+  kernel_->ChargeKmem(&o, 300);
+  kernel_->ChargeKmem(&o, 200);
+  EXPECT_EQ(o.usage().kmem_bytes, 500u);
+  kernel_->UnchargeKmem(&o, 500);
+  EXPECT_EQ(o.usage().kmem_bytes, 0u);
+  // Over-uncharge clamps rather than wrapping.
+  kernel_->UnchargeKmem(&o, 100);
+  EXPECT_EQ(o.usage().kmem_bytes, 0u);
+}
+
+TEST_F(OwnerMemoryTest, HeapGrowsByPagesAndChargesRequester) {
+  ProtectionDomain* pd = kernel_->CreateDomain("mod");
+  Owner path_like(OwnerType::kKernel, kernel_->NextOwnerId(), "path");
+
+  // Small allocation: the domain takes a page from the kernel, the path is
+  // charged for the bytes.
+  ASSERT_TRUE(pd->HeapAlloc(&path_like, 100));
+  EXPECT_EQ(pd->usage().pages, 1u);
+  EXPECT_EQ(path_like.usage().kmem_bytes, 100u);
+  EXPECT_EQ(pd->HeapChargedTo(&path_like), 100u);
+
+  // Fits in the same page: no new page.
+  ASSERT_TRUE(pd->HeapAlloc(&path_like, 200));
+  EXPECT_EQ(pd->usage().pages, 1u);
+  EXPECT_EQ(path_like.usage().kmem_bytes, 300u);
+
+  // Exceeds the page: grows.
+  ASSERT_TRUE(pd->HeapAlloc(&path_like, kPageSize));
+  EXPECT_EQ(pd->usage().pages, 2u);
+}
+
+TEST_F(OwnerMemoryTest, HeapFreeReducesCharge) {
+  ProtectionDomain* pd = kernel_->CreateDomain("mod");
+  Owner path_like(OwnerType::kKernel, kernel_->NextOwnerId(), "path");
+  pd->HeapAlloc(&path_like, 500);
+  pd->HeapFree(&path_like, 200);
+  EXPECT_EQ(path_like.usage().kmem_bytes, 300u);
+  EXPECT_EQ(pd->heap_bytes_in_use(), 300u);
+}
+
+TEST_F(OwnerMemoryTest, HeapChargeBackTransfersToDomain) {
+  // The destructor-time rule: the charge for memory the path did not free
+  // transfers back to the domain, which stays responsible for the pages.
+  ProtectionDomain* pd = kernel_->CreateDomain("mod");
+  Owner path_like(OwnerType::kKernel, kernel_->NextOwnerId(), "path");
+  pd->HeapAlloc(&path_like, 700);
+  uint64_t domain_kmem_before = pd->usage().kmem_bytes;
+  uint64_t moved = pd->HeapChargeBack(&path_like);
+  EXPECT_EQ(moved, 700u);
+  EXPECT_EQ(path_like.usage().kmem_bytes, 0u);
+  EXPECT_EQ(pd->usage().kmem_bytes, domain_kmem_before + 700);
+  EXPECT_EQ(pd->HeapChargedTo(&path_like), 0u);
+}
+
+TEST_F(OwnerMemoryTest, HeapAllocFailsWhenPhysicalMemoryGone) {
+  ProtectionDomain* pd = kernel_->CreateDomain("mod");
+  Owner hog(OwnerType::kKernel, kernel_->NextOwnerId(), "hog");
+  while (kernel_->AllocPage(&hog) != nullptr) {
+  }
+  Owner path_like(OwnerType::kKernel, kernel_->NextOwnerId(), "path");
+  EXPECT_FALSE(pd->HeapAlloc(&path_like, 64));
+}
+
+TEST_F(OwnerMemoryTest, OwnerTypeNames) {
+  EXPECT_STREQ(OwnerTypeName(OwnerType::kPath), "path");
+  EXPECT_STREQ(OwnerTypeName(OwnerType::kProtectionDomain), "protection-domain");
+  EXPECT_STREQ(OwnerTypeName(OwnerType::kKernel), "kernel");
+  EXPECT_STREQ(OwnerTypeName(OwnerType::kIdle), "idle");
+}
+
+}  // namespace
+}  // namespace escort

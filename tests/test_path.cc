@@ -1,0 +1,355 @@
+// Path architecture tests: pathCreate/pathDestroy/pathKill, stages,
+// destructor ordering, reference counting, crossings, module graph typing,
+// demux engine, filters.
+
+#include <gtest/gtest.h>
+
+#include "src/path/filter.h"
+#include "src/path/path_manager.h"
+
+namespace escort {
+namespace {
+
+// A trivial test module: counts messages, forwards in the travel direction,
+// optionally records destructor invocations.
+class EchoModule : public Module {
+ public:
+  EchoModule(std::string name, std::vector<std::string>* destroy_log = nullptr)
+      : Module(std::move(name), {ServiceInterface::kAsyncIo}), destroy_log_(destroy_log) {}
+
+  void SetNext(Module* next) { next_ = next; }
+  Module* next_for_demux = nullptr;
+  Path* deliver_to = nullptr;
+
+  OpenResult Open(Path* path, const Attributes& attrs) override {
+    (void)path;
+    (void)attrs;
+    ++opens;
+    OpenResult r;
+    r.ok = !fail_open;
+    r.next = next_;
+    if (destroy_log_ != nullptr) {
+      r.destructor = [this](Path*, Stage*) { destroy_log_->push_back(name()); };
+    }
+    return r;
+  }
+
+  DemuxDecision Demux(const Message& msg) override {
+    (void)msg;
+    if (deliver_to != nullptr) {
+      return DemuxDecision::Deliver(deliver_to);
+    }
+    if (next_for_demux != nullptr) {
+      return DemuxDecision::Continue(next_for_demux);
+    }
+    return DemuxDecision::Drop("echo-drop");
+  }
+
+  void Process(Stage& stage, Message msg, Direction dir) override {
+    ++processed;
+    last_dir = dir;
+    if (dir == Direction::kUp) {
+      stage.path->ForwardUp(stage, std::move(msg));
+    } else {
+      stage.path->ForwardDown(stage, std::move(msg));
+    }
+  }
+
+  int opens = 0;
+  int processed = 0;
+  bool fail_open = false;
+  Direction last_dir = Direction::kUp;
+
+ private:
+  Module* next_ = nullptr;
+  std::vector<std::string>* destroy_log_;
+};
+
+class PathTest : public ::testing::Test {
+ protected:
+  PathTest() {
+    KernelConfig kc;
+    kc.start_softclock = false;
+    kernel_ = std::make_unique<Kernel>(&eq_, kc);
+    graph_ = std::make_unique<ModuleGraph>(kernel_.get());
+    a_ = graph_->Add(std::make_unique<EchoModule>("A", &destroy_log_), kKernelDomain);
+    b_ = graph_->Add(std::make_unique<EchoModule>("B", &destroy_log_), kKernelDomain);
+    c_ = graph_->Add(std::make_unique<EchoModule>("C", &destroy_log_), kKernelDomain);
+    a_->SetNext(b_);
+    b_->SetNext(c_);
+    graph_->Connect(a_, b_, ServiceInterface::kAsyncIo);
+    graph_->Connect(b_, c_, ServiceInterface::kAsyncIo);
+    manager_ = std::make_unique<PathManager>(kernel_.get(), graph_.get());
+    graph_->InitAll(manager_.get());
+  }
+
+  Message NewMessage() {
+    return Message::Alloc(kernel_.get(), kernel_->domain(0), kKernelDomain, {kKernelDomain},
+                          64, 16);
+  }
+
+  EventQueue eq_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<ModuleGraph> graph_;
+  std::unique_ptr<PathManager> manager_;
+  std::vector<std::string> destroy_log_;
+  EchoModule* a_;
+  EchoModule* b_;
+  EchoModule* c_;
+};
+
+TEST_F(PathTest, CreateWalksOpenChain) {
+  Path* p = manager_->Create(a_, Attributes{}, "test-path");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->stages().size(), 3u);
+  EXPECT_EQ(p->stages()[0]->module, a_);
+  EXPECT_EQ(p->stages()[2]->module, c_);
+  EXPECT_EQ(a_->opens, 1);
+  EXPECT_EQ(c_->opens, 1);
+  EXPECT_EQ(manager_->live_count(), 1u);
+}
+
+TEST_F(PathTest, CreateFailsWhenModuleRejects) {
+  b_->fail_open = true;
+  Path* p = manager_->Create(a_, Attributes{}, "broken");
+  EXPECT_EQ(p, nullptr);
+  EXPECT_EQ(manager_->live_count(), 0u);
+}
+
+TEST_F(PathTest, CreateFailsOnUnconnectedModules) {
+  // A fresh graph edge-free pair: D -> E is not in the module graph.
+  auto* d = graph_->Add(std::make_unique<EchoModule>("D"), kKernelDomain);
+  auto* e = graph_->Add(std::make_unique<EchoModule>("E"), kKernelDomain);
+  d->SetNext(e);
+  Path* p = manager_->Create(d, Attributes{}, "illegal");
+  EXPECT_EQ(p, nullptr);
+}
+
+TEST_F(PathTest, MessagesFlowUpAndDown) {
+  Path* p = manager_->Create(a_, Attributes{}, "flow");
+  p->DeliverAt(0, Direction::kUp, NewMessage());
+  eq_.RunToCompletion();
+  // A -> B -> C (C's ForwardUp falls off the end).
+  EXPECT_EQ(a_->processed, 1);
+  EXPECT_EQ(b_->processed, 1);
+  EXPECT_EQ(c_->processed, 1);
+
+  p->DeliverAt(2, Direction::kDown, NewMessage());
+  eq_.RunToCompletion();
+  EXPECT_EQ(c_->processed, 2);
+  EXPECT_EQ(b_->processed, 2);
+  // A::Process(down) calls ForwardDown which stops at index 0.
+  EXPECT_EQ(a_->processed, 2);
+}
+
+TEST_F(PathTest, DestroyRunsDestructorsInInitializationOrder) {
+  Path* p = manager_->Create(a_, Attributes{}, "dtor-order");
+  manager_->Destroy(p);
+  EXPECT_EQ(destroy_log_, (std::vector<std::string>{"A", "B", "C"}));
+  EXPECT_EQ(manager_->live_count(), 0u);
+  EXPECT_EQ(manager_->destroyed_count(), 1u);
+}
+
+TEST_F(PathTest, KillSkipsDestructors) {
+  Path* p = manager_->Create(a_, Attributes{}, "killed");
+  Cycles cost = manager_->Kill(p);
+  EXPECT_TRUE(destroy_log_.empty());
+  EXPECT_GT(cost, 0u);
+  EXPECT_EQ(manager_->killed_count(), 1u);
+  EXPECT_EQ(manager_->live_count(), 0u);
+}
+
+TEST_F(PathTest, KillReclaimsThreadsAndBuffers) {
+  Path* p = manager_->Create(a_, Attributes{}, "resources");
+  // Give the path some resources.
+  kernel_->AllocIoBuffer(p, 100, kKernelDomain, {kKernelDomain});
+  kernel_->AllocPage(p);
+  EXPECT_GE(p->usage().threads, 1u);
+  EXPECT_EQ(p->usage().iobuffer_locks, 1u);
+  EXPECT_EQ(p->usage().pages, 1u);
+
+  manager_->Kill(p);
+  EXPECT_EQ(p->usage().threads, 0u);
+  EXPECT_EQ(p->usage().iobuffer_locks, 0u);
+  EXPECT_EQ(p->usage().pages, 0u);
+  EXPECT_TRUE(p->destroyed());
+}
+
+TEST_F(PathTest, RefCountDefersDestroyButNotKill) {
+  Path* p = manager_->Create(a_, Attributes{}, "ref");
+  p->Ref();
+  manager_->Destroy(p);
+  EXPECT_FALSE(p->destroyed());
+  EXPECT_TRUE(p->destroy_pending());
+  // Dropping the last reference completes the deferred destroy.
+  p->Unref();
+  EXPECT_TRUE(p->destroyed());
+
+  Path* q = manager_->Create(a_, Attributes{}, "ref2");
+  q->Ref();
+  manager_->Kill(q);  // pathKill ignores the refcount
+  EXPECT_TRUE(q->destroyed());
+}
+
+TEST_F(PathTest, CyclesChargedToPathOwner) {
+  Path* p = manager_->Create(a_, Attributes{}, "charged");
+  Cycles before = p->usage().cycles;
+  p->DeliverAt(0, Direction::kUp, NewMessage(), /*extra_cost=*/5000);
+  eq_.RunToCompletion();
+  EXPECT_GT(p->usage().cycles, before + 5000);
+}
+
+TEST_F(PathTest, DemuxDeliversToIdentifiedPath) {
+  Path* p = manager_->Create(a_, Attributes{}, "target");
+  a_->next_for_demux = b_;
+  b_->deliver_to = p;
+  Path* got = manager_->DemuxAndDeliver(a_, NewMessage());
+  EXPECT_EQ(got, p);
+  eq_.RunToCompletion();
+  EXPECT_GE(a_->processed, 1);
+}
+
+TEST_F(PathTest, DemuxDropsConsumeKernelCycles) {
+  const char* reason = nullptr;
+  Cycles kernel_before = kernel_->kernel_owner()->usage().cycles;
+  Path* got = manager_->DemuxAndDeliver(a_, NewMessage(), &reason);
+  EXPECT_EQ(got, nullptr);
+  EXPECT_STREQ(reason, "echo-drop");
+  EXPECT_EQ(manager_->demux_drops(), 1u);
+  eq_.RunToCompletion();
+  EXPECT_GT(kernel_->kernel_owner()->usage().cycles, kernel_before);
+}
+
+TEST_F(PathTest, DemuxDropsForBackloggedPath) {
+  Path* p = manager_->Create(a_, Attributes{}, "slow");
+  a_->next_for_demux = b_;
+  b_->deliver_to = p;
+  manager_->set_input_backlog_limit(2);
+  // Stuff the path's worker with pending items (no eq run yet).
+  Thread* worker = p->GrabThread();
+  worker->Push(1'000'000, kKernelDomain, nullptr);
+  worker->Push(1'000'000, kKernelDomain, nullptr);
+  worker->Push(1'000'000, kKernelDomain, nullptr);
+  const char* reason = nullptr;
+  Path* got = manager_->DemuxAndDeliver(a_, NewMessage(), &reason);
+  EXPECT_EQ(got, nullptr);
+  EXPECT_STREQ(reason, "backlog");
+  EXPECT_EQ(manager_->backlog_drops(), 1u);
+}
+
+TEST_F(PathTest, DistinctDomainCountAndCrossings) {
+  EventQueue eq2;
+  KernelConfig kc;
+  kc.start_softclock = false;
+  kc.protection_domains = true;
+  Kernel pdk(&eq2, kc);
+  ModuleGraph graph(&pdk);
+  auto* m1 = graph.Add(std::make_unique<EchoModule>("M1"), pdk.CreateDomain("d1")->pd_id());
+  auto* m2 = graph.Add(std::make_unique<EchoModule>("M2"), pdk.CreateDomain("d2")->pd_id());
+  m1->SetNext(m2);
+  graph.Connect(m1, m2, ServiceInterface::kAsyncIo);
+  PathManager manager(&pdk, &graph);
+  graph.InitAll(&manager);
+
+  Path* p = manager.Create(m1, Attributes{}, "pd-path");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->DistinctDomainCount(), 2);
+  EXPECT_TRUE(p->CrossingAllowed(m1->pd(), m2->pd()));
+  EXPECT_TRUE(p->CrossingAllowed(m2->pd(), m1->pd()));
+  EXPECT_FALSE(p->CrossingAllowed(m1->pd(), 99));
+}
+
+TEST_F(PathTest, ModuleGraphRejectsUntypedEdges) {
+  ModuleGraph graph(kernel_.get());
+  auto* file_mod = graph.Add(
+      std::make_unique<FilterModule>("f", ServiceInterface::kFileAccess, nullptr,
+                                     [](const Message&, Direction) { return true; }),
+      kKernelDomain);
+  auto* io_mod = graph.Add(std::make_unique<EchoModule>("io"), kKernelDomain);
+  // EchoModule supports only kAsyncIo; the filter only kFileAccess.
+  EXPECT_FALSE(graph.Connect(file_mod, io_mod, ServiceInterface::kFileAccess));
+  EXPECT_FALSE(graph.Connect(file_mod, io_mod, ServiceInterface::kAsyncIo));
+  EXPECT_FALSE(graph.Connected(file_mod, io_mod));
+}
+
+TEST_F(PathTest, FilterDropsDisallowedTraffic) {
+  // Insert a filter between A and B that blocks down-direction traffic.
+  auto filter_mod = std::make_unique<FilterModule>(
+      "only-up", ServiceInterface::kAsyncIo, b_,
+      [](const Message&, Direction d) { return d == Direction::kUp; });
+  auto* filter = graph_->Add(std::move(filter_mod), kKernelDomain);
+  a_->SetNext(filter);
+  graph_->Connect(a_, filter, ServiceInterface::kAsyncIo);
+  graph_->Connect(filter, b_, ServiceInterface::kAsyncIo);
+
+  Path* p = manager_->Create(a_, Attributes{}, "filtered");
+  ASSERT_NE(p, nullptr);
+  ASSERT_EQ(p->stages().size(), 4u);  // A, filter, B, C
+
+  p->DeliverAt(0, Direction::kUp, NewMessage());
+  eq_.RunToCompletion();
+  EXPECT_EQ(b_->processed, 1);
+  EXPECT_EQ(filter->passed(), 1u);
+
+  p->DeliverAt(3, Direction::kDown, NewMessage());
+  eq_.RunToCompletion();
+  // The filter blocks the down direction: A never sees it.
+  EXPECT_EQ(filter->dropped(), 1u);
+  EXPECT_EQ(a_->processed, 1);
+}
+
+
+TEST_F(PathTest, TerminationDomainLimitsReadMappings) {
+  // Paper §3.3: a termination domain caps how far along the path a
+  // buffer's read mapping extends — the mechanism for paths that traverse
+  // multiple security levels.
+  EventQueue eq2;
+  KernelConfig kc;
+  kc.start_softclock = false;
+  kc.protection_domains = true;
+  Kernel pdk(&eq2, kc);
+  ModuleGraph graph(&pdk);
+  auto* m1 = graph.Add(std::make_unique<EchoModule>("M1"), pdk.CreateDomain("d1")->pd_id());
+  auto* m2 = graph.Add(std::make_unique<EchoModule>("M2"), pdk.CreateDomain("d2")->pd_id());
+  auto* m3 = graph.Add(std::make_unique<EchoModule>("M3"), pdk.CreateDomain("d3")->pd_id());
+  m1->SetNext(m2);
+  m2->SetNext(m3);
+  graph.Connect(m1, m2, ServiceInterface::kAsyncIo);
+  graph.Connect(m2, m3, ServiceInterface::kAsyncIo);
+  PathManager manager(&pdk, &graph);
+  graph.InitAll(&manager);
+  Path* p = manager.Create(m1, Attributes{}, "multi-level");
+  ASSERT_NE(p, nullptr);
+
+  // Allocate a buffer in M1's domain with M2 designated as the termination
+  // domain: readable in d1 and d2, NOT in d3.
+  std::vector<PdId> limited = p->StageDomainsUpTo(0, m2->pd());
+  ASSERT_EQ(limited.size(), 2u);
+  IoBuffer* buf = pdk.AllocIoBuffer(p, 64, m1->pd(), limited);
+  EXPECT_TRUE(buf->CanWrite(m1->pd()));
+  EXPECT_TRUE(buf->CanRead(m2->pd()));
+  EXPECT_FALSE(buf->CanRead(m3->pd()));
+
+  // Without a termination domain the mapping spans the whole path.
+  std::vector<PdId> full = p->StageDomainsUpTo(0, /*termination=*/-2);
+  EXPECT_EQ(full.size(), 3u);
+}
+
+TEST_F(PathTest, StageDomainsListsAllStages) {
+  Path* p = manager_->Create(a_, Attributes{}, "domains");
+  EXPECT_EQ(p->StageDomains().size(), 3u);
+}
+
+TEST_F(PathTest, AccountLabelRetiresWithPath) {
+  Path* p = manager_->Create(a_, Attributes{}, "labelled");
+  p->DeliverAt(0, Direction::kUp, NewMessage(), 7000);
+  eq_.RunToCompletion();
+  Cycles live = kernel_->Snapshot().Get("labelled");
+  EXPECT_GT(live, 0u);
+  manager_->Destroy(p);
+  // Cycles survive into the retired ledger under the same label.
+  EXPECT_GE(kernel_->Snapshot().Get("labelled"), live);
+}
+
+}  // namespace
+}  // namespace escort

@@ -1,0 +1,142 @@
+// PathFinder pattern classifier tests, including equivalence with the
+// module-driven demux over real web-server traffic patterns.
+
+#include <gtest/gtest.h>
+
+#include "src/path/path_manager.h"
+#include "src/path/pathfinder.h"
+#include "src/workload/wire.h"
+
+namespace escort {
+namespace {
+
+// Dummy path objects: the classifier only cares about identity.
+Path* FakePath(uintptr_t id) { return reinterpret_cast<Path*>(id); }
+
+std::vector<uint8_t> TcpFrame(uint32_t src_ip, uint16_t src_port, uint32_t dst_ip,
+                              uint16_t dst_port, uint8_t flags) {
+  TcpHeader hdr;
+  hdr.src_port = src_port;
+  hdr.dst_port = dst_port;
+  hdr.flags = flags;
+  return BuildTcpFrame(MacAddr::FromIndex(9), MacAddr::FromIndex(1), Ip4Addr{src_ip},
+                       Ip4Addr{dst_ip}, hdr, {});
+}
+
+constexpr uint32_t kServer = 0x0a000001;  // 10.0.0.1
+
+TEST(Cell, MatchesMaskedFields) {
+  std::vector<uint8_t> data = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_TRUE((Cell{0, 1, 0xff, 0x12}).Matches(data.data(), data.size()));
+  EXPECT_TRUE((Cell{0, 2, 0xffff, 0x1234}).Matches(data.data(), data.size()));
+  EXPECT_TRUE((Cell{0, 4, 0xffffffff, 0x12345678}).Matches(data.data(), data.size()));
+  EXPECT_TRUE((Cell{1, 1, 0x0f, 0x04}).Matches(data.data(), data.size()));  // masked
+  EXPECT_FALSE((Cell{0, 1, 0xff, 0x13}).Matches(data.data(), data.size()));
+  // Out of range never matches.
+  EXPECT_FALSE((Cell{3, 2, 0xffff, 0x7800}).Matches(data.data(), data.size()));
+}
+
+class PathFinderWeb : public ::testing::Test {
+ protected:
+  PathFinderWeb() {
+    // The web server's pattern DAG: eth/ipv4 -> tcp-to-server -> port 80 ->
+    // { SYN-only -> listener, exact peers -> connections }.
+    ipv4_ = pf_.Insert(PathFinder::kRoot, pattern::EthIpv4());
+    tcp_ = pf_.Insert(ipv4_, pattern::IpTcpTo(kServer));
+    port80_ = pf_.Insert(tcp_, pattern::TcpDstPort(80));
+    syn_ = pf_.Insert(port80_, pattern::TcpSynOnly());
+    pf_.Bind(syn_, FakePath(100), /*priority=*/0);
+  }
+
+  PathFinder pf_;
+  PathFinder::NodeId ipv4_, tcp_, port80_, syn_;
+};
+
+TEST_F(PathFinderWeb, SynClassifiesToListener) {
+  auto frame = TcpFrame(0x0a000101, 4000, kServer, 80, kTcpSyn);
+  EXPECT_EQ(pf_.Classify(frame), FakePath(100));
+}
+
+TEST_F(PathFinderWeb, NonSynWithoutConnectionDoesNotClassify) {
+  auto frame = TcpFrame(0x0a000101, 4000, kServer, 80, kTcpAck);
+  EXPECT_EQ(pf_.Classify(frame), nullptr);
+}
+
+TEST_F(PathFinderWeb, WrongPortOrAddressRejected) {
+  EXPECT_EQ(pf_.Classify(TcpFrame(0x0a000101, 4000, kServer, 81, kTcpSyn)), nullptr);
+  EXPECT_EQ(pf_.Classify(TcpFrame(0x0a000101, 4000, 0x0a000002, 80, kTcpSyn)), nullptr);
+}
+
+TEST_F(PathFinderWeb, ConnectionPatternOutranksListener) {
+  // Register an exact connection; its SYNs (e.g. retransmitted handshake)
+  // and data now classify to the connection path, not the listener.
+  PathFinder::NodeId conn = pf_.Insert(port80_, pattern::TcpConn(0x0a000101, 4000));
+  pf_.Bind(conn, FakePath(200), /*priority=*/10);
+
+  EXPECT_EQ(pf_.Classify(TcpFrame(0x0a000101, 4000, kServer, 80, kTcpAck)), FakePath(200));
+  EXPECT_EQ(pf_.Classify(TcpFrame(0x0a000101, 4000, kServer, 80, kTcpSyn)), FakePath(200));
+  // Another peer's SYN still reaches the listener.
+  EXPECT_EQ(pf_.Classify(TcpFrame(0x0a000102, 4000, kServer, 80, kTcpSyn)), FakePath(100));
+
+  // Closing the connection restores listener classification for SYNs.
+  pf_.Unbind(conn);
+  EXPECT_EQ(pf_.Classify(TcpFrame(0x0a000101, 4000, kServer, 80, kTcpAck)), nullptr);
+  EXPECT_EQ(pf_.Classify(TcpFrame(0x0a000101, 4000, kServer, 80, kTcpSyn)), FakePath(100));
+}
+
+TEST_F(PathFinderWeb, SharedPrefixesShareNodes) {
+  size_t before = pf_.node_count();
+  // 50 connections share the eth/ip/port prefix: only one new node each.
+  for (uint32_t i = 0; i < 50; ++i) {
+    PathFinder::NodeId conn =
+        pf_.Insert(port80_, pattern::TcpConn(0x0a000100 + i, static_cast<uint16_t>(5000 + i)));
+    pf_.Bind(conn, FakePath(300 + i), 10);
+  }
+  EXPECT_EQ(pf_.node_count(), before + 50);
+
+  // Identical line insertion is shared, not duplicated.
+  size_t mid = pf_.node_count();
+  pf_.Insert(port80_, pattern::TcpConn(0x0a000100, 5000));
+  EXPECT_EQ(pf_.node_count(), mid);
+}
+
+TEST_F(PathFinderWeb, ArpAndIpCoexist) {
+  PathFinder::NodeId arp = pf_.Insert(PathFinder::kRoot, pattern::EthArp());
+  pf_.Bind(arp, FakePath(55));
+  ArpPacket req;
+  req.opcode = 1;
+  req.target_ip = Ip4Addr{kServer};
+  auto frame = BuildArpFrame(MacAddr::FromIndex(9), MacAddr::Broadcast(), req);
+  EXPECT_EQ(pf_.Classify(frame), FakePath(55));
+  // IP traffic unaffected.
+  EXPECT_EQ(pf_.Classify(TcpFrame(0x0a000101, 1, kServer, 80, kTcpSyn)), FakePath(100));
+}
+
+TEST_F(PathFinderWeb, CellCountGrowsWithDagDepth) {
+  pf_.Classify(TcpFrame(0x0a000101, 4000, kServer, 80, kTcpSyn));
+  uint64_t syn_cells = pf_.last_cell_count();
+  // A short-circuit: non-IP traffic fails at the first cell.
+  std::vector<uint8_t> junk(64, 0);
+  pf_.Classify(junk);
+  EXPECT_LT(pf_.last_cell_count(), syn_cells);
+  EXPECT_EQ(pf_.classify_count(), 2u);
+}
+
+TEST(PathFinderScale, ThousandConnections) {
+  PathFinder pf;
+  auto ipv4 = pf.Insert(PathFinder::kRoot, pattern::EthIpv4());
+  auto tcp = pf.Insert(ipv4, pattern::IpTcpTo(kServer));
+  auto port80 = pf.Insert(tcp, pattern::TcpDstPort(80));
+  for (uint32_t i = 0; i < 1000; ++i) {
+    auto conn = pf.Insert(port80, pattern::TcpConn(0x0a000000 + i, 1024));
+    pf.Bind(conn, FakePath(1000 + i), 10);
+  }
+  // Every one classifies to its own path.
+  for (uint32_t i : {0u, 1u, 499u, 999u}) {
+    auto frame = TcpFrame(0x0a000000 + i, 1024, kServer, 80, kTcpAck);
+    EXPECT_EQ(pf.Classify(frame), FakePath(1000 + i));
+  }
+}
+
+}  // namespace
+}  // namespace escort

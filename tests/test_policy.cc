@@ -1,0 +1,126 @@
+// Blacklist / penalty-path policy tests (paper §4.4.4) and passive-path
+// CPU limiting.
+
+#include <gtest/gtest.h>
+
+#include "src/server/policy.h"
+#include "tests/testbed.h"
+
+namespace escort {
+namespace {
+
+TEST(BlacklistPolicy, RepeatOffenderRoutedToPenaltyPath) {
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy::Options popts;
+  popts.strikes = 1;
+  popts.penalty_syn_limit = 1;
+  BlacklistPolicy policy(tb.server.get(), popts);
+
+  // The attacker runs one runaway CGI request, gets killed, and lands on
+  // the blacklist.
+  ClientMachine* bad = tb.AddClient(0);
+  CgiAttacker attacker(bad, tb.server->options().ip, CyclesFromMillis(400));
+  attacker.Start();
+  tb.RunFor(0.3);
+  EXPECT_EQ(tb.server->paths_killed(), 1u);
+  EXPECT_EQ(policy.violations_recorded(), 1u);
+  EXPECT_TRUE(policy.IsBlacklisted(bad->ip(), tb.eq.now()));
+
+  // Subsequent connection attempts demux to the penalty listener.
+  uint64_t penalty_before = policy.penalty_listener()->syns_accepted;
+  tb.RunFor(1.0);
+  EXPECT_GT(policy.penalty_listener()->syns_accepted, penalty_before);
+  // The regular listeners saw only the first attempt.
+  EXPECT_EQ(tb.server->trusted_listener()->syns_accepted, 1u);
+}
+
+TEST(BlacklistPolicy, PenaltyBudgetCapsOffenderHalfOpenState) {
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy::Options popts;
+  popts.strikes = 1;
+  popts.penalty_syn_limit = 1;
+  BlacklistPolicy policy(tb.server.get(), popts);
+
+  // Blacklist the address directly, then flood SYNs from it.
+  Ip4Addr addr = Ip4Addr::FromOctets(10, 0, 1, 1);
+  policy.RecordViolation(addr, tb.eq.now());
+  ClientMachine* m = tb.AddClient(0);
+  SynAttacker flood(&tb.eq, tb.link.get(), MacAddr::FromIndex(62), addr,
+                    tb.server->options().ip, tb.server->options().mac, 500.0);
+  (void)m;
+  flood.Start();
+  tb.RunFor(0.3);
+  EXPECT_LE(policy.penalty_listener()->syn_recvd, 1u);
+  EXPECT_GT(policy.penalty_listener()->syns_dropped_at_demux, 50u);
+  // Regular clients are untouched by this flood.
+  EXPECT_EQ(tb.server->trusted_listener()->syns_dropped_at_demux, 0u);
+}
+
+TEST(BlacklistPolicy, InnocentClientsUnaffected) {
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy policy(tb.server.get(), BlacklistPolicy::Options{});
+
+  ClientMachine* bad = tb.AddClient(0);
+  CgiAttacker attacker(bad, tb.server->options().ip, CyclesFromMillis(300));
+  attacker.Start();
+
+  ClientMachine* good = tb.AddClient(1);
+  HttpClient client(good, tb.server->options().ip, "/doc1b");
+  client.Start();
+  tb.RunFor(1.0);
+
+  EXPECT_TRUE(policy.IsBlacklisted(bad->ip(), tb.eq.now()));
+  EXPECT_FALSE(policy.IsBlacklisted(good->ip(), tb.eq.now()));
+  EXPECT_GT(client.completed(), 100u);
+  EXPECT_EQ(client.failed(), 0u);
+}
+
+TEST(BlacklistPolicy, StrikesThresholdRespected) {
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy::Options popts;
+  popts.strikes = 3;
+  BlacklistPolicy policy(tb.server.get(), popts);
+  Ip4Addr addr = Ip4Addr::FromOctets(10, 0, 1, 7);
+  policy.RecordViolation(addr, 0);
+  policy.RecordViolation(addr, 0);
+  EXPECT_FALSE(policy.IsBlacklisted(addr, 0));
+  policy.RecordViolation(addr, 0);
+  EXPECT_TRUE(policy.IsBlacklisted(addr, 0));
+}
+
+TEST(BlacklistPolicy, EntriesExpire) {
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy::Options popts;
+  popts.expiry = CyclesFromMillis(10);
+  BlacklistPolicy policy(tb.server.get(), popts);
+  Ip4Addr addr = Ip4Addr::FromOctets(10, 0, 1, 9);
+  policy.RecordViolation(addr, 1000);
+  EXPECT_TRUE(policy.IsBlacklisted(addr, 1000));
+  EXPECT_FALSE(policy.IsBlacklisted(addr, 1000 + CyclesFromMillis(11)));
+}
+
+TEST(PassivePathLimiting, NewConnectionsYieldToExistingPaths) {
+  // §4.4.4: "the passive path that fields requests for new TCP connections
+  // can be given a limited share of the CPU, meaning that existing active
+  // paths are allowed to run in preference to starting new paths."
+  Testbed tb(ServerConfig::kAccounting);
+  tb.server->trusted_listener()->path->sched().tickets = 5;   // starve new conns
+  tb.server->untrusted_listener()->path->sched().tickets = 5;
+
+  // A long-running QoS-ish transfer plus a barrage of new connections.
+  ClientMachine* qm = tb.AddClient(30);
+  QosReceiver receiver(qm, tb.server->options().ip);
+  receiver.Start();
+  for (int i = 0; i < 8; ++i) {
+    auto* c = new HttpClient(tb.AddClient(i), tb.server->options().ip, "/doc1b");
+    c->Start(CyclesFromMillis(i));
+  }
+  tb.RunFor(0.5);
+  receiver.meter().OpenWindow(tb.eq.now());
+  tb.RunFor(1.0);
+  // The stream (an existing path) is fully served despite connection churn.
+  EXPECT_NEAR(receiver.meter().CloseWindowBytesPerSec(tb.eq.now()), 1e6, 0.02e6);
+}
+
+}  // namespace
+}  // namespace escort

@@ -1,0 +1,131 @@
+// Property-based sweeps (parameterized gtest) over the full system:
+// for every (configuration, document, client count) combination the same
+// invariants must hold — conservation, reclamation, no failures, sane
+// throughput ordering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tests/testbed.h"
+
+namespace escort {
+namespace {
+
+using SweepParam = std::tuple<ServerConfig, const char*, int>;
+
+class SystemSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SystemSweep, InvariantsHoldUnderLoad) {
+  auto [config, doc, clients] = GetParam();
+  Testbed tb(config);
+  std::vector<std::unique_ptr<HttpClient>> cs;
+  RateMeter meter;
+  for (int i = 0; i < clients; ++i) {
+    cs.push_back(std::make_unique<HttpClient>(tb.AddClient(i), tb.server->options().ip, doc));
+    cs.back()->set_meter(&meter);
+    cs.back()->Start(CyclesFromMillis(i));
+  }
+  tb.RunFor(0.4);
+
+  // 1. Progress: every client completed at least one request, none failed.
+  uint64_t failures = 0;
+  for (const auto& c : cs) {
+    EXPECT_GT(c->completed(), 0u);
+    failures += c->failed();
+  }
+  EXPECT_EQ(failures, 0u);
+
+  // 2. Conservation: the ledger accounts for (virtually) every cycle.
+  CycleLedger ledger = tb.server->kernel().Snapshot();
+  Cycles elapsed = tb.eq.now() - tb.server->kernel().start_time();
+  double drift = std::abs(static_cast<double>(ledger.Total()) - static_cast<double>(elapsed));
+  EXPECT_LT(drift / static_cast<double>(elapsed), 0.001);
+
+  // 3. No protection faults, no crossing violations, no ACL denials.
+  EXPECT_EQ(tb.server->kernel().crossing_violations(), 0u);
+  EXPECT_EQ(tb.server->kernel().iobuffers().total_fault_count(), 0u);
+
+  // 4. Reclamation: drain and check that only boot paths and the FS cache
+  // survive.
+  for (auto& c : cs) {
+    c->Stop();
+  }
+  tb.RunFor(1.0);
+  EXPECT_EQ(tb.server->paths().live_count(), 3u);
+  EXPECT_EQ(tb.server->tcp()->conn_count(), 0u);
+  // Physical memory: everything allocated to paths has been returned; the
+  // remaining pages belong to domains (heaps, document cache).
+  for (Path* p : tb.server->paths().live_paths()) {
+    EXPECT_EQ(p->usage().pages, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SystemSweep,
+    ::testing::Combine(::testing::Values(ServerConfig::kScout, ServerConfig::kAccounting,
+                                         ServerConfig::kAccountingPd),
+                       ::testing::Values("/doc1b", "/doc1k", "/doc10k"),
+                       ::testing::Values(1, 4, 12)),
+    [](const ::testing::TestParamInfo<SweepParam>& pinfo) {
+      std::string d(std::get<1>(pinfo.param) + 1);
+      return std::string(ServerConfigName(std::get<0>(pinfo.param))) + "_" + d + "_c" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+// Throughput ordering property: for any document, at saturation
+// Scout >= Accounting >= Accounting_PD.
+class OrderingSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OrderingSweep, ConfigurationsOrderAsThePaperSays) {
+  const char* doc = GetParam();
+  auto run = [&](ServerConfig config) {
+    Testbed tb(config);
+    RateMeter meter;
+    std::vector<std::unique_ptr<HttpClient>> cs;
+    for (int i = 0; i < 12; ++i) {
+      cs.push_back(std::make_unique<HttpClient>(tb.AddClient(i), tb.server->options().ip, doc));
+      cs.back()->set_meter(&meter);
+      cs.back()->Start(CyclesFromMillis(i));
+    }
+    tb.RunFor(0.3);
+    meter.OpenWindow(tb.eq.now());
+    tb.RunFor(0.5);
+    return meter.CloseWindow(tb.eq.now());
+  };
+  double scout = run(ServerConfig::kScout);
+  double acct = run(ServerConfig::kAccounting);
+  double pd = run(ServerConfig::kAccountingPd);
+  EXPECT_GT(scout, acct);
+  EXPECT_GT(acct, 2.0 * pd);  // full separation costs much more than 2x
+  // Accounting costs single-digit-to-low-teens percent, not half.
+  EXPECT_GT(acct, scout * 0.85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Docs, OrderingSweep, ::testing::Values("/doc1b", "/doc1k"),
+                         [](const ::testing::TestParamInfo<const char*>& pinfo) { return std::string(pinfo.param + 1); });
+
+// The SYN policy property over a range of budgets: half-open state never
+// exceeds the configured limit.
+class SynBudgetSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SynBudgetSweep, HalfOpenNeverExceedsBudget) {
+  WebServerOptions opts;
+  opts.untrusted_syn_limit = GetParam();
+  Testbed tb(ServerConfig::kAccounting, opts);
+  SynAttacker attacker(&tb.eq, tb.link.get(), MacAddr::FromIndex(60),
+                       Ip4Addr::FromOctets(192, 168, 1, 2), tb.server->options().ip,
+                       tb.server->options().mac, 1500.0);
+  attacker.Start();
+  for (int step = 0; step < 20; ++step) {
+    tb.RunFor(0.02);
+    EXPECT_LE(tb.server->untrusted_listener()->syn_recvd, GetParam());
+  }
+  EXPECT_GT(tb.server->untrusted_listener()->syns_dropped_at_demux, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, SynBudgetSweep, ::testing::Values(1u, 4u, 16u, 64u));
+
+}  // namespace
+}  // namespace escort

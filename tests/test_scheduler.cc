@@ -1,0 +1,201 @@
+// Scheduler tests: priority ordering, proportional-share (stride) ratios,
+// EDF deadline ordering. The proportional-share property test is the
+// foundation of the QoS experiments (Figures 10 and 11).
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+
+namespace escort {
+namespace {
+
+struct SchedFixture {
+  EventQueue eq;
+  std::unique_ptr<Kernel> kernel;
+  std::vector<std::unique_ptr<Owner>> owners;
+
+  explicit SchedFixture(SchedulerKind kind) {
+    KernelConfig kc;
+    kc.scheduler = kind;
+    kc.start_softclock = false;
+    kernel = std::make_unique<Kernel>(&eq, kc);
+  }
+
+  Owner* NewOwner(const std::string& name) {
+    owners.push_back(
+        std::make_unique<Owner>(OwnerType::kKernel, kernel->NextOwnerId(), name));
+    kernel->RegisterOwner(owners.back().get(), name);
+    return owners.back().get();
+  }
+
+  // Runs `setup` inside a work item so the CPU is busy while threads are
+  // enqueued — the scheduler, not arrival order, decides what runs next.
+  void EnqueueWhileBusy(std::function<void()> setup) {
+    Owner* dummy = NewOwner("dummy-setup");
+    Thread* d = kernel->CreateThread(dummy, "setup");
+    d->Push(10, kKernelDomain, std::move(setup), /*yields=*/true);
+  }
+};
+
+TEST(PriorityScheduler, HigherPriorityRunsFirst) {
+  SchedFixture f(SchedulerKind::kPriority);
+  Owner* low = f.NewOwner("low");
+  Owner* high = f.NewOwner("high");
+  low->sched().priority = 1;
+  high->sched().priority = 10;
+
+  std::vector<char> order;
+  Thread* tl = f.kernel->CreateThread(low, "low");
+  Thread* th = f.kernel->CreateThread(high, "high");
+  // Schedule low first; high must still run first once both are ready.
+  f.EnqueueWhileBusy([&] {
+    tl->Push(100, kKernelDomain, [&] { order.push_back('l'); }, true);
+    th->Push(100, kKernelDomain, [&] { order.push_back('h'); }, true);
+  });
+  f.eq.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<char>{'h', 'l'}));
+}
+
+TEST(PriorityScheduler, FifoWithinSamePriority) {
+  SchedFixture f(SchedulerKind::kPriority);
+  Owner* o = f.NewOwner("o");
+  std::vector<int> order;
+  Thread* a = f.kernel->CreateThread(o, "a");
+  Thread* b = f.kernel->CreateThread(o, "b");
+  f.EnqueueWhileBusy([&] {
+    a->Push(100, kKernelDomain, [&] { order.push_back(1); }, true);
+    b->Push(100, kKernelDomain, [&] { order.push_back(2); }, true);
+    a->Push(100, kKernelDomain, [&] { order.push_back(3); }, true);
+  });
+  f.eq.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// Property: with continuously backlogged owners, CPU shares converge to the
+// ticket ratio. Parameterized over ticket splits.
+class StrideShareTest : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(StrideShareTest, SharesProportionalToTickets) {
+  auto [tickets_a, tickets_b] = GetParam();
+  SchedFixture f(SchedulerKind::kProportionalShare);
+  Owner* a = f.NewOwner("a");
+  Owner* b = f.NewOwner("b");
+  a->sched().tickets = tickets_a;
+  b->sched().tickets = tickets_b;
+
+  Thread* ta = f.kernel->CreateThread(a, "a");
+  Thread* tb = f.kernel->CreateThread(b, "b");
+
+  // Keep both owners backlogged: every item re-queues itself, yielding.
+  auto feed = [&](Thread* t) {
+    auto loop = std::make_shared<std::function<void()>>();
+    *loop = [t, loop] { t->Push(1000, kKernelDomain, *loop, /*yields=*/true); };
+    t->Push(1000, kKernelDomain, *loop, /*yields=*/true);
+  };
+  feed(ta);
+  feed(tb);
+  f.eq.RunUntil(CyclesFromMillis(50));
+
+  double share_a = static_cast<double>(a->usage().cycles);
+  double share_b = static_cast<double>(b->usage().cycles);
+  double expected = static_cast<double>(tickets_a) / static_cast<double>(tickets_b);
+  EXPECT_NEAR(share_a / share_b, expected, expected * 0.06)
+      << "a=" << share_a << " b=" << share_b;
+}
+
+INSTANTIATE_TEST_SUITE_P(TicketRatios, StrideShareTest,
+                         ::testing::Values(std::make_pair(100ull, 100ull),
+                                           std::make_pair(200ull, 100ull),
+                                           std::make_pair(400ull, 100ull),
+                                           std::make_pair(1000ull, 100ull),
+                                           std::make_pair(100ull, 300ull)));
+
+TEST(StrideScheduler, ReservationSurvivesBlocking) {
+  // A high-ticket owner that blocks briefly between work bursts must still
+  // receive its share against a continuously-backlogged low-ticket owner —
+  // the regression behind the QoS stream undershoot.
+  SchedFixture f(SchedulerKind::kProportionalShare);
+  Owner* qos = f.NewOwner("qos");
+  Owner* best_effort = f.NewOwner("be");
+  qos->sched().tickets = 5000;
+  best_effort->sched().tickets = 100;
+
+  Thread* tq = f.kernel->CreateThread(qos, "qos");
+  Thread* tb = f.kernel->CreateThread(best_effort, "be");
+
+  // Best-effort: continuously backlogged.
+  auto floop = std::make_shared<std::function<void()>>();
+  *floop = [tb, floop] { tb->Push(2000, kKernelDomain, *floop, true); };
+  tb->Push(2000, kKernelDomain, *floop, true);
+
+  // QoS: paced bursts every 100us, each needing 60us of CPU (60% demand).
+  auto burst = std::make_shared<std::function<void()>>();
+  EventQueue* eq = &f.eq;
+  *burst = [tq, burst, eq] {
+    tq->Push(18'000, kKernelDomain, nullptr, true);
+    eq->ScheduleAfter(CyclesFromMicros(100), *burst);
+  };
+  f.eq.ScheduleAfter(CyclesFromMicros(100), *burst);
+
+  f.eq.RunUntil(CyclesFromMillis(50));
+  // Demand is 60%; it must get (close to) all of it.
+  double got = static_cast<double>(qos->usage().cycles) /
+               static_cast<double>(f.eq.now());
+  EXPECT_GT(got, 0.55);
+}
+
+TEST(EdfScheduler, EarlierDeadlineRunsFirst) {
+  SchedFixture f(SchedulerKind::kEdf);
+  Owner* slow = f.NewOwner("slow");
+  Owner* fast = f.NewOwner("fast");
+  slow->sched().period = CyclesFromMillis(100);
+  fast->sched().period = CyclesFromMillis(1);
+
+  std::vector<char> order;
+  Thread* ts = f.kernel->CreateThread(slow, "s");
+  Thread* tf = f.kernel->CreateThread(fast, "f");
+  f.EnqueueWhileBusy([&] {
+    ts->Push(100, kKernelDomain, [&] { order.push_back('s'); }, true);
+    tf->Push(100, kKernelDomain, [&] { order.push_back('f'); }, true);
+  });
+  f.eq.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<char>{'f', 's'}));
+}
+
+TEST(EdfScheduler, BestEffortRunsAfterDeadlineOwners) {
+  SchedFixture f(SchedulerKind::kEdf);
+  Owner* rt = f.NewOwner("rt");
+  Owner* be = f.NewOwner("be");
+  rt->sched().period = CyclesFromMillis(5);
+  be->sched().period = 0;  // best-effort backlog
+
+  std::vector<char> order;
+  Thread* t1 = f.kernel->CreateThread(be, "be");
+  Thread* t2 = f.kernel->CreateThread(rt, "rt");
+  f.EnqueueWhileBusy([&] {
+    t1->Push(100, kKernelDomain, [&] { order.push_back('b'); }, true);
+    t2->Push(100, kKernelDomain, [&] { order.push_back('r'); }, true);
+  });
+  f.eq.RunToCompletion();
+  EXPECT_EQ(order, (std::vector<char>{'r', 'b'}));
+}
+
+TEST(Schedulers, RemoveDropsThreadFromReadyQueue) {
+  for (SchedulerKind kind : {SchedulerKind::kPriority, SchedulerKind::kProportionalShare,
+                             SchedulerKind::kEdf}) {
+    SchedFixture f(kind);
+    Owner* o = f.NewOwner("o");
+    Thread* t = f.kernel->CreateThread(o, "t");
+    int ran = 0;
+    f.EnqueueWhileBusy([&] {
+      t->Push(100, kKernelDomain, [&] { ++ran; }, true);
+      t->Push(100, kKernelDomain, [&] { ++ran; }, true);
+      f.kernel->StopThread(t);
+    });
+    f.eq.RunToCompletion();
+    EXPECT_EQ(ran, 0) << "scheduler kind " << static_cast<int>(kind);
+  }
+}
+
+}  // namespace
+}  // namespace escort

@@ -1,0 +1,158 @@
+// Semaphores and kernel timer events (paper §3.2).
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+
+namespace escort {
+namespace {
+
+class SyncTest : public ::testing::Test {
+ protected:
+  SyncTest() {
+    KernelConfig kc;  // softclock ON: events need it
+    kernel_ = std::make_unique<Kernel>(&eq_, kc);
+  }
+
+  // Owners must outlive the kernel (semaphore destructors unlink from
+  // their owner's tracking list), so they live here, declared before it.
+  Owner* NewOwner(const std::string& name) {
+    owners_.push_back(
+        std::make_unique<Owner>(OwnerType::kKernel, kernel_->NextOwnerId(), name));
+    kernel_->RegisterOwner(owners_.back().get(), name);
+    return owners_.back().get();
+  }
+
+  EventQueue eq_;
+  std::vector<std::unique_ptr<Owner>> owners_;
+  std::unique_ptr<Kernel> kernel_;
+};
+
+TEST_F(SyncTest, SemaphorePassesWhenCountPositive) {
+  Owner& o = *NewOwner("o");
+  Semaphore* sem = kernel_->CreateSemaphore(&o, "s", 1);
+  Thread* t = kernel_->CreateThread(&o, "t");
+  bool acquired = false;
+  t->Push(10, kKernelDomain, [&] { acquired = sem->P(kernel_->current_thread()); });
+  eq_.RunUntil(CyclesFromMillis(1));
+  EXPECT_TRUE(acquired);
+  EXPECT_EQ(sem->count(), 0);
+}
+
+TEST_F(SyncTest, SemaphoreBlocksAndVWakes) {
+  Owner& o = *NewOwner("o");
+  Semaphore* sem = kernel_->CreateSemaphore(&o, "s", 0);
+  Thread* consumer = kernel_->CreateThread(&o, "consumer");
+  Thread* producer = kernel_->CreateThread(&o, "producer");
+
+  std::vector<std::string> log;
+  consumer->Push(10, kKernelDomain, [&] {
+    sem->P(kernel_->current_thread());
+    log.push_back("blocked");
+  });
+  consumer->Push(10, kKernelDomain, [&] { log.push_back("resumed"); });
+
+  eq_.ScheduleAt(CyclesFromMillis(2), [&] {
+    producer->Push(10, kKernelDomain, [&] {
+      log.push_back("produce");
+      sem->V();
+    });
+  });
+  eq_.RunUntil(CyclesFromMillis(5));
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "blocked");
+  EXPECT_EQ(log[1], "produce");
+  EXPECT_EQ(log[2], "resumed");
+}
+
+TEST_F(SyncTest, SemaphoreVWithoutWaitersIncrements) {
+  Owner& o = *NewOwner("o");
+  Semaphore* sem = kernel_->CreateSemaphore(&o, "s", 0);
+  Thread* t = kernel_->CreateThread(&o, "t");
+  t->Push(10, kKernelDomain, [&] { sem->V(); });
+  eq_.RunUntil(CyclesFromMillis(1));
+  EXPECT_EQ(sem->count(), 1);
+}
+
+TEST_F(SyncTest, DestroyUnblocksForeignWaitersOnly) {
+  Owner& owner_a = *NewOwner("a");
+  Owner& owner_b = *NewOwner("b");
+  Semaphore* sem = kernel_->CreateSemaphore(&owner_a, "s", 0);
+
+  Thread* foreign = kernel_->CreateThread(&owner_b, "foreign");
+  bool foreign_resumed = false;
+  foreign->Push(10, kKernelDomain, [&] { sem->P(kernel_->current_thread()); });
+  foreign->Push(10, kKernelDomain, [&] { foreign_resumed = true; });
+
+  eq_.ScheduleAt(CyclesFromMillis(2), [&] { kernel_->DestroySemaphore(sem); });
+  eq_.RunUntil(CyclesFromMillis(5));
+  EXPECT_TRUE(foreign_resumed);
+}
+
+TEST_F(SyncTest, OneShotEventFiresOnceAfterDelay) {
+  Owner& o = *NewOwner("o");
+  int fires = 0;
+  Cycles fire_time = 0;
+  kernel_->RegisterEvent(&o, "once", CyclesFromMillis(5), 0, 100, kKernelDomain, [&] {
+    ++fires;
+    fire_time = eq_.now();
+  });
+  eq_.RunUntil(CyclesFromMillis(20));
+  EXPECT_EQ(fires, 1);
+  // Softclock granularity is 1 ms; the event fires on the first tick at or
+  // after its deadline.
+  EXPECT_GE(fire_time, CyclesFromMillis(5));
+  EXPECT_LE(fire_time, CyclesFromMillis(7));
+}
+
+TEST_F(SyncTest, PeriodicEventKeepsCadence) {
+  Owner& o = *NewOwner("o");
+  int fires = 0;
+  KernelEvent* ev = kernel_->RegisterEvent(&o, "tick", CyclesFromMillis(2),
+                                           CyclesFromMillis(2), 100, kKernelDomain,
+                                           [&] { ++fires; });
+  eq_.RunUntil(CyclesFromMillis(21));
+  // ~10 periods in 20ms.
+  EXPECT_GE(fires, 9);
+  EXPECT_LE(fires, 11);
+  EXPECT_EQ(ev->fire_count(), static_cast<uint64_t>(fires));
+}
+
+TEST_F(SyncTest, EventDispatchChargedToOwner) {
+  Owner& o = *NewOwner("event-owner");
+  kernel_->RegisterEvent(&o, "tick", CyclesFromMillis(1), CyclesFromMillis(1), 500,
+                         kKernelDomain, [] {});
+  eq_.RunUntil(CyclesFromMillis(10));
+  // Dispatch cost lands on the event's owner (the Table 1 "TCP Master
+  // Event" split), not on the kernel.
+  EXPECT_GT(o.usage().cycles, 4 * 500u);
+}
+
+TEST_F(SyncTest, CancelledEventNeverFires) {
+  Owner& o = *NewOwner("o");
+  int fires = 0;
+  KernelEvent* ev = kernel_->RegisterEvent(&o, "never", CyclesFromMillis(5), 0, 100,
+                                           kKernelDomain, [&] { ++fires; });
+  kernel_->CancelEvent(ev);
+  EXPECT_EQ(o.usage().events, 0u);
+  eq_.RunUntil(CyclesFromMillis(10));
+  EXPECT_EQ(fires, 0);
+}
+
+TEST_F(SyncTest, DelayedSoftclockCatchesUpMissedPeriods) {
+  Owner& o = *NewOwner("o");
+  int fires = 0;
+  kernel_->RegisterEvent(&o, "rate", CyclesFromMillis(1), CyclesFromMillis(1), 50,
+                         kKernelDomain, [&] { ++fires; });
+  // Hog the CPU for 6 ms without yielding so several softclock ticks queue.
+  Thread* hog = kernel_->CreateThread(kernel_->kernel_owner(), "hog");
+  eq_.ScheduleAt(CyclesFromMillis(2), [&] {
+    hog->Push(CyclesFromMillis(6), kKernelDomain, nullptr);
+  });
+  eq_.RunUntil(CyclesFromMillis(20));
+  // All ~18 periods fire despite the stall (rate-preserving catch-up).
+  EXPECT_GE(fires, 16);
+}
+
+}  // namespace
+}  // namespace escort

@@ -1,0 +1,178 @@
+// Workload-layer tests: the shared link, bounded queues, the experiment
+// harness itself, and the elib bounded queue.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/elib/bounded_queue.h"
+#include "src/workload/experiment.h"
+
+namespace escort {
+namespace {
+
+TEST(BoundedQueue, FifoAndCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_FALSE(q.Push(3));  // full: dropped
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.high_water(), 2u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+class NullEndpoint : public NetEndpoint {
+ public:
+  void DeliverFrame(const std::vector<uint8_t>& frame) override {
+    ++frames;
+    last_size = frame.size();
+    times.push_back(now ? *now : 0);
+  }
+  uint64_t frames = 0;
+  size_t last_size = 0;
+  const Cycles* now = nullptr;
+  std::vector<Cycles> times;
+};
+
+TEST(SharedLink, DeliversUnicastToOwnerOfDestinationMac) {
+  EventQueue eq;
+  SharedLink link(&eq, NetworkModel::Calibrated());
+  NullEndpoint a;
+  NullEndpoint b;
+  a.now = &eq.now_ref();
+  b.now = &eq.now_ref();
+  link.Attach(MacAddr::FromIndex(1), &a);
+  link.Attach(MacAddr::FromIndex(2), &b);
+
+  std::vector<uint8_t> frame(100, 0);
+  std::copy_n(MacAddr::FromIndex(2).bytes.begin(), 6, frame.begin());
+  link.Send(MacAddr::FromIndex(1), frame);
+  eq.RunToCompletion();
+  EXPECT_EQ(a.frames, 0u);
+  EXPECT_EQ(b.frames, 1u);
+  EXPECT_EQ(b.last_size, 100u);
+}
+
+TEST(SharedLink, BroadcastReachesEveryoneButSender) {
+  EventQueue eq;
+  SharedLink link(&eq, NetworkModel::Calibrated());
+  NullEndpoint a, b, c;
+  link.Attach(MacAddr::FromIndex(1), &a);
+  link.Attach(MacAddr::FromIndex(2), &b);
+  link.Attach(MacAddr::FromIndex(3), &c);
+  std::vector<uint8_t> frame(64, 0);
+  std::copy_n(MacAddr::Broadcast().bytes.begin(), 6, frame.begin());
+  link.Send(MacAddr::FromIndex(1), frame);
+  eq.RunToCompletion();
+  EXPECT_EQ(a.frames, 0u);
+  EXPECT_EQ(b.frames, 1u);
+  EXPECT_EQ(c.frames, 1u);
+}
+
+TEST(SharedLink, MediumSerializesTransmissions) {
+  EventQueue eq;
+  NetworkModel model = NetworkModel::Calibrated();
+  SharedLink link(&eq, model);
+  NullEndpoint sink;
+  sink.now = &eq.now_ref();
+  link.Attach(MacAddr::FromIndex(2), &sink, 0);
+
+  // Two back-to-back 1500-byte frames: the second arrives one
+  // serialization time after the first.
+  std::vector<uint8_t> frame(1500, 0);
+  std::copy_n(MacAddr::FromIndex(2).bytes.begin(), 6, frame.begin());
+  link.Send(MacAddr::FromIndex(1), frame);
+  link.Send(MacAddr::FromIndex(1), frame);
+  eq.RunToCompletion();
+  ASSERT_EQ(sink.times.size(), 2u);
+  Cycles gap = sink.times[1] - sink.times[0];
+  double expected_secs = (1500 + 24) * 8 / model.link_bandwidth_bps;
+  EXPECT_NEAR(SecondsFromCycles(gap), expected_secs, expected_secs * 0.05);
+}
+
+TEST(SharedLink, DropEveryNDropsDeterministically) {
+  EventQueue eq;
+  SharedLink link(&eq, NetworkModel::Calibrated());
+  NullEndpoint sink;
+  link.Attach(MacAddr::FromIndex(2), &sink);
+  link.set_drop_every(3);
+  std::vector<uint8_t> frame(64, 0);
+  std::copy_n(MacAddr::FromIndex(2).bytes.begin(), 6, frame.begin());
+  for (int i = 0; i < 9; ++i) {
+    link.Send(MacAddr::FromIndex(1), frame);
+  }
+  eq.RunToCompletion();
+  EXPECT_EQ(link.frames_dropped(), 3u);
+  EXPECT_EQ(sink.frames, 6u);
+}
+
+TEST(ExperimentHarness, BasicRunProducesThroughput) {
+  ExperimentSpec spec;
+  spec.clients = 4;
+  spec.warmup_s = 0.2;
+  spec.window_s = 0.4;
+  ExperimentResult r = RunExperiment(spec);
+  EXPECT_GT(r.conns_per_sec, 100.0);
+  EXPECT_EQ(r.client_failures, 0u);
+  EXPECT_GT(r.ledger.Get("Main Active Path"), 0u);
+  // Conservation over the measurement window.
+  double drift = std::abs(static_cast<double>(r.ledger.Total()) -
+                          static_cast<double>(r.window_cycles));
+  EXPECT_LT(drift / static_cast<double>(r.window_cycles), 0.001);
+}
+
+TEST(ExperimentHarness, LinuxComparatorRuns) {
+  ExperimentSpec spec;
+  spec.linux_server = true;
+  spec.clients = 4;
+  spec.warmup_s = 0.2;
+  spec.window_s = 0.4;
+  ExperimentResult r = RunExperiment(spec);
+  EXPECT_GT(r.conns_per_sec, 100.0);
+}
+
+TEST(ExperimentHarness, DeterministicAcrossRuns) {
+  ExperimentSpec spec;
+  spec.clients = 2;
+  spec.warmup_s = 0.1;
+  spec.window_s = 0.2;
+  ExperimentResult a = RunExperiment(spec);
+  ExperimentResult b = RunExperiment(spec);
+  EXPECT_EQ(a.conns_per_sec, b.conns_per_sec);
+  EXPECT_EQ(a.completions_total, b.completions_total);
+  EXPECT_EQ(a.ledger.Total(), b.ledger.Total());
+}
+
+TEST(ExperimentHarness, EnvOverridesRespected) {
+  ::setenv("ESCORT_TEST_SECONDS", "1.5", 1);
+  EXPECT_DOUBLE_EQ(EnvSeconds("ESCORT_TEST_SECONDS", 9.9), 1.5);
+  ::setenv("ESCORT_TEST_SECONDS", "garbage", 1);
+  EXPECT_DOUBLE_EQ(EnvSeconds("ESCORT_TEST_SECONDS", 9.9), 9.9);
+  ::unsetenv("ESCORT_TEST_SECONDS");
+  EXPECT_DOUBLE_EQ(EnvSeconds("ESCORT_TEST_SECONDS", 9.9), 9.9);
+}
+
+TEST(ExperimentHarness, AccuracyRunBalancesExactly) {
+  AccuracyResult r = RunAccountingAccuracy(ServerConfig::kAccounting, 10);
+  EXPECT_EQ(r.requests, 10u);
+  EXPECT_EQ(r.ledger.Total(), r.total_measured);
+  EXPECT_GT(r.ledger.Get("Main Active Path"), 0u);
+  EXPECT_GT(r.ledger.Get("Passive SYN Path"), 0u);
+}
+
+TEST(ExperimentHarness, KillCostMatchesTable2Band) {
+  KillCostResult r = RunKillCost(ServerConfig::kAccounting, 3);
+  EXPECT_EQ(r.kills, 3u);
+  // Calibrated near the paper's 17,951 cycles.
+  EXPECT_GT(r.mean_cycles, 10'000.0);
+  EXPECT_LT(r.mean_cycles, 30'000.0);
+
+  KillCostResult pd = RunKillCost(ServerConfig::kAccountingPd, 3);
+  // Full separation costs several times more (paper: 111,568 vs 17,951).
+  EXPECT_GT(pd.mean_cycles, 3 * r.mean_cycles);
+}
+
+}  // namespace
+}  // namespace escort

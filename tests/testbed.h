@@ -1,0 +1,56 @@
+// Shared end-to-end testbed for the integration tests: the Escort web
+// server plus client machines on the simulated segment.
+
+#ifndef TESTS_TESTBED_H_
+#define TESTS_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/server/web_server.h"
+#include "src/workload/http_client.h"
+
+namespace escort {
+
+class Testbed {
+ public:
+  explicit Testbed(ServerConfig config, WebServerOptions opts = WebServerOptions{}) {
+    link = std::make_unique<SharedLink>(&eq, NetworkModel::Calibrated());
+    opts.config = config;
+    server = std::make_unique<EscortWebServer>(&eq, link.get(), opts);
+  }
+
+  ClientMachine* AddClient(int index) {
+    Ip4Addr ip = Ip4Addr::FromOctets(10, 0, 1, static_cast<uint8_t>(index + 1));
+    auto machine = std::make_unique<ClientMachine>(
+        &eq, link.get(), MacAddr::FromIndex(100 + static_cast<uint64_t>(index)), ip,
+        NetworkModel::Calibrated(), 1000 + static_cast<uint64_t>(index));
+    machine->AddArpEntry(server->options().ip, server->options().mac);
+    server->AddArpEntry(ip, machine->mac());
+    machines.push_back(std::move(machine));
+    return machines.back().get();
+  }
+
+  // Adds a client machine on the untrusted side of the Internet.
+  ClientMachine* AddUntrustedClient(int index) {
+    Ip4Addr ip = Ip4Addr::FromOctets(192, 168, 5, static_cast<uint8_t>(index + 1));
+    auto machine = std::make_unique<ClientMachine>(
+        &eq, link.get(), MacAddr::FromIndex(300 + static_cast<uint64_t>(index)), ip,
+        NetworkModel::Calibrated(), 2000 + static_cast<uint64_t>(index));
+    machine->AddArpEntry(server->options().ip, server->options().mac);
+    server->AddArpEntry(ip, machine->mac());
+    machines.push_back(std::move(machine));
+    return machines.back().get();
+  }
+
+  void RunFor(double seconds) { eq.RunUntil(eq.now() + CyclesFromSeconds(seconds)); }
+
+  EventQueue eq;
+  std::unique_ptr<SharedLink> link;
+  std::unique_ptr<EscortWebServer> server;
+  std::vector<std::unique_ptr<ClientMachine>> machines;
+};
+
+}  // namespace escort
+
+#endif  // TESTS_TESTBED_H_

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_blacklist.dir/ext_blacklist.cc.o"
+  "CMakeFiles/ext_blacklist.dir/ext_blacklist.cc.o.d"
+  "ext_blacklist"
+  "ext_blacklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_blacklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

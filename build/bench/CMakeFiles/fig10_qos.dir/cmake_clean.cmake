@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_qos.dir/fig10_qos.cc.o"
+  "CMakeFiles/fig10_qos.dir/fig10_qos.cc.o.d"
+  "fig10_qos"
+  "fig10_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cgi.dir/fig11_cgi.cc.o"
+  "CMakeFiles/fig11_cgi.dir/fig11_cgi.cc.o.d"
+  "fig11_cgi"
+  "fig11_cgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

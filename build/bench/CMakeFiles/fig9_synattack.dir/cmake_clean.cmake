@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_synattack.dir/fig9_synattack.cc.o"
+  "CMakeFiles/fig9_synattack.dir/fig9_synattack.cc.o.d"
+  "fig9_synattack"
+  "fig9_synattack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_synattack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pathkill.dir/table2_pathkill.cc.o"
+  "CMakeFiles/table2_pathkill.dir/table2_pathkill.cc.o.d"
+  "table2_pathkill"
+  "table2_pathkill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pathkill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgi_containment.dir/cgi_containment.cpp.o"
+  "CMakeFiles/cgi_containment.dir/cgi_containment.cpp.o.d"
+  "cgi_containment"
+  "cgi_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgi_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/qos_streaming.cpp" "examples/CMakeFiles/qos_streaming.dir/qos_streaming.cpp.o" "gcc" "examples/CMakeFiles/qos_streaming.dir/qos_streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/escort_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/escort_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/escort_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/escort_workload_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/escort_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/path/CMakeFiles/escort_path.dir/DependInfo.cmake"
+  "/root/repo/build/src/elib/CMakeFiles/escort_elib.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/escort_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/escort_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_streaming.dir/qos_streaming.cpp.o"
+  "CMakeFiles/qos_streaming.dir/qos_streaming.cpp.o.d"
+  "qos_streaming"
+  "qos_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

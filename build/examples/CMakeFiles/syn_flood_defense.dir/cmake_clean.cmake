@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syn_flood_defense.dir/syn_flood_defense.cpp.o"
+  "CMakeFiles/syn_flood_defense.dir/syn_flood_defense.cpp.o.d"
+  "syn_flood_defense"
+  "syn_flood_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syn_flood_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

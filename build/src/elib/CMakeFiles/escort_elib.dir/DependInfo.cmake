@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elib/address.cc" "src/elib/CMakeFiles/escort_elib.dir/address.cc.o" "gcc" "src/elib/CMakeFiles/escort_elib.dir/address.cc.o.d"
+  "/root/repo/src/elib/byte_io.cc" "src/elib/CMakeFiles/escort_elib.dir/byte_io.cc.o" "gcc" "src/elib/CMakeFiles/escort_elib.dir/byte_io.cc.o.d"
+  "/root/repo/src/elib/message.cc" "src/elib/CMakeFiles/escort_elib.dir/message.cc.o" "gcc" "src/elib/CMakeFiles/escort_elib.dir/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/escort_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/escort_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_elib.dir/address.cc.o"
+  "CMakeFiles/escort_elib.dir/address.cc.o.d"
+  "CMakeFiles/escort_elib.dir/byte_io.cc.o"
+  "CMakeFiles/escort_elib.dir/byte_io.cc.o.d"
+  "CMakeFiles/escort_elib.dir/message.cc.o"
+  "CMakeFiles/escort_elib.dir/message.cc.o.d"
+  "libescort_elib.a"
+  "libescort_elib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_elib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

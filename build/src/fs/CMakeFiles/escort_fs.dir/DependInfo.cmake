@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/fs.cc" "src/fs/CMakeFiles/escort_fs.dir/fs.cc.o" "gcc" "src/fs/CMakeFiles/escort_fs.dir/fs.cc.o.d"
+  "/root/repo/src/fs/scsi.cc" "src/fs/CMakeFiles/escort_fs.dir/scsi.cc.o" "gcc" "src/fs/CMakeFiles/escort_fs.dir/scsi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/path/CMakeFiles/escort_path.dir/DependInfo.cmake"
+  "/root/repo/build/src/elib/CMakeFiles/escort_elib.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/escort_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/escort_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

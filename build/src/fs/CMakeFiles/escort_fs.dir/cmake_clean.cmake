@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_fs.dir/fs.cc.o"
+  "CMakeFiles/escort_fs.dir/fs.cc.o.d"
+  "CMakeFiles/escort_fs.dir/scsi.cc.o"
+  "CMakeFiles/escort_fs.dir/scsi.cc.o.d"
+  "libescort_fs.a"
+  "libescort_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/acl.cc" "src/kernel/CMakeFiles/escort_kernel.dir/acl.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/acl.cc.o.d"
+  "/root/repo/src/kernel/device.cc" "src/kernel/CMakeFiles/escort_kernel.dir/device.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/device.cc.o.d"
+  "/root/repo/src/kernel/iobuffer.cc" "src/kernel/CMakeFiles/escort_kernel.dir/iobuffer.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/iobuffer.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/escort_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/owner.cc" "src/kernel/CMakeFiles/escort_kernel.dir/owner.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/owner.cc.o.d"
+  "/root/repo/src/kernel/page_allocator.cc" "src/kernel/CMakeFiles/escort_kernel.dir/page_allocator.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/page_allocator.cc.o.d"
+  "/root/repo/src/kernel/protection_domain.cc" "src/kernel/CMakeFiles/escort_kernel.dir/protection_domain.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/protection_domain.cc.o.d"
+  "/root/repo/src/kernel/scheduler.cc" "src/kernel/CMakeFiles/escort_kernel.dir/scheduler.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/scheduler.cc.o.d"
+  "/root/repo/src/kernel/semaphore.cc" "src/kernel/CMakeFiles/escort_kernel.dir/semaphore.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/semaphore.cc.o.d"
+  "/root/repo/src/kernel/syscall.cc" "src/kernel/CMakeFiles/escort_kernel.dir/syscall.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/syscall.cc.o.d"
+  "/root/repo/src/kernel/thread.cc" "src/kernel/CMakeFiles/escort_kernel.dir/thread.cc.o" "gcc" "src/kernel/CMakeFiles/escort_kernel.dir/thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/escort_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_kernel.dir/acl.cc.o"
+  "CMakeFiles/escort_kernel.dir/acl.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/device.cc.o"
+  "CMakeFiles/escort_kernel.dir/device.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/iobuffer.cc.o"
+  "CMakeFiles/escort_kernel.dir/iobuffer.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/kernel.cc.o"
+  "CMakeFiles/escort_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/owner.cc.o"
+  "CMakeFiles/escort_kernel.dir/owner.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/page_allocator.cc.o"
+  "CMakeFiles/escort_kernel.dir/page_allocator.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/protection_domain.cc.o"
+  "CMakeFiles/escort_kernel.dir/protection_domain.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/scheduler.cc.o"
+  "CMakeFiles/escort_kernel.dir/scheduler.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/semaphore.cc.o"
+  "CMakeFiles/escort_kernel.dir/semaphore.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/syscall.cc.o"
+  "CMakeFiles/escort_kernel.dir/syscall.cc.o.d"
+  "CMakeFiles/escort_kernel.dir/thread.cc.o"
+  "CMakeFiles/escort_kernel.dir/thread.cc.o.d"
+  "libescort_kernel.a"
+  "libescort_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

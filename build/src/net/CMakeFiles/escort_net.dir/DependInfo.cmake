@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/arp.cc" "src/net/CMakeFiles/escort_net.dir/arp.cc.o" "gcc" "src/net/CMakeFiles/escort_net.dir/arp.cc.o.d"
+  "/root/repo/src/net/eth.cc" "src/net/CMakeFiles/escort_net.dir/eth.cc.o" "gcc" "src/net/CMakeFiles/escort_net.dir/eth.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/escort_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/escort_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/http.cc" "src/net/CMakeFiles/escort_net.dir/http.cc.o" "gcc" "src/net/CMakeFiles/escort_net.dir/http.cc.o.d"
+  "/root/repo/src/net/ip.cc" "src/net/CMakeFiles/escort_net.dir/ip.cc.o" "gcc" "src/net/CMakeFiles/escort_net.dir/ip.cc.o.d"
+  "/root/repo/src/net/tcp.cc" "src/net/CMakeFiles/escort_net.dir/tcp.cc.o" "gcc" "src/net/CMakeFiles/escort_net.dir/tcp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/path/CMakeFiles/escort_path.dir/DependInfo.cmake"
+  "/root/repo/build/src/elib/CMakeFiles/escort_elib.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/escort_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/escort_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_net.dir/arp.cc.o"
+  "CMakeFiles/escort_net.dir/arp.cc.o.d"
+  "CMakeFiles/escort_net.dir/eth.cc.o"
+  "CMakeFiles/escort_net.dir/eth.cc.o.d"
+  "CMakeFiles/escort_net.dir/headers.cc.o"
+  "CMakeFiles/escort_net.dir/headers.cc.o.d"
+  "CMakeFiles/escort_net.dir/http.cc.o"
+  "CMakeFiles/escort_net.dir/http.cc.o.d"
+  "CMakeFiles/escort_net.dir/ip.cc.o"
+  "CMakeFiles/escort_net.dir/ip.cc.o.d"
+  "CMakeFiles/escort_net.dir/tcp.cc.o"
+  "CMakeFiles/escort_net.dir/tcp.cc.o.d"
+  "libescort_net.a"
+  "libescort_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

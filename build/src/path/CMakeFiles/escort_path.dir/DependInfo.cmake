@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/path/module.cc" "src/path/CMakeFiles/escort_path.dir/module.cc.o" "gcc" "src/path/CMakeFiles/escort_path.dir/module.cc.o.d"
+  "/root/repo/src/path/module_graph.cc" "src/path/CMakeFiles/escort_path.dir/module_graph.cc.o" "gcc" "src/path/CMakeFiles/escort_path.dir/module_graph.cc.o.d"
+  "/root/repo/src/path/path.cc" "src/path/CMakeFiles/escort_path.dir/path.cc.o" "gcc" "src/path/CMakeFiles/escort_path.dir/path.cc.o.d"
+  "/root/repo/src/path/path_manager.cc" "src/path/CMakeFiles/escort_path.dir/path_manager.cc.o" "gcc" "src/path/CMakeFiles/escort_path.dir/path_manager.cc.o.d"
+  "/root/repo/src/path/pathfinder.cc" "src/path/CMakeFiles/escort_path.dir/pathfinder.cc.o" "gcc" "src/path/CMakeFiles/escort_path.dir/pathfinder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/elib/CMakeFiles/escort_elib.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/escort_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/escort_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_path.dir/module.cc.o"
+  "CMakeFiles/escort_path.dir/module.cc.o.d"
+  "CMakeFiles/escort_path.dir/module_graph.cc.o"
+  "CMakeFiles/escort_path.dir/module_graph.cc.o.d"
+  "CMakeFiles/escort_path.dir/path.cc.o"
+  "CMakeFiles/escort_path.dir/path.cc.o.d"
+  "CMakeFiles/escort_path.dir/path_manager.cc.o"
+  "CMakeFiles/escort_path.dir/path_manager.cc.o.d"
+  "CMakeFiles/escort_path.dir/pathfinder.cc.o"
+  "CMakeFiles/escort_path.dir/pathfinder.cc.o.d"
+  "libescort_path.a"
+  "libescort_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

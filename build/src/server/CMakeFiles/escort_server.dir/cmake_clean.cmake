@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_server.dir/cgi.cc.o"
+  "CMakeFiles/escort_server.dir/cgi.cc.o.d"
+  "CMakeFiles/escort_server.dir/monolithic_server.cc.o"
+  "CMakeFiles/escort_server.dir/monolithic_server.cc.o.d"
+  "CMakeFiles/escort_server.dir/policy.cc.o"
+  "CMakeFiles/escort_server.dir/policy.cc.o.d"
+  "CMakeFiles/escort_server.dir/web_server.cc.o"
+  "CMakeFiles/escort_server.dir/web_server.cc.o.d"
+  "libescort_server.a"
+  "libescort_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

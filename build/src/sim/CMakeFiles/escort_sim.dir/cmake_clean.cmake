@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_sim.dir/cost_model.cc.o"
+  "CMakeFiles/escort_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/escort_sim.dir/event_queue.cc.o"
+  "CMakeFiles/escort_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/escort_sim.dir/rng.cc.o"
+  "CMakeFiles/escort_sim.dir/rng.cc.o.d"
+  "CMakeFiles/escort_sim.dir/stats.cc.o"
+  "CMakeFiles/escort_sim.dir/stats.cc.o.d"
+  "libescort_sim.a"
+  "libescort_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

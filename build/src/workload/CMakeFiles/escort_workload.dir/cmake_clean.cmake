@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_workload.dir/experiment.cc.o"
+  "CMakeFiles/escort_workload.dir/experiment.cc.o.d"
+  "CMakeFiles/escort_workload.dir/http_client.cc.o"
+  "CMakeFiles/escort_workload.dir/http_client.cc.o.d"
+  "libescort_workload.a"
+  "libescort_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escort_workload_net.dir/client_machine.cc.o"
+  "CMakeFiles/escort_workload_net.dir/client_machine.cc.o.d"
+  "CMakeFiles/escort_workload_net.dir/network.cc.o"
+  "CMakeFiles/escort_workload_net.dir/network.cc.o.d"
+  "CMakeFiles/escort_workload_net.dir/wire.cc.o"
+  "CMakeFiles/escort_workload_net.dir/wire.cc.o.d"
+  "libescort_workload_net.a"
+  "libescort_workload_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escort_workload_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_console.dir/test_device_console.cc.o"
+  "CMakeFiles/test_device_console.dir/test_device_console.cc.o.d"
+  "test_device_console"
+  "test_device_console.pdb"
+  "test_device_console[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_scsi.dir/test_fs_scsi.cc.o"
+  "CMakeFiles/test_fs_scsi.dir/test_fs_scsi.cc.o.d"
+  "test_fs_scsi"
+  "test_fs_scsi.pdb"
+  "test_fs_scsi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_scsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iobuffer.dir/test_iobuffer.cc.o"
+  "CMakeFiles/test_iobuffer.dir/test_iobuffer.cc.o.d"
+  "test_iobuffer"
+  "test_iobuffer.pdb"
+  "test_iobuffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iobuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

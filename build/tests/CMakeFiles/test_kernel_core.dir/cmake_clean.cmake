@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_core.dir/test_kernel_core.cc.o"
+  "CMakeFiles/test_kernel_core.dir/test_kernel_core.cc.o.d"
+  "test_kernel_core"
+  "test_kernel_core.pdb"
+  "test_kernel_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

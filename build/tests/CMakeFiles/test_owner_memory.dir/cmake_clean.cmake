@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_owner_memory.dir/test_owner_memory.cc.o"
+  "CMakeFiles/test_owner_memory.dir/test_owner_memory.cc.o.d"
+  "test_owner_memory"
+  "test_owner_memory.pdb"
+  "test_owner_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_owner_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_http.dir/test_tcp_http.cc.o"
+  "CMakeFiles/test_tcp_http.dir/test_tcp_http.cc.o.d"
+  "test_tcp_http"
+  "test_tcp_http.pdb"
+  "test_tcp_http[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_webserver_integration.dir/test_webserver_integration.cc.o"
+  "CMakeFiles/test_webserver_integration.dir/test_webserver_integration.cc.o.d"
+  "test_webserver_integration"
+  "test_webserver_integration.pdb"
+  "test_webserver_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_webserver_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_basics[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_core[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_iobuffer[1]_include.cmake")
+include("/root/repo/build/tests/test_message[1]_include.cmake")
+include("/root/repo/build/tests/test_owner_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_events[1]_include.cmake")
+include("/root/repo/build/tests/test_path[1]_include.cmake")
+include("/root/repo/build/tests/test_acl[1]_include.cmake")
+include("/root/repo/build/tests/test_headers[1]_include.cmake")
+include("/root/repo/build/tests/test_webserver_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_http[1]_include.cmake")
+include("/root/repo/build/tests/test_pathfinder[1]_include.cmake")
+include("/root/repo/build/tests/test_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_scsi[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_device_console[1]_include.cmake")
+include("/root/repo/build/tests/test_net_units[1]_include.cmake")

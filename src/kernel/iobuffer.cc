@@ -202,6 +202,14 @@ void IoBufferManager::MoveToCache(IoBuffer* buf) {
   cache_.push_back(buf);
 }
 
+uint64_t IoBufferManager::total_lock_count() const {
+  uint64_t total = 0;
+  for (const IoBuffer* buf : live_) {
+    total += static_cast<uint64_t>(buf->lock_count());
+  }
+  return total;
+}
+
 uint64_t IoBufferManager::total_fault_count() const {
   uint64_t total = 0;
   for (const IoBuffer* buf : live_) {

@@ -129,6 +129,9 @@ class IoBufferManager {
 
   uint64_t live_buffers() const { return live_.size(); }
   uint64_t cached_buffers() const { return cache_.size(); }
+  // Outstanding locks across all live buffers (cached buffers hold none);
+  // cross-checked by the auditor against the per-owner lock counters.
+  uint64_t total_lock_count() const;
   uint64_t alloc_count() const { return alloc_count_; }
   uint64_t cache_hit_count() const { return cache_hit_count_; }
   uint64_t total_fault_count() const;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/kernel/audit.h"
+
 namespace escort {
 
 namespace {
@@ -284,6 +286,8 @@ void Kernel::DispatchNext() {
           // The dropped item still burned the trap cost; bill the kernel
           // and let the reclamation time pass before the next dispatch.
           cpu_busy_ = true;
+          busy_segment_start_ = eq_->now();
+          busy_segment_upfront_ = fault_extra - pc;  // precharged teardown
           eq_->ScheduleAfter(fault_extra + config_.costs.pd_crossing, [this, pc] {
             ChargeCycles(kernel_owner_.get(), pc + config_.costs.pd_crossing);
             cpu_busy_ = false;
@@ -291,9 +295,13 @@ void Kernel::DispatchNext() {
           });
           return;
         }
-        if (pc > 0) {
-          ChargeCycles(kernel_owner_.get(), pc);
-        }
+        // The thread survived the fault: the handler's time is folded into
+        // this item's busy period, with the kernel billed for it at the
+        // item's completion (charging now with no elapsed time would break
+        // cycle conservation).
+        deferred_duration_ += fault_extra;
+        deferred_kernel_charge_ += pc;
+        cost += fault_extra;
       }
     }
     cost += config_.costs.pd_crossing;
@@ -305,23 +313,34 @@ void Kernel::DispatchNext() {
   }
   current_cost_ = cost;
   cpu_busy_ = true;
+  busy_segment_start_ = eq_->now();
+  busy_segment_upfront_ = deferred_duration_ - deferred_kernel_charge_;
   eq_->ScheduleAfter(cost, [this] { CompleteItem(); });
 }
 
 void Kernel::CompleteItem() {
+  // Settle any fault-handler time deferred into this item: its duration is
+  // part of current_cost_, but the kernel (not the item's owner) pays it.
+  const Cycles owner_cost = current_cost_ - deferred_duration_;
+  if (deferred_kernel_charge_ > 0) {
+    ChargeCycles(kernel_owner_.get(), deferred_kernel_charge_);
+  }
+  deferred_duration_ = 0;
+  deferred_kernel_charge_ = 0;
+
   Thread* t = running_;
   if (t == nullptr) {
     // The running thread was destroyed while this busy period was in
     // flight; the cycles go to the kernel (reclamation context).
-    ChargeCycles(kernel_owner_.get(), current_cost_);
+    ChargeCycles(kernel_owner_.get(), owner_cost);
     cpu_busy_ = false;
     DispatchNext();
     return;
   }
 
-  ChargeCycles(t->owner(), current_cost_);
-  scheduler_->AccountRun(t, current_cost_);
-  t->run_since_yield_ += current_cost_;
+  ChargeCycles(t->owner(), owner_cost);
+  scheduler_->AccountRun(t, owner_cost);
+  t->run_since_yield_ += owner_cost;
 
   if (current_item_.pd != t->current_pd_) {
     t->current_pd_ = current_item_.pd;
@@ -351,6 +370,8 @@ void Kernel::CompleteItem() {
     }
     Cycles pre = pending_precharged_;
     pending_precharged_ = 0;
+    busy_segment_start_ = eq_->now();
+    busy_segment_upfront_ = pre;
     eq_->ScheduleAfter(pc + pre, [this, pc] {
       Thread* rt = running_;
       Owner* charge_to = (rt != nullptr) ? rt->owner() : kernel_owner_.get();
@@ -376,6 +397,8 @@ void Kernel::FinishItem() {
   }
 
   Owner* owner = t->owner();
+  Cycles survivor_extra = 0;
+  Cycles survivor_pc = 0;
   if (owner->max_thread_run() > 0 && t->run_since_yield_ > owner->max_thread_run()) {
     ++runaway_detections_;
     if (runaway_handler_) {
@@ -394,6 +417,8 @@ void Kernel::FinishItem() {
         running_ = nullptr;
         if (extra > 0) {
           cpu_busy_ = true;
+          busy_segment_start_ = eq_->now();
+          busy_segment_upfront_ = extra - pc;  // precharged teardown
           eq_->ScheduleAfter(extra, [this, pc] {
             ChargeCycles(kernel_owner_.get(), pc);
             cpu_busy_ = false;
@@ -405,9 +430,11 @@ void Kernel::FinishItem() {
         DispatchNext();
         return;
       }
-      if (pc > 0) {
-        ChargeCycles(kernel_owner_.get(), pc);
-      }
+      // The thread survived the runaway check: the handler's time passes as
+      // a kernel-billed busy segment after the state transition below
+      // (charging now with no elapsed time would break cycle conservation).
+      survivor_extra = extra;
+      survivor_pc = pc;
     }
   }
 
@@ -426,6 +453,17 @@ void Kernel::FinishItem() {
     running_ = nullptr;
   }
   // Otherwise the thread keeps the CPU: Escort threads are non-preemptive.
+  if (survivor_extra > 0) {
+    cpu_busy_ = true;
+    busy_segment_start_ = eq_->now();
+    busy_segment_upfront_ = survivor_extra - survivor_pc;
+    eq_->ScheduleAfter(survivor_extra, [this, survivor_pc] {
+      ChargeCycles(kernel_owner_.get(), survivor_pc);
+      cpu_busy_ = false;
+      DispatchNext();
+    });
+    return;
+  }
   cpu_busy_ = false;
   DispatchNext();
 }
@@ -673,6 +711,9 @@ Cycles Kernel::DestroyOwner(Owner* owner, int pd_count) {
   // ledger retires with them below); the CPU time passes on the kernel's
   // watch — removal consumes none of the offender's *remaining* resources.
   ConsumePrechargedTo(owner, cost);
+  if (auditor_ != nullptr) {
+    auditor_->CheckOwnerDrained(*owner);
+  }
   owner->mark_destroyed();
   UnregisterOwner(owner);
   return cost;
@@ -708,6 +749,25 @@ void Kernel::ResetAccounting() {
   accounting_overhead_cycles_ = 0;
   pd_crossings_ = 0;
   dispatch_count_ = 0;
+  unsettled_at_reset_ = UnsettledBusyCycles();
+}
+
+int64_t Kernel::UnsettledBusyCycles() const {
+  if (!cpu_busy_) {
+    return 0;
+  }
+  return static_cast<int64_t>(eq_->now() - busy_segment_start_) -
+         static_cast<int64_t>(busy_segment_upfront_);
+}
+
+uint64_t Kernel::live_event_count() const {
+  uint64_t live = 0;
+  for (const auto& ev : events_) {
+    if (!ev->cancelled_) {
+      ++live;
+    }
+  }
+  return live;
 }
 
 }  // namespace escort

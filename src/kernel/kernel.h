@@ -39,6 +39,8 @@
 
 namespace escort {
 
+class Auditor;
+
 enum class SchedulerKind { kPriority, kProportionalShare, kEdf };
 
 struct KernelConfig {
@@ -102,6 +104,7 @@ class Kernel {
   void RegisterOwner(Owner* owner, const std::string& account_label);
   void UnregisterOwner(Owner* owner);
   const std::string& AccountLabel(const Owner* owner) const;
+  const std::map<const Owner*, std::string>& account_labels() const { return account_labels_; }
 
   // --- Devices and console ---------------------------------------------------
   DeviceRegistry& devices() { return devices_; }
@@ -191,6 +194,29 @@ class Kernel {
   // Resets all cycle counters (start of a measurement window).
   void ResetAccounting();
 
+  // --- Audit hooks -----------------------------------------------------------------
+  // When set, the auditor drain-checks every owner at destruction time
+  // (see src/kernel/audit.h). Owned by the caller (typically an AuditScope).
+  void set_auditor(Auditor* a) { auditor_ = a; }
+  Auditor* auditor() { return auditor_; }
+
+  // Cycles of the in-flight busy segment that have been consumed but not
+  // yet charged to any owner. Negative when the segment was partially
+  // precharged (teardown costs are billed up front). Zero when the CPU is
+  // idle, so `Snapshot().Total() + UnsettledBusyCycles() - unsettled_at_reset()
+  // == now() - start_time()` holds exactly at every instant — the Table 1
+  // conservation invariant the auditor asserts.
+  int64_t UnsettledBusyCycles() const;
+  // UnsettledBusyCycles() captured at the last ResetAccounting (a window
+  // opened mid-segment starts with this much pre-window debt).
+  int64_t unsettled_at_reset() const { return unsettled_at_reset_; }
+
+  // Kernel-wide live-object counts, cross-checked by the auditor against
+  // the summed per-owner counters.
+  uint64_t live_thread_count() const { return threads_.size(); }
+  uint64_t live_semaphore_count() const { return semaphores_.size(); }
+  uint64_t live_event_count() const;
+
   uint64_t dispatch_count() const { return dispatch_count_; }
   uint64_t pd_crossings() const { return pd_crossings_; }
   // Crossings rejected by the owner's allowed-crossings map. The offending
@@ -251,6 +277,16 @@ class Kernel {
   Cycles pending_consume_ = 0;
   Cycles pending_precharged_ = 0;  // already charged; only time must pass
   bool in_item_ = false;
+  // Conservation bookkeeping for the in-flight busy segment: when it began
+  // and how much of it was already charged when it was scheduled.
+  Cycles busy_segment_start_ = 0;
+  Cycles busy_segment_upfront_ = 0;
+  // Fault-handler time for a surviving thread, folded into its next item:
+  // the duration still has to pass, and the kernel (not the item's owner)
+  // is charged for it when the item completes.
+  Cycles deferred_duration_ = 0;
+  Cycles deferred_kernel_charge_ = 0;
+  int64_t unsettled_at_reset_ = 0;
 
   // Softclock.
   Thread* softclock_thread_ = nullptr;
@@ -263,6 +299,7 @@ class Kernel {
   uint64_t runaway_detections_ = 0;
   FaultHandler fault_handler_;
   uint64_t crossing_violations_ = 0;
+  Auditor* auditor_ = nullptr;
 
   Cycles start_time_ = 0;
   uint64_t dispatch_count_ = 0;

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "src/kernel/audit.h"
+
 namespace escort {
 
 double EnvSeconds(const char* name, double fallback) {
@@ -33,6 +35,9 @@ struct Testbed {
   std::unique_ptr<SharedLink> link;
   std::unique_ptr<EscortWebServer> server;
   std::unique_ptr<MonolithicServer> linux_server;
+  // Declared after `server` so the end-of-run audit checks run while the
+  // kernel is still alive (members are destroyed in reverse order).
+  std::unique_ptr<AuditScope> audit;
   std::vector<std::unique_ptr<ClientMachine>> machines;
   std::vector<std::unique_ptr<HttpClient>> clients;
   std::vector<std::unique_ptr<CgiAttacker>> cgi_attackers;
@@ -59,6 +64,9 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
     opts.mac = kServerMac;
     opts.ip = kServerIp;
     tb->server = std::make_unique<EscortWebServer>(&tb->eq, tb->link.get(), opts);
+    // Every experiment run doubles as a resource-conservation audit
+    // (enforced — i.e. violations abort — under ESCORT_AUDIT builds).
+    tb->audit = std::make_unique<AuditScope>(&tb->server->kernel());
   }
 
   auto add_machine = [&](Ip4Addr ip, uint64_t mac_index, uint64_t seed) {

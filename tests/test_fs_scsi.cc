@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "tests/testbed.h"
 
 namespace escort {
@@ -54,14 +56,12 @@ TEST(FsModule, ServedDocumentMatchesDiskContent) {
   ClientMachine* m = tb.AddClient(0);
   std::vector<uint8_t> body;
   TcpPeer::Callbacks cbs;
-  TcpPeer** slot = new TcpPeer*(nullptr);
+  auto slot = std::make_shared<TcpPeer*>(nullptr);
   cbs.on_connected = [slot] {
     std::string req = "GET /doc1k HTTP/1.0\r\n\r\n";
     (*slot)->SendData(std::vector<uint8_t>(req.begin(), req.end()));
   };
   cbs.on_data = [&](const std::vector<uint8_t>& b) { body.insert(body.end(), b.begin(), b.end()); };
-  cbs.on_closed = [slot] { delete slot; };
-  cbs.on_failed = [slot] { delete slot; };
   TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, std::move(cbs));
   *slot = peer;
   peer->Connect();

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/server/policy.h"
 #include "tests/testbed.h"
 
@@ -111,9 +113,11 @@ TEST(PassivePathLimiting, NewConnectionsYieldToExistingPaths) {
   ClientMachine* qm = tb.AddClient(30);
   QosReceiver receiver(qm, tb.server->options().ip);
   receiver.Start();
+  std::vector<std::unique_ptr<HttpClient>> churn;
   for (int i = 0; i < 8; ++i) {
-    auto* c = new HttpClient(tb.AddClient(i), tb.server->options().ip, "/doc1b");
-    c->Start(CyclesFromMillis(i));
+    churn.push_back(
+        std::make_unique<HttpClient>(tb.AddClient(i), tb.server->options().ip, "/doc1b"));
+    churn.back()->Start(CyclesFromMillis(i));
   }
   tb.RunFor(0.5);
   receiver.meter().OpenWindow(tb.eq.now());

@@ -87,8 +87,12 @@ TEST_P(StrideShareTest, SharesProportionalToTickets) {
   Thread* tb = f.kernel->CreateThread(b, "b");
 
   // Keep both owners backlogged: every item re-queues itself, yielding.
+  // The loop closures must not own themselves (shared_ptr cycle), so the
+  // test scope holds them and the closure captures a raw pointer.
+  std::vector<std::unique_ptr<std::function<void()>>> loops;
   auto feed = [&](Thread* t) {
-    auto loop = std::make_shared<std::function<void()>>();
+    loops.push_back(std::make_unique<std::function<void()>>());
+    std::function<void()>* loop = loops.back().get();
     *loop = [t, loop] { t->Push(1000, kKernelDomain, *loop, /*yields=*/true); };
     t->Push(1000, kKernelDomain, *loop, /*yields=*/true);
   };
@@ -123,19 +127,23 @@ TEST(StrideScheduler, ReservationSurvivesBlocking) {
   Thread* tq = f.kernel->CreateThread(qos, "qos");
   Thread* tb = f.kernel->CreateThread(best_effort, "be");
 
-  // Best-effort: continuously backlogged.
-  auto floop = std::make_shared<std::function<void()>>();
-  *floop = [tb, floop] { tb->Push(2000, kKernelDomain, *floop, true); };
-  tb->Push(2000, kKernelDomain, *floop, true);
+  // Best-effort: continuously backlogged. The closure must not own itself
+  // (shared_ptr cycle), so the test scope holds it and the closure captures
+  // a raw pointer.
+  std::function<void()> floop_fn;
+  std::function<void()>* floop = &floop_fn;
+  floop_fn = [tb, floop] { tb->Push(2000, kKernelDomain, *floop, true); };
+  tb->Push(2000, kKernelDomain, floop_fn, true);
 
   // QoS: paced bursts every 100us, each needing 60us of CPU (60% demand).
-  auto burst = std::make_shared<std::function<void()>>();
+  std::function<void()> burst_fn;
+  std::function<void()>* burst = &burst_fn;
   EventQueue* eq = &f.eq;
-  *burst = [tq, burst, eq] {
+  burst_fn = [tq, burst, eq] {
     tq->Push(18'000, kKernelDomain, nullptr, true);
     eq->ScheduleAfter(CyclesFromMicros(100), *burst);
   };
-  f.eq.ScheduleAfter(CyclesFromMicros(100), *burst);
+  f.eq.ScheduleAfter(CyclesFromMicros(100), burst_fn);
 
   f.eq.RunUntil(CyclesFromMillis(50));
   // Demand is 60%; it must get (close to) all of it.

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/server/monolithic_server.h"
 #include "tests/testbed.h"
 
@@ -146,17 +148,13 @@ TEST(HttpModule, NonGetMethodRejected) {
   uint64_t bytes = 0;
   bool closed = false;
   TcpPeer::Callbacks cbs;
-  TcpPeer** slot = new TcpPeer*(nullptr);
+  auto slot = std::make_shared<TcpPeer*>(nullptr);
   cbs.on_connected = [slot] {
     std::string req = "DELETE /doc1b HTTP/1.0\r\n\r\n";
     (*slot)->SendData(std::vector<uint8_t>(req.begin(), req.end()));
   };
   cbs.on_data = [&](const std::vector<uint8_t>& b) { bytes += b.size(); };
-  cbs.on_closed = [&, slot] {
-    closed = true;
-    delete slot;
-  };
-  cbs.on_failed = [slot] { delete slot; };
+  cbs.on_closed = [&] { closed = true; };
   TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, std::move(cbs));
   *slot = peer;
   peer->Connect();
@@ -172,7 +170,7 @@ TEST(HttpModule, RequestSplitAcrossSegmentsIsReassembled) {
   bool closed = false;
   uint64_t bytes = 0;
   TcpPeer::Callbacks cbs;
-  TcpPeer** slot = new TcpPeer*(nullptr);
+  auto slot = std::make_shared<TcpPeer*>(nullptr);
   cbs.on_connected = [&, slot] {
     std::string part1 = "GET /doc1b HT";
     (*slot)->SendData(std::vector<uint8_t>(part1.begin(), part1.end()));

@@ -30,18 +30,22 @@ TEST_P(ConfigSweep, ClientFetchesDocumentEndToEnd) {
 
 TEST_P(ConfigSweep, AccountingConservationUnderLoad) {
   Testbed tb(GetParam());
+  std::vector<std::unique_ptr<HttpClient>> clients;
   for (int i = 0; i < 4; ++i) {
-    auto* client = new HttpClient(tb.AddClient(i), tb.server->options().ip, "/doc1b");
-    client->Start(CyclesFromMillis(i));
+    clients.push_back(
+        std::make_unique<HttpClient>(tb.AddClient(i), tb.server->options().ip, "/doc1b"));
+    clients.back()->Start(CyclesFromMillis(i));
   }
   tb.RunFor(0.5);
   // Every cycle of simulated time is charged to exactly one owner. The
-  // snapshot is taken mid-flight, so precharged work whose busy period has
-  // not yet elapsed allows a tiny transient slack.
+  // snapshot is taken mid-flight; the kernel reports the one in-flight busy
+  // segment's uncharged cycles, making the invariant exact at any instant.
   CycleLedger ledger = tb.server->kernel().Snapshot();
-  Cycles elapsed = tb.eq.now() - tb.server->kernel().start_time();
-  double drift = std::abs(static_cast<double>(ledger.Total()) - static_cast<double>(elapsed));
-  EXPECT_LT(drift / static_cast<double>(elapsed), 0.001);
+  int64_t elapsed =
+      static_cast<int64_t>(tb.eq.now() - tb.server->kernel().start_time());
+  EXPECT_EQ(static_cast<int64_t>(ledger.Total()) +
+                tb.server->kernel().UnsettledBusyCycles(),
+            elapsed);
   EXPECT_GT(ledger.Get("Main Active Path"), 0u);
   EXPECT_GT(ledger.Get("Passive SYN Path"), 0u);
 }
@@ -178,9 +182,11 @@ TEST(WebServerIntegration, HalfOpenConnectionsTimeOutAndAreReclaimed) {
 
 TEST(WebServerIntegration, QosStreamHoldsRateUnderLoad) {
   Testbed tb(ServerConfig::kAccounting);
+  std::vector<std::unique_ptr<HttpClient>> churn;
   for (int i = 0; i < 8; ++i) {
-    auto* c = new HttpClient(tb.AddClient(i), tb.server->options().ip, "/doc1b");
-    c->Start(CyclesFromMillis(i));
+    churn.push_back(
+        std::make_unique<HttpClient>(tb.AddClient(i), tb.server->options().ip, "/doc1b"));
+    churn.back()->Start(CyclesFromMillis(i));
   }
   ClientMachine* qm = tb.AddClient(40);
   QosReceiver receiver(qm, tb.server->options().ip);

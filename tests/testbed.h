@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/kernel/audit.h"
 #include "src/server/web_server.h"
 #include "src/workload/http_client.h"
 
@@ -18,6 +19,11 @@ class Testbed {
     link = std::make_unique<SharedLink>(&eq, NetworkModel::Calibrated());
     opts.config = config;
     server = std::make_unique<EscortWebServer>(&eq, link.get(), opts);
+    // Every testbed run doubles as a resource-conservation audit: owner
+    // destructions are drain-checked as they happen, and the end-of-run
+    // conservation checks fire when the scope is destroyed (aborting the
+    // test under ESCORT_AUDIT builds).
+    audit = std::make_unique<AuditScope>(&server->kernel());
   }
 
   ClientMachine* AddClient(int index) {
@@ -48,6 +54,9 @@ class Testbed {
   EventQueue eq;
   std::unique_ptr<SharedLink> link;
   std::unique_ptr<EscortWebServer> server;
+  // Declared after `server` so the audit's end-of-run checks run (in the
+  // reverse-order destructor sweep) while the kernel is still alive.
+  std::unique_ptr<AuditScope> audit;
   std::vector<std::unique_ptr<ClientMachine>> machines;
 };
 

@@ -1,0 +1,489 @@
+#!/usr/bin/env python3
+"""escort_lint: project-specific invariant checks for the Escort tree.
+
+Generic linters cannot express the invariants this reproduction depends on
+(resource-conservation accounting, bit-for-bit deterministic simulation),
+so this tool checks them statically:
+
+  EL001  include guard must match the file path (SRC_KERNEL_OWNER_H_ style)
+         and the closing #endif must carry the guard comment.
+  EL002  header hygiene: no `using namespace` at file scope in headers, no
+         `#pragma once` (the tree uses path-derived guards).
+  EL003  simulation determinism: no ambient randomness or wall-clock time
+         in src/ — rand(), srand(), std::random_device, std::mt19937,
+         time(), clock(), gettimeofday(), chrono clocks. All randomness
+         flows through src/sim/rng.h, all time through src/sim/event_queue.h.
+  EL004  no std::unordered_map / std::unordered_set in src/: iteration
+         order is implementation-defined and anything feeding the event
+         queue must be deterministic.
+  EL005  no naked new/delete outside the kernel allocators: allocation
+         goes through std::unique_ptr/std::make_unique (a `new` directly
+         wrapped in a smart-pointer constructor is fine).
+  EL006  charge/release bookkeeping is kernel-only: code outside
+         src/kernel must not mutate Owner::usage() counters or the owner
+         tracking lists directly.
+  EL007  charge/release pairing: every ResourceUsage counter charged
+         (`usage().x +=`) somewhere in src/kernel must also be released
+         (`usage().x -=` or zeroed) somewhere in src/kernel, and vice
+         versa. `cycles` is exempt (monotonic; retired at destruction).
+  EL008  reclamation/audit completeness: every tracking list declared in
+         class Owner must be reclaimed in Kernel::DestroyOwner, and every
+         tracking list and ResourceUsage counter (except cycles) must be
+         drain-checked in Auditor::CheckOwnerDrained. A new resource class
+         cannot silently skip reclamation or auditing.
+
+Usage:
+  escort_lint.py [--root DIR] [--self-test] [-q]
+
+Exit status: 0 clean (or self-test passed), 1 violations found, 2 error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Directories scanned relative to the repository root.
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXTS = (".h", ".hh", ".hpp", ".cc", ".cpp", ".cxx")
+
+# EL005: files allowed to use naked new/delete (the kernel's own
+# allocators, which hand out raw objects by design).
+NAKED_NEW_ALLOWLIST = ("src/kernel/iobuffer.cc",)
+
+# EL008: alternate reclamation markers for lists not drained by name in
+# DestroyOwner (the IOBuffer locks are released through the manager).
+RECLAIM_MARKERS = {"iobuffer_locks": ("iobuffer_locks()", "ReleaseAllFor")}
+
+# Counters that are charged but intentionally never released.
+PAIRING_EXEMPT_COUNTERS = {"cycles"}
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                # A quote directly after an identifier/number character is a
+                # C++14 digit separator (50'000), not a char literal.
+                prev = out[-1] if out else ""
+                if prev.isalnum() or prev == "_":
+                    out.append(" ")
+                    i += 1
+                    continue
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def guard_for(relpath: str) -> str:
+    return re.sub(r"[^A-Za-z0-9]", "_", relpath).upper() + "_"
+
+
+def check_include_guard(relpath: str, raw: str, violations: list) -> None:
+    want = guard_for(relpath)
+    ifndef = re.search(r"^#ifndef\s+(\S+)\s*$", raw, re.M)
+    if ifndef is None:
+        violations.append(Violation(relpath, 1, "EL001", f"missing include guard (expected {want})"))
+        return
+    line = raw[: ifndef.start()].count("\n") + 1
+    if ifndef.group(1) != want:
+        violations.append(
+            Violation(relpath, line, "EL001",
+                      f"include guard {ifndef.group(1)} does not match path (expected {want})"))
+        return
+    if re.search(rf"^#define\s+{re.escape(want)}\s*$", raw, re.M) is None:
+        violations.append(Violation(relpath, line, "EL001", f"#ifndef {want} without matching #define"))
+    endif = re.compile(rf"^#endif\s*//\s*{re.escape(want)}\s*$", re.M)
+    if endif.search(raw) is None:
+        last = raw.count("\n") + 1
+        violations.append(
+            Violation(relpath, last, "EL001", f"closing #endif must carry the guard comment: '#endif  // {want}'"))
+
+
+def check_header_hygiene(relpath: str, code: str, violations: list) -> None:
+    for m in re.finditer(r"^\s*#pragma\s+once", code, re.M):
+        violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL002",
+                                    "#pragma once: this tree uses path-derived include guards"))
+    for m in re.finditer(r"^\s*using\s+namespace\s+[\w:]+\s*;", code, re.M):
+        violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL002",
+                                    "file-scope 'using namespace' in a header leaks into every includer"))
+
+
+NONDET_PATTERNS = (
+    (re.compile(r"\b(?:std\s*::\s*)?s?rand\s*\("), "rand()/srand(): seed an escort::Rng instead (src/sim/rng.h)"),
+    (re.compile(r"\brandom_device\b"), "std::random_device is nondeterministic; use escort::Rng (src/sim/rng.h)"),
+    (re.compile(r"\bmt19937(?:_64)?\b"), "std::mt19937: use escort::Rng so runs stay reproducible"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)"), "wall-clock time(): simulated time comes from EventQueue::now()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday(): simulated time comes from EventQueue::now()"),
+    (re.compile(r"\bclock\s*\(\s*\)"), "clock(): simulated time comes from EventQueue::now()"),
+    (re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "chrono clocks are wall-clock; simulated time comes from EventQueue::now()"),
+)
+
+# src/sim/rng.* implements the deterministic generator itself.
+NONDET_ALLOWLIST = ("src/sim/rng.h", "src/sim/rng.cc")
+
+
+def check_determinism(relpath: str, code: str, violations: list) -> None:
+    if not relpath.startswith("src/") or relpath in NONDET_ALLOWLIST:
+        return
+    for pattern, why in NONDET_PATTERNS:
+        for m in pattern.finditer(code):
+            violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL003", why))
+    for m in re.finditer(r"\bunordered_(?:map|set|multimap|multiset)\b", code):
+        violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL004",
+                                    "unordered containers have implementation-defined iteration order; "
+                                    "use std::map/std::set (the event queue must stay deterministic)"))
+
+
+SMART_WRAP = re.compile(r"(?:unique_ptr|shared_ptr)\s*<[^;]*>?\s*\($")
+
+
+def check_allocation(relpath: str, code: str, violations: list) -> None:
+    if relpath.replace(os.sep, "/") in NAKED_NEW_ALLOWLIST:
+        return
+    lines = code.split("\n")
+    for m in re.finditer(r"\bnew\b(?!\s*\()", code):
+        lineno = code[: m.start()].count("\n") + 1
+        # A `new` directly inside a smart-pointer constructor is fine; the
+        # wrap may start on the same line or the line above (clang-format
+        # wraps long constructor calls).
+        before = code[: m.start()]
+        window = "".join(lines[max(0, lineno - 2): lineno])
+        if re.search(r"(?:unique_ptr|shared_ptr)\s*<[^\n]*\(\s*new\b", window) or \
+           re.search(r"(?:unique_ptr|shared_ptr)\s*<[^\n]*>\s*\(\s*$", "".join(before.split("\n")[-2:])):
+            continue
+        violations.append(Violation(relpath, lineno, "EL005",
+                                    "naked `new` outside the kernel allocators; use std::make_unique "
+                                    "or wrap the result in a smart pointer on the same statement"))
+    for m in re.finditer(r"\bdelete(?:\[\])?\s+\w", code):
+        lineno = code[: m.start()].count("\n") + 1
+        violations.append(Violation(relpath, lineno, "EL005",
+                                    "naked `delete` outside the kernel allocators; owning smart "
+                                    "pointers release automatically"))
+
+
+TRACK_LISTS_MUTATION = re.compile(
+    r"\b(?:threads|iobuffer_locks|events|semaphores|pages)\(\)\s*\.\s*"
+    r"(?:push_front|push_back|erase|pop_front|pop_back|clear|insert|emplace\w*)\s*\(")
+USAGE_MUTATION = re.compile(r"\busage\(\)\s*\.\s*(\w+)\s*(\+=|-=|=)")
+
+
+def check_kernel_only_bookkeeping(relpath: str, code: str, violations: list) -> None:
+    if not relpath.startswith("src/") or relpath.startswith("src/kernel/"):
+        return
+    for m in USAGE_MUTATION.finditer(code):
+        violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL006",
+                                    f"direct mutation of Owner::usage().{m.group(1)} outside src/kernel; "
+                                    "charge through the Kernel API so the auditor can pair it"))
+    for m in TRACK_LISTS_MUTATION.finditer(code):
+        violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL006",
+                                    "direct mutation of an Owner tracking list outside src/kernel; "
+                                    "objects insert/remove themselves via the kernel only"))
+
+
+def extract_function_body(code: str, signature_re: str) -> str:
+    """Returns the brace-matched body of the first function whose signature
+    matches `signature_re`, or '' if not found."""
+    m = re.search(signature_re, code)
+    if m is None:
+        return ""
+    i = code.find("{", m.end())
+    if i < 0:
+        return ""
+    depth = 0
+    for j in range(i, len(code)):
+        if code[j] == "{":
+            depth += 1
+        elif code[j] == "}":
+            depth -= 1
+            if depth == 0:
+                return code[i: j + 1]
+    return ""
+
+
+def check_pairing_and_completeness(root: str, files: dict, violations: list) -> None:
+    """EL007 (charge/release pairing) + EL008 (reclamation/audit coverage).
+
+    `files` maps relpath -> stripped source text for the scanned tree.
+    """
+    owner_h = files.get("src/kernel/owner.h", "")
+    kernel_cc = files.get("src/kernel/kernel.cc", "")
+    audit_cc = files.get("src/kernel/audit.cc", "")
+    if not owner_h:
+        return  # not the Escort tree (e.g. a self-test fixture without it)
+
+    # Discover the Owner tracking lists and ResourceUsage counters.
+    lists = [m.group(1).rstrip("_") for m in
+             re.finditer(r"std::list<[^>]+>\s+(\w+_)\s*;", owner_h)]
+    usage_body = extract_function_body(owner_h, r"struct\s+ResourceUsage")
+    counters = [m.group(1) for m in
+                re.finditer(r"(?:uint64_t|Cycles)\s+(\w+)\s*=", usage_body)]
+
+    # EL007: each counter must be both charged and released in src/kernel.
+    kernel_sources = {p: t for p, t in files.items() if p.startswith("src/kernel/")}
+    charged, released = {}, {}
+    for path, text in kernel_sources.items():
+        for m in USAGE_MUTATION.finditer(text):
+            counter, op = m.group(1), m.group(2)
+            line = text[: m.start()].count("\n") + 1
+            if op == "+=":
+                charged.setdefault(counter, (path, line))
+            elif op == "-=" or (op == "=" and re.match(r"=\s*0", text[m.end(2) - 1:])):
+                released.setdefault(counter, (path, line))
+    for counter in sorted(set(charged) | set(released)):
+        if counter in PAIRING_EXEMPT_COUNTERS:
+            continue
+        if counter in charged and counter not in released:
+            path, line = charged[counter]
+            violations.append(Violation(path, line, "EL007",
+                                        f"usage().{counter} is charged but never released anywhere in "
+                                        "src/kernel (leaked charge)"))
+        if counter in released and counter not in charged:
+            path, line = released[counter]
+            violations.append(Violation(path, line, "EL007",
+                                        f"usage().{counter} is released but never charged anywhere in "
+                                        "src/kernel (double release / dead counter)"))
+
+    # EL008a: every tracking list must be reclaimed in Kernel::DestroyOwner.
+    destroy_body = extract_function_body(kernel_cc, r"Cycles\s+Kernel::DestroyOwner\s*\(")
+    if destroy_body:
+        for name in lists:
+            markers = RECLAIM_MARKERS.get(name, (f"{name}()",))
+            if not any(marker in destroy_body for marker in markers):
+                violations.append(Violation("src/kernel/kernel.cc", 1, "EL008",
+                                            f"Owner tracking list '{name}' is not reclaimed in "
+                                            "Kernel::DestroyOwner — a destroyed owner would leak it"))
+    # EL008b: every list and counter must be drain-checked by the auditor.
+    drain_body = extract_function_body(audit_cc, r"void\s+Auditor::CheckOwnerDrained\s*\(")
+    if drain_body:
+        for counter in counters:
+            if counter in PAIRING_EXEMPT_COUNTERS:
+                continue
+            if not re.search(rf"\b(?:drained|empty)\(\s*{counter}|u\.{counter}\b", drain_body):
+                violations.append(Violation("src/kernel/audit.cc", 1, "EL008",
+                                            f"ResourceUsage::{counter} is not drain-checked in "
+                                            "Auditor::CheckOwnerDrained"))
+        for name in lists:
+            if f'"{name}"' not in drain_body and f".{name}()" not in drain_body:
+                violations.append(Violation("src/kernel/audit.cc", 1, "EL008",
+                                            f"Owner tracking list '{name}' is not drain-checked in "
+                                            "Auditor::CheckOwnerDrained"))
+
+
+def lint_tree(root: str) -> list:
+    violations: list = []
+    files: dict = {}
+    for scan_dir in SCAN_DIRS:
+        top = os.path.join(root, scan_dir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for fname in sorted(filenames):
+                if not fname.endswith(CXX_EXTS):
+                    continue
+                path = os.path.join(dirpath, fname)
+                relpath = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    raw = f.read()
+                code = strip_comments_and_strings(raw)
+                files[relpath] = code
+                if fname.endswith((".h", ".hh", ".hpp")):
+                    check_include_guard(relpath, raw, violations)
+                    check_header_hygiene(relpath, code, violations)
+                check_determinism(relpath, code, violations)
+                check_allocation(relpath, code, violations)
+                check_kernel_only_bookkeeping(relpath, code, violations)
+    check_pairing_and_completeness(root, files, violations)
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+# --- self-test ---------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    ("EL001", "src/bad_guard.h", "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n"),
+    ("EL002", "src/using_ns.h",
+     "#ifndef SRC_USING_NS_H_\n#define SRC_USING_NS_H_\nusing namespace std;\n"
+     "#endif  // SRC_USING_NS_H_\n"),
+    ("EL003", "src/nondet.cc", "int jitter() { return rand() % 7; }\n"),
+    ("EL003", "src/wallclock.cc", "long t() { return time(nullptr); }\n"),
+    ("EL004", "src/unordered.cc",
+     "#include <unordered_map>\nstd::unordered_map<int, int> table;\n"),
+    ("EL005", "src/naked_new.cc", "int* leak() { return new int(7); }\n"),
+    ("EL005", "src/naked_delete.cc", "void drop(int* p) { delete p; }\n"),
+    ("EL006", "src/path/rogue_charge.cc",
+     "void f(Owner* o) { o->usage().pages += 1; }\n"),
+    ("EL006", "src/path/rogue_list.cc",
+     "void f(Owner* o, Thread* t) { o->threads().push_front(t); }\n"),
+]
+
+SELF_TEST_CLEAN = [
+    ("src/clean.h",
+     "#ifndef SRC_CLEAN_H_\n#define SRC_CLEAN_H_\nint f();\n#endif  // SRC_CLEAN_H_\n"),
+    ("src/clean.cc",
+     "#include <memory>\n"
+     "// rand() in a comment is fine, as is \"new\" in a string.\n"
+     "const char* s = \"new int\";\n"
+     "auto p = std::make_unique<int>(3);\n"
+     "auto q = std::unique_ptr<int>(new int(4));\n"),
+]
+
+# EL007/EL008 fixture: a counter charged but never released, a tracking
+# list neither reclaimed nor audited.
+SELF_TEST_KERNEL_FIXTURE = [
+    ("src/kernel/owner.h",
+     "#ifndef SRC_KERNEL_OWNER_H_\n#define SRC_KERNEL_OWNER_H_\n"
+     "#include <list>\n"
+     "struct ResourceUsage {\n  uint64_t widgets = 0;\n  uint64_t cycles = 0;\n};\n"
+     "class Owner {\n  std::list<int*> widgets_;\n};\n"
+     "#endif  // SRC_KERNEL_OWNER_H_\n"),
+    ("src/kernel/kernel.cc",
+     "#include \"src/kernel/owner.h\"\n"
+     "void ChargeWidget(Owner* o) { o->usage().widgets += 1; }\n"
+     "Cycles Kernel::DestroyOwner(Owner* owner, int pd_count) {\n  return 0;\n}\n"),
+    ("src/kernel/audit.cc",
+     "#include \"src/kernel/owner.h\"\n"
+     "void Auditor::CheckOwnerDrained(const Owner& owner) {\n}\n"),
+]
+
+
+def run_self_test() -> int:
+    failures = []
+
+    def expect(rule: str, produced: list, context: str) -> None:
+        if not any(v.rule == rule for v in produced):
+            got = ", ".join(sorted({v.rule for v in produced})) or "none"
+            failures.append(f"{context}: expected {rule}, got [{got}]")
+
+    with tempfile.TemporaryDirectory(prefix="escort_lint_selftest_") as tmp:
+        for rule, relpath, content in SELF_TEST_CASES:
+            case_root = os.path.join(tmp, rule + "_" + os.path.basename(relpath))
+            full = os.path.join(case_root, relpath)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(content)
+            expect(rule, lint_tree(case_root), relpath)
+
+        clean_root = os.path.join(tmp, "clean")
+        for relpath, content in SELF_TEST_CLEAN:
+            full = os.path.join(clean_root, relpath)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(content)
+        clean = lint_tree(clean_root)
+        if clean:
+            failures.append("clean fixture produced violations: " +
+                            "; ".join(str(v) for v in clean))
+
+        fixture_root = os.path.join(tmp, "kernel_fixture")
+        for relpath, content in SELF_TEST_KERNEL_FIXTURE:
+            full = os.path.join(fixture_root, relpath)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(content)
+        produced = lint_tree(fixture_root)
+        expect("EL007", produced, "kernel fixture (widgets charged, never released)")
+        expect("EL008", produced, "kernel fixture (widgets list unreclaimed/unaudited)")
+
+    if failures:
+        for failure in failures:
+            print("self-test FAIL:", failure, file=sys.stderr)
+        return 1
+    print("escort_lint self-test: all rules fire on seeded violations; clean fixture passes")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels above this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on seeded violations, then exit")
+    parser.add_argument("-q", "--quiet", action="store_true", help="suppress the summary line")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return run_self_test()
+
+    root = args.root or os.path.normpath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    if not any(os.path.isdir(os.path.join(root, d)) for d in SCAN_DIRS):
+        print(f"escort_lint: {root} contains none of {'/'.join(SCAN_DIRS)} — "
+              "wrong --root? refusing to report a vacuously clean tree", file=sys.stderr)
+        return 2
+    violations = lint_tree(root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"escort_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("escort_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,22 +13,19 @@
 
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/server/policy.h"
-#include "src/workload/experiment.h"
+#include "src/workload/sweep.h"
 
 using namespace escort;
 
 namespace {
 
-struct Result {
-  double conns_per_sec = 0;
-  uint64_t kills = 0;
-  uint64_t penalty_drops = 0;
-};
-
-Result Run(int attackers, bool blacklist) {
+// One sweep cell: its own testbed (32 best-effort clients + the attack),
+// with or without the blacklist policy. Everything mutable is cell-local.
+CellMetrics RunBlacklistCell(const ExperimentSpec& spec, bool blacklist) {
   EventQueue eq;
   SharedLink link(&eq, NetworkModel::Calibrated());
   WebServerOptions opts;
@@ -55,14 +52,14 @@ Result Run(int attackers, bool blacklist) {
     return machines.back().get();
   };
 
-  for (int i = 0; i < 32; ++i) {
+  for (int i = 0; i < spec.clients; ++i) {
     ClientMachine* m = add_machine(Ip4Addr::FromOctets(10, 0, 1, static_cast<uint8_t>(i + 1)),
                                    100 + static_cast<uint64_t>(i), 7 + static_cast<uint64_t>(i));
     clients.push_back(std::make_unique<HttpClient>(m, opts.ip, "/doc1b"));
     clients.back()->set_meter(&completions);
     clients.back()->Start(CyclesFromMillis(i));
   }
-  for (int i = 0; i < attackers; ++i) {
+  for (int i = 0; i < spec.cgi_attackers; ++i) {
     ClientMachine* m = add_machine(Ip4Addr::FromOctets(10, 0, 3, static_cast<uint8_t>(i + 1)),
                                    200 + static_cast<uint64_t>(i), 99 + static_cast<uint64_t>(i));
     // Aggressive: one attack every 100 ms per attacker.
@@ -70,38 +67,64 @@ Result Run(int attackers, bool blacklist) {
     cgi.back()->Start(CyclesFromMillis(3 * i));
   }
 
-  double warmup = EnvSeconds("ESCORT_WARMUP_S", 0.6);
-  double window = EnvSeconds("ESCORT_WINDOW_S", 2.0);
-  eq.RunUntil(CyclesFromSeconds(warmup));
+  eq.RunUntil(CyclesFromSeconds(spec.warmup_s));
   completions.OpenWindow(eq.now());
-  eq.RunUntil(eq.now() + CyclesFromSeconds(window));
+  eq.RunUntil(eq.now() + CyclesFromSeconds(spec.window_s));
 
-  Result r;
-  r.conns_per_sec = completions.CloseWindow(eq.now());
-  r.kills = server.paths_killed();
+  CellMetrics m;
+  m.experiment.conns_per_sec = completions.CloseWindow(eq.now());
+  m.experiment.completions_total = completions.total();
+  m.experiment.paths_killed = server.paths_killed();
+  double penalty_drops = 0;
   if (policy != nullptr) {
-    r.penalty_drops = policy->penalty_listener()->syns_dropped_at_demux;
+    penalty_drops = static_cast<double>(policy->penalty_listener()->syns_dropped_at_demux);
   }
-  return r;
+  m.extra = {{"penalty_drops", penalty_drops}};
+  return m;
+}
+
+std::string CellId(int attackers, bool blacklist) {
+  return std::string(blacklist ? "on" : "off") + "/a" + std::to_string(attackers);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv);
+  const std::vector<int> attacker_counts =
+      opts.quick ? std::vector<int>{0, 5} : std::vector<int>{0, 2, 5, 10};
+
+  Sweep sweep("ext_blacklist");
+  for (int attackers : attacker_counts) {
+    for (bool blacklist : {false, true}) {
+      ExperimentSpec spec;
+      spec.config = ServerConfig::kAccounting;
+      spec.clients = 32;
+      spec.cgi_attackers = attackers;
+      sweep.AddCustom(CellId(attackers, blacklist), spec,
+                      [blacklist](const ExperimentSpec& s) {
+                        return RunBlacklistCell(s, blacklist);
+                      })
+          .tags = {{"blacklist", blacklist ? "on" : "off"}};
+    }
+  }
+  sweep.Run(opts);
+
   std::printf("=== Extension (paper §4.4.4): blacklisting repeat CGI offenders ===\n");
   std::printf("32 best-effort clients; attackers fire one runaway CGI request per 100 ms.\n\n");
   std::printf("%10s | %14s %8s | %14s %8s %14s\n", "attackers", "no-blacklist", "kills",
               "blacklist", "kills", "penalty-drops");
-  for (int attackers : {0, 2, 5, 10}) {
-    Result off = Run(attackers, false);
-    Result on = Run(attackers, true);
+  for (int attackers : attacker_counts) {
+    const ExperimentResult& off = sweep.Result(CellId(attackers, false));
+    const ExperimentResult& on = sweep.Result(CellId(attackers, true));
     std::printf("%10d | %14.1f %8llu | %14.1f %8llu %14llu\n", attackers, off.conns_per_sec,
-                static_cast<unsigned long long>(off.kills), on.conns_per_sec,
-                static_cast<unsigned long long>(on.kills),
-                static_cast<unsigned long long>(on.penalty_drops));
+                static_cast<unsigned long long>(off.paths_killed), on.conns_per_sec,
+                static_cast<unsigned long long>(on.paths_killed),
+                static_cast<unsigned long long>(sweep.Extra(CellId(attackers, true),
+                                                            "penalty_drops")));
   }
   std::printf("\nWith the blacklist, each offender burns its 2 ms budget once; afterwards its\n"
               "SYNs demux to the penalty passive path and are mostly dropped there, so the\n"
               "kill rate collapses and best-effort throughput recovers.\n");
-  return 0;
+  return sweep.failed_count() == 0 ? 0 : 1;
 }

@@ -7,28 +7,55 @@
 // far more cycles). The paper notes accounting is *required* for QoS, so
 // there is no Scout/Linux row.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <string>
 
-#include "bench/bench_util.h"
+#include "src/workload/sweep.h"
 
 using namespace escort;
 
 namespace {
 
-ExperimentResult RunPoint(ServerConfig config, const char* doc, int clients, bool qos) {
-  ExperimentSpec spec;
-  spec.config = config;
-  spec.clients = clients;
-  spec.doc = doc;
-  spec.qos_stream = qos;
-  return RunExperiment(spec);
+struct Variant {
+  const char* key;
+  ServerConfig config;
+  bool qos;
+};
+
+const Variant kVariants[] = {
+    {"acct", ServerConfig::kAccounting, false},
+    {"acct_qos", ServerConfig::kAccounting, true},
+    {"pd", ServerConfig::kAccountingPd, false},
+    {"pd_qos", ServerConfig::kAccountingPd, true},
+};
+
+std::string CellId(const char* doc, const Variant& v, int clients) {
+  return std::string(doc) + "/" + v.key + "/c" + std::to_string(clients);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const std::vector<int> clients = quick ? std::vector<int>{8, 64} : ClientSweep();
+  SweepOptions opts = ParseSweepArgs(argc, argv);
+  const std::vector<int> clients = opts.quick ? std::vector<int>{8, 64} : ClientSweep();
+
+  Sweep sweep("fig10_qos");
+  for (const char* doc : {"/doc1b", "/doc10k"}) {
+    for (int n : clients) {
+      for (const Variant& v : kVariants) {
+        ExperimentSpec spec;
+        spec.config = v.config;
+        spec.clients = n;
+        spec.doc = doc;
+        spec.qos_stream = v.qos;
+        SweepCell& cell = sweep.Add(CellId(doc, v, n), spec);
+        cell.tags = {{"doc", doc}, {"variant", v.key}};
+      }
+    }
+  }
+  sweep.Run(opts);
 
   std::printf("=== Figure 10: client throughput with and without a 1 MB/s QoS stream ===\n\n");
 
@@ -38,10 +65,10 @@ int main(int argc, char** argv) {
     std::printf("%8s %12s %14s %12s %14s %12s\n", "clients", "Acct", "Acct+QoS", "Acct_PD",
                 "Acct_PD+QoS", "QoS MB/s");
     for (int n : clients) {
-      ExperimentResult a0 = RunPoint(ServerConfig::kAccounting, doc, n, false);
-      ExperimentResult a1 = RunPoint(ServerConfig::kAccounting, doc, n, true);
-      ExperimentResult p0 = RunPoint(ServerConfig::kAccountingPd, doc, n, false);
-      ExperimentResult p1 = RunPoint(ServerConfig::kAccountingPd, doc, n, true);
+      const ExperimentResult& a0 = sweep.Result(CellId(doc, kVariants[0], n));
+      const ExperimentResult& a1 = sweep.Result(CellId(doc, kVariants[1], n));
+      const ExperimentResult& p0 = sweep.Result(CellId(doc, kVariants[2], n));
+      const ExperimentResult& p1 = sweep.Result(CellId(doc, kVariants[3], n));
       double qos_mbs = p1.qos_bytes_per_sec / 1e6;
       worst_qos_err = std::max(worst_qos_err, std::abs(1.0 - a1.qos_bytes_per_sec / 1e6));
       worst_qos_err = std::max(worst_qos_err, std::abs(1.0 - qos_mbs));
@@ -52,15 +79,15 @@ int main(int argc, char** argv) {
   }
 
   std::printf("--- Best-effort slowdown with the stream (64 clients, 1-byte) ---\n");
-  ExperimentResult a0 = RunPoint(ServerConfig::kAccounting, "/doc1b", 64, false);
-  ExperimentResult a1 = RunPoint(ServerConfig::kAccounting, "/doc1b", 64, true);
-  ExperimentResult p0 = RunPoint(ServerConfig::kAccountingPd, "/doc1b", 64, false);
-  ExperimentResult p1 = RunPoint(ServerConfig::kAccountingPd, "/doc1b", 64, true);
+  const ExperimentResult& a0 = sweep.Result(CellId("/doc1b", kVariants[0], 64));
+  const ExperimentResult& a1 = sweep.Result(CellId("/doc1b", kVariants[1], 64));
+  const ExperimentResult& p0 = sweep.Result(CellId("/doc1b", kVariants[2], 64));
+  const ExperimentResult& p1 = sweep.Result(CellId("/doc1b", kVariants[3], 64));
   std::printf("Accounting:    %.1f%%  (paper: ~15%%)\n",
               100.0 * (1.0 - a1.conns_per_sec / a0.conns_per_sec));
   std::printf("Accounting_PD: %.1f%%  (paper: ~50%%)\n",
               100.0 * (1.0 - p1.conns_per_sec / p0.conns_per_sec));
   std::printf("Worst stream deviation from 1 MB/s: %.2f%%  (paper: within 1%%)\n",
               100.0 * worst_qos_err);
-  return 0;
+  return sweep.failed_count() == 0 ? 0 : 1;
 }

@@ -8,29 +8,51 @@
 // resources are fully reclaimed.
 
 #include <cstdio>
+#include <string>
 
-#include "bench/bench_util.h"
+#include "src/workload/sweep.h"
 
 using namespace escort;
 
 namespace {
 
-ExperimentResult RunPoint(ServerConfig config, const char* doc, int attackers) {
-  ExperimentSpec spec;
-  spec.config = config;
-  spec.clients = 64;
-  spec.doc = doc;
-  spec.qos_stream = true;
-  spec.cgi_attackers = attackers;
-  return RunExperiment(spec);
+struct Variant {
+  const char* key;
+  ServerConfig config;
+};
+
+const Variant kVariants[] = {
+    {"acct", ServerConfig::kAccounting},
+    {"pd", ServerConfig::kAccountingPd},
+};
+
+std::string CellId(const char* doc, const Variant& v, int attackers) {
+  return std::string(doc) + "/" + v.key + "/a" + std::to_string(attackers);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const std::vector<int> attackers = quick ? std::vector<int>{0, 10, 50}
-                                           : std::vector<int>{0, 1, 10, 25, 50};
+  SweepOptions opts = ParseSweepArgs(argc, argv);
+  const std::vector<int> attackers =
+      opts.quick ? std::vector<int>{0, 10, 50} : std::vector<int>{0, 1, 10, 25, 50};
+
+  Sweep sweep("fig11_cgi");
+  for (const char* doc : {"/doc1b", "/doc10k"}) {
+    for (int n : attackers) {
+      for (const Variant& v : kVariants) {
+        ExperimentSpec spec;
+        spec.config = v.config;
+        spec.clients = 64;
+        spec.doc = doc;
+        spec.qos_stream = true;
+        spec.cgi_attackers = n;
+        SweepCell& cell = sweep.Add(CellId(doc, v, n), spec);
+        cell.tags = {{"doc", doc}, {"variant", v.key}};
+      }
+    }
+  }
+  sweep.Run(opts);
 
   std::printf(
       "=== Figure 11: 64 clients + 1 MB/s QoS stream vs number of CGI attackers ===\n\n");
@@ -40,8 +62,8 @@ int main(int argc, char** argv) {
     std::printf("%10s %12s %12s %12s %12s %10s %10s\n", "attackers", "Acct", "QoS MB/s",
                 "Acct_PD", "QoS MB/s", "kills", "kills_PD");
     for (int n : attackers) {
-      ExperimentResult a = RunPoint(ServerConfig::kAccounting, doc, n);
-      ExperimentResult p = RunPoint(ServerConfig::kAccountingPd, doc, n);
+      const ExperimentResult& a = sweep.Result(CellId(doc, kVariants[0], n));
+      const ExperimentResult& p = sweep.Result(CellId(doc, kVariants[1], n));
       std::printf("%10d %12.1f %12.3f %12.1f %12.3f %10llu %10llu\n", n, a.conns_per_sec,
                   a.qos_bytes_per_sec / 1e6, p.conns_per_sec, p.qos_bytes_per_sec / 1e6,
                   static_cast<unsigned long long>(a.paths_killed),
@@ -49,5 +71,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return sweep.failed_count() == 0 ? 0 : 1;
 }

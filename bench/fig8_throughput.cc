@@ -13,59 +13,81 @@
 // the shape is the result.
 
 #include <cstdio>
-#include <cstring>
+#include <string>
 
-#include "bench/bench_util.h"
+#include "src/workload/sweep.h"
 
 using namespace escort;
 
 namespace {
 
-double RunPoint(bool linux_mode, ServerConfig config, const char* doc, int clients) {
-  ExperimentSpec spec;
-  spec.linux_server = linux_mode;
-  spec.config = config;
-  spec.clients = clients;
-  spec.doc = doc;
-  return RunExperiment(spec).conns_per_sec;
+struct Variant {
+  const char* key;
+  bool linux_server;
+  ServerConfig config;
+};
+
+const Variant kVariants[] = {
+    {"linux", true, ServerConfig::kScout},
+    {"scout", false, ServerConfig::kScout},
+    {"acct", false, ServerConfig::kAccounting},
+    {"acct_pd", false, ServerConfig::kAccountingPd},
+};
+
+std::string CellId(const DocSpec& doc, const Variant& v, int clients) {
+  return std::string(doc.label) + "/" + v.key + "/c" + std::to_string(clients);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
+  SweepOptions opts = ParseSweepArgs(argc, argv);
+  const std::vector<int> clients = opts.quick ? std::vector<int>{4, 16, 64} : ClientSweep();
+
+  Sweep sweep("fig8_throughput");
+  for (const DocSpec& doc : DocSweep()) {
+    for (int n : clients) {
+      for (const Variant& v : kVariants) {
+        ExperimentSpec spec;
+        spec.linux_server = v.linux_server;
+        spec.config = v.config;
+        spec.clients = n;
+        spec.doc = doc.path;
+        SweepCell& cell = sweep.Add(CellId(doc, v, n), spec);
+        cell.tags = {{"doc", doc.label}, {"variant", v.key}};
+      }
     }
   }
-  const std::vector<int> clients = quick ? std::vector<int>{4, 16, 64} : ClientSweep();
+  sweep.Run(opts);
 
   std::printf("=== Figure 8: connections/second vs number of parallel clients ===\n\n");
+
+  auto rate = [&](const DocSpec& doc, const Variant& v, int n) {
+    return sweep.Result(CellId(doc, v, n)).conns_per_sec;
+  };
 
   for (const DocSpec& doc : DocSweep()) {
     std::printf("--- %s document ---\n", doc.label);
     std::printf("%8s %10s %10s %12s %14s\n", "clients", "Linux", "Scout", "Accounting",
                 "Accounting_PD");
     for (int n : clients) {
-      double linux_r = RunPoint(true, ServerConfig::kScout, doc.path, n);
-      double scout = RunPoint(false, ServerConfig::kScout, doc.path, n);
-      double acct = RunPoint(false, ServerConfig::kAccounting, doc.path, n);
-      double acct_pd = RunPoint(false, ServerConfig::kAccountingPd, doc.path, n);
-      std::printf("%8d %10.1f %10.1f %12.1f %14.1f\n", n, linux_r, scout, acct, acct_pd);
+      std::printf("%8d %10.1f %10.1f %12.1f %14.1f\n", n, rate(doc, kVariants[0], n),
+                  rate(doc, kVariants[1], n), rate(doc, kVariants[2], n),
+                  rate(doc, kVariants[3], n));
     }
     std::printf("\n");
   }
 
   // Overhead summary at saturation (64 clients, 1-byte doc): the prose
-  // claims of §4.2.
+  // claims of §4.2. The cells are already in the grid above.
+  const DocSpec& doc1b = DocSweep()[0];
   std::printf("--- Overhead summary (64 clients, 1-byte document) ---\n");
-  double linux_r = RunPoint(true, ServerConfig::kScout, "/doc1b", 64);
-  double scout = RunPoint(false, ServerConfig::kScout, "/doc1b", 64);
-  double acct = RunPoint(false, ServerConfig::kAccounting, "/doc1b", 64);
-  double acct_pd = RunPoint(false, ServerConfig::kAccountingPd, "/doc1b", 64);
+  double linux_r = rate(doc1b, kVariants[0], 64);
+  double scout = rate(doc1b, kVariants[1], 64);
+  double acct = rate(doc1b, kVariants[2], 64);
+  double acct_pd = rate(doc1b, kVariants[3], 64);
   std::printf("Scout vs Linux:            %.2fx   (paper: >2x, 800 vs 400)\n", scout / linux_r);
   std::printf("Accounting overhead:       %.1f%%  (paper: ~8%%)\n", 100.0 * (1.0 - acct / scout));
   std::printf("Accounting_PD slowdown:    %.2fx   (paper: over 4x)\n", acct / acct_pd);
-  return 0;
+  return sweep.failed_count() == 0 ? 0 : 1;
 }

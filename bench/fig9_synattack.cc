@@ -10,27 +10,52 @@
 // datagram, aggravated by TLB invalidation); 1K results within 3% of 1B.
 
 #include <cstdio>
+#include <string>
 
-#include "bench/bench_util.h"
+#include "src/workload/sweep.h"
 
 using namespace escort;
 
 namespace {
 
-ExperimentResult RunPoint(ServerConfig config, const char* doc, int clients, double syn_rate) {
-  ExperimentSpec spec;
-  spec.config = config;
-  spec.clients = clients;
-  spec.doc = doc;
-  spec.syn_attack_rate = syn_rate;
-  return RunExperiment(spec);
+struct Variant {
+  const char* key;
+  ServerConfig config;
+  double syn_rate;
+};
+
+const Variant kVariants[] = {
+    {"acct", ServerConfig::kAccounting, 0},
+    {"acct_syn", ServerConfig::kAccounting, 1000},
+    {"pd", ServerConfig::kAccountingPd, 0},
+    {"pd_syn", ServerConfig::kAccountingPd, 1000},
+};
+
+std::string CellId(const char* doc, const Variant& v, int clients) {
+  return std::string(doc) + "/" + v.key + "/c" + std::to_string(clients);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = argc > 1 && std::string(argv[1]) == "--quick";
-  const std::vector<int> clients = quick ? std::vector<int>{8, 64} : ClientSweep();
+  SweepOptions opts = ParseSweepArgs(argc, argv);
+  const std::vector<int> clients = opts.quick ? std::vector<int>{8, 64} : ClientSweep();
+
+  Sweep sweep("fig9_synattack");
+  for (const char* doc : {"/doc1b", "/doc10k"}) {
+    for (int n : clients) {
+      for (const Variant& v : kVariants) {
+        ExperimentSpec spec;
+        spec.config = v.config;
+        spec.clients = n;
+        spec.doc = doc;
+        spec.syn_attack_rate = v.syn_rate;
+        SweepCell& cell = sweep.Add(CellId(doc, v, n), spec);
+        cell.tags = {{"doc", doc}, {"variant", v.key}};
+      }
+    }
+  }
+  sweep.Run(opts);
 
   std::printf(
       "=== Figure 9: client throughput with a 1000 SYN/s attack (untrusted subnet) ===\n\n");
@@ -40,22 +65,21 @@ int main(int argc, char** argv) {
     std::printf("%8s %12s %16s %14s %18s\n", "clients", "Acct", "Acct+SYNattack", "Acct_PD",
                 "Acct_PD+SYNattack");
     for (int n : clients) {
-      ExperimentResult a0 = RunPoint(ServerConfig::kAccounting, doc, n, 0);
-      ExperimentResult a1 = RunPoint(ServerConfig::kAccounting, doc, n, 1000);
-      ExperimentResult p0 = RunPoint(ServerConfig::kAccountingPd, doc, n, 0);
-      ExperimentResult p1 = RunPoint(ServerConfig::kAccountingPd, doc, n, 1000);
-      std::printf("%8d %12.1f %16.1f %14.1f %18.1f\n", n, a0.conns_per_sec, a1.conns_per_sec,
-                  p0.conns_per_sec, p1.conns_per_sec);
+      std::printf("%8d %12.1f %16.1f %14.1f %18.1f\n", n,
+                  sweep.Result(CellId(doc, kVariants[0], n)).conns_per_sec,
+                  sweep.Result(CellId(doc, kVariants[1], n)).conns_per_sec,
+                  sweep.Result(CellId(doc, kVariants[2], n)).conns_per_sec,
+                  sweep.Result(CellId(doc, kVariants[3], n)).conns_per_sec);
     }
     std::printf("\n");
   }
 
-  // Slowdown summary at saturation.
+  // Slowdown summary at saturation (the 64-client cells above).
   std::printf("--- Slowdown under attack (64 clients, 1-byte) ---\n");
-  ExperimentResult a0 = RunPoint(ServerConfig::kAccounting, "/doc1b", 64, 0);
-  ExperimentResult a1 = RunPoint(ServerConfig::kAccounting, "/doc1b", 64, 1000);
-  ExperimentResult p0 = RunPoint(ServerConfig::kAccountingPd, "/doc1b", 64, 0);
-  ExperimentResult p1 = RunPoint(ServerConfig::kAccountingPd, "/doc1b", 64, 1000);
+  const ExperimentResult& a0 = sweep.Result(CellId("/doc1b", kVariants[0], 64));
+  const ExperimentResult& a1 = sweep.Result(CellId("/doc1b", kVariants[1], 64));
+  const ExperimentResult& p0 = sweep.Result(CellId("/doc1b", kVariants[2], 64));
+  const ExperimentResult& p1 = sweep.Result(CellId("/doc1b", kVariants[3], 64));
   std::printf("Accounting:    %.1f%%  (paper: <5%%)\n",
               100.0 * (1.0 - a1.conns_per_sec / a0.conns_per_sec));
   std::printf("Accounting_PD: %.1f%%  (paper: <15%%)\n",
@@ -63,5 +87,5 @@ int main(int argc, char** argv) {
   std::printf("SYNs sent (window incl. warmup): %llu, dropped at demux: %llu\n",
               static_cast<unsigned long long>(a1.syns_sent),
               static_cast<unsigned long long>(a1.syns_dropped_at_demux));
-  return 0;
+  return sweep.failed_count() == 0 ? 0 : 1;
 }

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "src/workload/sweep.h"
 
 using namespace escort;
 
@@ -32,43 +32,65 @@ struct Row {
 
 Cycles PerRequest(Cycles total, uint64_t requests) { return total / requests; }
 
+// Serial accuracy measurement as a sweep cell: the ledger rides in the
+// common result block, the bracketed totals as named extras.
+CellMetrics AccuracyCell(const ExperimentSpec& spec) {
+  AccuracyResult a = RunAccountingAccuracy(spec.config, 100);
+  CellMetrics m;
+  m.experiment.ledger = a.ledger;
+  m.extra = {{"total_measured", static_cast<double>(a.total_measured)},
+             {"requests", static_cast<double>(a.requests)}};
+  return m;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv);
+
+  Sweep sweep("table1_accuracy");
+  for (ServerConfig config : {ServerConfig::kAccounting, ServerConfig::kAccountingPd}) {
+    ExperimentSpec spec;
+    spec.config = config;
+    spec.clients = 0;
+    sweep.AddCustom(ServerConfigName(config), spec, AccuracyCell).tags = {
+        {"measurement", "serial_accuracy"}};
+  }
+  sweep.Run(opts);
+
   std::printf("=== Table 1: cycles per one-byte request, by owner (100 serial requests) ===\n\n");
 
-  AccuracyResult acct = RunAccountingAccuracy(ServerConfig::kAccounting, 100);
-  AccuracyResult pd = RunAccountingAccuracy(ServerConfig::kAccountingPd, 100);
+  const std::string acct_id = ServerConfigName(ServerConfig::kAccounting);
+  const std::string pd_id = ServerConfigName(ServerConfig::kAccountingPd);
+  const CycleLedger& acct = sweep.Result(acct_id).ledger;
+  const CycleLedger& pd = sweep.Result(pd_id).ledger;
+  const uint64_t n = static_cast<uint64_t>(sweep.Extra(acct_id, "requests"));
+  const Cycles measured_acct_total = static_cast<Cycles>(sweep.Extra(acct_id, "total_measured"));
+  const Cycles measured_pd_total = static_cast<Cycles>(sweep.Extra(pd_id, "total_measured"));
 
-  auto get = [](const AccuracyResult& r, const std::string& label) {
-    return r.ledger.Get(label);
-  };
   // "Softclock" covers the kernel pseudo-owner: softclock ticks, interrupt
   // handling for dropped frames, reclamation (see DESIGN.md).
-  auto kernel_row = [&](const AccuracyResult& r) {
-    return get(r, "Kernel") + get(r, "ARP Path");
-  };
+  auto kernel_row = [](const CycleLedger& l) { return l.Get("Kernel") + l.Get("ARP Path"); };
   // The TCP master event is charged to the protection domain containing
   // TCP: "PD:tcp" in the PD configuration, the privileged domain otherwise.
-  auto master_row = [&](const AccuracyResult& r) {
-    return get(r, "PD:tcp") + get(r, "PD:privileged");
+  auto master_row = [](const CycleLedger& l) {
+    return l.Get("PD:tcp") + l.Get("PD:privileged");
   };
 
-  const uint64_t n = acct.requests;
   std::vector<Row> rows = {
-      {"Idle", PerRequest(get(acct, "Idle"), n), PerRequest(get(pd, "Idle"), n)},
-      {"Passive SYN Path", PerRequest(get(acct, "Passive SYN Path"), n),
-       PerRequest(get(pd, "Passive SYN Path"), n)},
-      {"Main Active Path", PerRequest(get(acct, "Main Active Path"), n),
-       PerRequest(get(pd, "Main Active Path"), n)},
+      {"Idle", PerRequest(acct.Get("Idle"), n), PerRequest(pd.Get("Idle"), n)},
+      {"Passive SYN Path", PerRequest(acct.Get("Passive SYN Path"), n),
+       PerRequest(pd.Get("Passive SYN Path"), n)},
+      {"Main Active Path", PerRequest(acct.Get("Main Active Path"), n),
+       PerRequest(pd.Get("Main Active Path"), n)},
       {"TCP Master Event", PerRequest(master_row(acct), n), PerRequest(master_row(pd), n)},
       {"Softclock (kernel)", PerRequest(kernel_row(acct), n), PerRequest(kernel_row(pd), n)},
   };
 
-  Cycles total_acct = PerRequest(acct.ledger.Total(), n);
-  Cycles total_pd = PerRequest(pd.ledger.Total(), n);
-  Cycles measured_acct = PerRequest(acct.total_measured, n);
-  Cycles measured_pd = PerRequest(pd.total_measured, n);
+  Cycles total_acct = PerRequest(acct.Total(), n);
+  Cycles total_pd = PerRequest(pd.Total(), n);
+  Cycles measured_acct = PerRequest(measured_acct_total, n);
+  Cycles measured_pd = PerRequest(measured_pd_total, n);
 
   std::printf("%-22s %18s %18s\n", "Owner", "Accounting", "Accounting_PD");
   PrintHeaderRule();
@@ -84,23 +106,23 @@ int main() {
   std::printf("%-22s %18s %18s\n", "Total Accounted", WithCommas(total_acct).c_str(),
               WithCommas(total_pd).c_str());
 
-  double cover_a = 100.0 * static_cast<double>(acct.ledger.Total()) /
-                   static_cast<double>(acct.total_measured);
+  double cover_a =
+      100.0 * static_cast<double>(acct.Total()) / static_cast<double>(measured_acct_total);
   double cover_p =
-      100.0 * static_cast<double>(pd.ledger.Total()) / static_cast<double>(pd.total_measured);
+      100.0 * static_cast<double>(pd.Total()) / static_cast<double>(measured_pd_total);
   std::printf("\nAccounted/Measured: %.2f%% / %.2f%%   (paper: ~100%% both)\n", cover_a, cover_p);
 
-  Cycles nonidle_a = total_acct - PerRequest(get(acct, "Idle"), n);
-  Cycles nonidle_p = total_pd - PerRequest(get(pd, "Idle"), n);
+  Cycles nonidle_a = total_acct - PerRequest(acct.Get("Idle"), n);
+  Cycles nonidle_p = total_pd - PerRequest(pd.Get("Idle"), n);
   double active_share_a =
-      nonidle_a ? 100.0 * static_cast<double>(PerRequest(get(acct, "Main Active Path"), n)) /
+      nonidle_a ? 100.0 * static_cast<double>(PerRequest(acct.Get("Main Active Path"), n)) /
                       static_cast<double>(nonidle_a)
                 : 0;
   double active_share_p =
-      nonidle_p ? 100.0 * static_cast<double>(PerRequest(get(pd, "Main Active Path"), n)) /
+      nonidle_p ? 100.0 * static_cast<double>(PerRequest(pd.Get("Main Active Path"), n)) /
                       static_cast<double>(nonidle_p)
                 : 0;
   std::printf("Active path share of non-idle cycles: %.1f%% / %.1f%%  (paper: >92%%)\n",
               active_share_a, active_share_p);
-  return 0;
+  return sweep.failed_count() == 0 ? 0 : 1;
 }

@@ -6,36 +6,82 @@
 // not directly comparable) 11,003.
 
 #include <cstdio>
+#include <string>
 
-#include "bench/bench_util.h"
+#include "src/workload/sweep.h"
 
 using namespace escort;
 
-int main() {
+namespace {
+
+CellMetrics KillCostCell(const ExperimentSpec& spec) {
+  KillCostResult k = RunKillCost(spec.config, 10);
+  CellMetrics m;
+  m.experiment.paths_killed = k.kills;
+  m.experiment.kill_cost_mean = k.mean_cycles;
+  m.extra = {{"kill_cost_min", k.min_cycles},
+             {"kill_cost_max", k.max_cycles},
+             {"kills", static_cast<double>(k.kills)}};
+  return m;
+}
+
+// Context the paper gives: the full-PD kill is ~10% of the cycles used to
+// satisfy a single 1-byte request.
+CellMetrics PdRequestCostCell(const ExperimentSpec& spec) {
+  AccuracyResult a = RunAccountingAccuracy(spec.config, 20);
+  CellMetrics m;
+  m.experiment.ledger = a.ledger;
+  m.extra = {{"requests", static_cast<double>(a.requests)}};
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepOptions opts = ParseSweepArgs(argc, argv);
+
+  Sweep sweep("table2_pathkill");
+  for (ServerConfig config : {ServerConfig::kAccounting, ServerConfig::kAccountingPd}) {
+    ExperimentSpec spec;
+    spec.config = config;
+    spec.clients = 0;
+    spec.cgi_attackers = 1;
+    sweep.AddCustom(std::string("kill/") + ServerConfigName(config), spec, KillCostCell).tags = {
+        {"measurement", "kill_cost"}};
+  }
+  {
+    ExperimentSpec spec;
+    spec.config = ServerConfig::kAccountingPd;
+    spec.clients = 0;
+    sweep.AddCustom("request_cost/pd", spec, PdRequestCostCell).tags = {
+        {"measurement", "serial_accuracy"}};
+  }
+  sweep.Run(opts);
+
   std::printf("=== Table 2: cycles to destroy a non-cooperative path ===\n\n");
 
-  KillCostResult acct = RunKillCost(ServerConfig::kAccounting, 10);
-  KillCostResult pd = RunKillCost(ServerConfig::kAccountingPd, 10);
+  const ExperimentResult& acct = sweep.Result("kill/Accounting");
+  const ExperimentResult& pd = sweep.Result("kill/Accounting_PD");
   Cycles linux_cost = CostModel::Calibrated().linux_kill_process;
 
   std::printf("%-16s %12s %12s %8s\n", "configuration", "cycles", "paper", "kills");
   PrintHeaderRule();
-  std::printf("%-16s %12s %12s %8llu\n", "Accounting", WithCommas((uint64_t)acct.mean_cycles).c_str(),
-              "17,951", static_cast<unsigned long long>(acct.kills));
+  std::printf("%-16s %12s %12s %8llu\n", "Accounting",
+              WithCommas(static_cast<uint64_t>(acct.kill_cost_mean)).c_str(), "17,951",
+              static_cast<unsigned long long>(acct.paths_killed));
   std::printf("%-16s %12s %12s %8llu\n", "Accounting_PD",
-              WithCommas((uint64_t)pd.mean_cycles).c_str(), "111,568",
-              static_cast<unsigned long long>(pd.kills));
+              WithCommas(static_cast<uint64_t>(pd.kill_cost_mean)).c_str(), "111,568",
+              static_cast<unsigned long long>(pd.paths_killed));
   std::printf("%-16s %12s %12s %8s\n", "Linux (model)", WithCommas(linux_cost).c_str(), "11,003",
               "-");
   std::printf("\n(The Linux row is the paper's kill-to-waitpid reference; the paper itself\n"
               " cautions it is not directly comparable — a process kill does NOT reclaim\n"
               " kernel-held resources such as device buffers or connection state.)\n");
 
-  // Context the paper gives: the full-PD kill is ~10% of the cycles used to
-  // satisfy a single 1-byte request.
-  AccuracyResult pd_req = RunAccountingAccuracy(ServerConfig::kAccountingPd, 20);
-  double req_cycles = static_cast<double>(pd_req.ledger.Total()) / pd_req.requests;
+  const ExperimentResult& pd_req = sweep.Result("request_cost/pd");
+  double req_cycles = static_cast<double>(pd_req.ledger.Total()) /
+                      sweep.Extra("request_cost/pd", "requests");
   std::printf("\nAccounting_PD kill cost vs one 1-byte request: %.1f%%  (paper: ~10%%)\n",
-              100.0 * pd.mean_cycles / req_cycles);
-  return 0;
+              100.0 * pd.kill_cost_mean / req_cycles);
+  return sweep.failed_count() == 0 ? 0 : 1;
 }

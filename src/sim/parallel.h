@@ -1,0 +1,69 @@
+// Thread-pool job system for running independent simulation cells in
+// parallel (the sweep harness in src/workload/sweep.h is the main client).
+//
+// Contract: jobs must be *isolated* — each job owns its entire mutable
+// world (EventQueue, Kernel, testbed) and may only share immutable data
+// such as the calibrated CostModel/NetworkModel singletons. The pool
+// guarantees that outcomes are reported in submission (index) order
+// regardless of completion order, so a parallel run is observationally
+// identical to a serial one. A job that throws surfaces as a failed
+// outcome for that index — never as a deadlock, a torn-down pool, or an
+// abort of the whole sweep.
+//
+// Raw std::thread lives only in parallel.cc (enforced by escort_lint
+// EL010); this header deliberately exposes no threading primitives.
+
+#ifndef SRC_SIM_PARALLEL_H_
+#define SRC_SIM_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace escort {
+
+// Outcome of one job. When `ok` is false, `error` carries the what() of
+// the exception the job threw (or a placeholder for non-std exceptions).
+struct JobOutcome {
+  bool ok = true;
+  std::string error;
+};
+
+// Number of hardware threads, always at least 1.
+int HardwareConcurrency();
+
+class ThreadPool {
+ public:
+  // threads <= 0 selects HardwareConcurrency().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const;
+
+  // Runs fn(0), fn(1), ..., fn(count - 1) across the pool's workers and
+  // blocks until all of them finish. Returns one outcome per index, in
+  // index order. count == 0 returns an empty vector without touching the
+  // workers; count smaller than the pool simply leaves workers idle.
+  //
+  // Batches are sequential: RunIndexed must not be called concurrently
+  // from multiple threads (the sweep harness never does).
+  std::vector<JobOutcome> RunIndexed(size_t count, const std::function<void(size_t)>& fn);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// One-shot convenience: runs fn over [0, count) on a temporary pool of
+// `jobs` threads (jobs <= 0: hardware concurrency).
+std::vector<JobOutcome> ParallelFor(int jobs, size_t count,
+                                    const std::function<void(size_t)>& fn);
+
+}  // namespace escort
+
+#endif  // SRC_SIM_PARALLEL_H_

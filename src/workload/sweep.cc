@@ -1,0 +1,374 @@
+#include "src/workload/sweep.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/sim/parallel.h"
+
+namespace escort {
+
+const std::vector<int>& ClientSweep() {
+  static const std::vector<int> kClients = {1, 2, 4, 8, 16, 32, 48, 64};
+  return kClients;
+}
+
+const std::vector<DocSpec>& DocSweep() {
+  static const std::vector<DocSpec> kDocs = {
+      {"1-byte", "/doc1b"}, {"1K-byte", "/doc1k"}, {"10K-byte", "/doc10k"}};
+  return kDocs;
+}
+
+void PrintHeaderRule() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+namespace {
+
+[[noreturn]] void UsageAndExit(const char* argv0, const char* bad) {
+  if (bad != nullptr) {
+    std::fprintf(stderr, "unknown argument: %s\n", bad);
+  }
+  std::fprintf(stderr,
+               "usage: %s [--quick] [--jobs N] [--json PATH]\n"
+               "  --quick      run the bench's reduced grid\n"
+               "  --jobs N     worker threads (default: hardware concurrency)\n"
+               "  --json PATH  also write machine-readable results to PATH\n",
+               argv0);
+  std::exit(2);
+}
+
+[[noreturn]] void Die(const std::string& msg) {
+  std::fprintf(stderr, "sweep: %s\n", msg.c_str());
+  std::exit(1);
+}
+
+// `--jobs fast` must be an error, not a silent fall-through to the
+// hardware-concurrency default (atoi("fast") == 0 would do exactly that).
+int ParseJobs(const char* argv0, const char* value) {
+  char* end = nullptr;
+  long n = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || n < 1 || n > 4096) {
+    std::fprintf(stderr, "--jobs expects an integer in [1, 4096], got '%s'\n", value);
+    UsageAndExit(argv0, nullptr);
+  }
+  return static_cast<int>(n);
+}
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    v = 0.0;  // metrics are finite by construction; never emit invalid JSON
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  *out += buf;
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  *out += buf;
+}
+
+void AppendKey(std::string* out, const char* key) {
+  AppendEscaped(out, key);
+  *out += ": ";
+}
+
+}  // namespace
+
+SweepOptions ParseSweepArgs(int argc, char** argv) {
+  SweepOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) {
+      opts.quick = true;
+    } else if (std::strcmp(a, "--jobs") == 0 && i + 1 < argc) {
+      opts.jobs = ParseJobs(argv[0], argv[++i]);
+    } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+      opts.jobs = ParseJobs(argv[0], a + 7);
+    } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
+      opts.json_path = argv[++i];
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      opts.json_path = a + 7;
+    } else {
+      UsageAndExit(argv[0], a);
+    }
+  }
+  return opts;
+}
+
+Sweep::Sweep(std::string bench_name) : name_(std::move(bench_name)) {}
+
+SweepCell& Sweep::Add(std::string id, const ExperimentSpec& spec) {
+  return AddCustom(std::move(id), spec, CellFn());
+}
+
+SweepCell& Sweep::AddCustom(std::string id, const ExperimentSpec& spec, CellFn run) {
+  if (index_.count(id) != 0) {
+    Die("duplicate cell id '" + id + "' in sweep " + name_);
+  }
+  index_[id] = cells_.size();
+  SweepCell cell;
+  cell.id = std::move(id);
+  cell.spec = spec;
+  cell.run = std::move(run);
+  cells_.push_back(std::move(cell));
+  return cells_.back();
+}
+
+void Sweep::Run(const SweepOptions& opts) {
+  jobs_used_ = opts.jobs <= 0 ? HardwareConcurrency() : opts.jobs;
+  // Resolve the env overrides once, up front, so every cell runs — and is
+  // recorded in the JSON — with the warmup/window actually used.
+  for (SweepCell& cell : cells_) {
+    cell.spec.warmup_s = EnvSeconds("ESCORT_WARMUP_S", cell.spec.warmup_s);
+    cell.spec.window_s = EnvSeconds("ESCORT_WINDOW_S", cell.spec.window_s);
+  }
+  results_.assign(cells_.size(), CellResult());
+  std::vector<JobOutcome> outcomes =
+      ParallelFor(jobs_used_, cells_.size(), [this](size_t i) {
+        const SweepCell& cell = cells_[i];
+        if (cell.run) {
+          results_[i].metrics = cell.run(cell.spec);
+        } else {
+          results_[i].metrics.experiment = RunExperiment(cell.spec);
+        }
+      });
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    results_[i].ok = outcomes[i].ok;
+    results_[i].error = outcomes[i].error;
+  }
+  if (!opts.json_path.empty() && !WriteJson(opts.json_path)) {
+    Die("cannot write JSON output to " + opts.json_path);
+  }
+}
+
+const CellResult& Sweep::Cell(const std::string& id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    Die("unknown cell id '" + id + "' in sweep " + name_);
+  }
+  if (results_.size() != cells_.size()) {
+    Die("sweep " + name_ + " queried before Run()");
+  }
+  return results_[it->second];
+}
+
+const ExperimentResult& Sweep::Result(const std::string& id) const {
+  const CellResult& r = Cell(id);
+  if (!r.ok) {
+    Die("cell '" + id + "' failed: " + r.error);
+  }
+  return r.metrics.experiment;
+}
+
+double Sweep::Extra(const std::string& id, const std::string& key) const {
+  const CellResult& r = Cell(id);
+  if (!r.ok) {
+    Die("cell '" + id + "' failed: " + r.error);
+  }
+  for (const auto& [k, v] : r.metrics.extra) {
+    if (k == key) {
+      return v;
+    }
+  }
+  Die("cell '" + id + "' has no extra metric '" + key + "'");
+}
+
+int Sweep::failed_count() const {
+  int n = 0;
+  for (const CellResult& r : results_) {
+    n += r.ok ? 0 : 1;
+  }
+  return n;
+}
+
+std::string Sweep::ToJson() const {
+  std::string out;
+  out.reserve(4096 + 1024 * cells_.size());
+  out += "{\n  ";
+  AppendKey(&out, "schema_version");
+  out += "1,\n  ";
+  AppendKey(&out, "bench");
+  AppendEscaped(&out, name_);
+  out += ",\n  ";
+  AppendKey(&out, "jobs");
+  AppendUint(&out, static_cast<uint64_t>(jobs_used_));
+  out += ",\n  ";
+  AppendKey(&out, "cells");
+  out += "[";
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const SweepCell& cell = cells_[i];
+    const CellResult& r = results_[i];
+    const ExperimentResult& e = r.metrics.experiment;
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {";
+    AppendKey(&out, "id");
+    AppendEscaped(&out, cell.id);
+    out += ", ";
+    AppendKey(&out, "ok");
+    out += r.ok ? "true" : "false";
+    out += ", ";
+    AppendKey(&out, "error");
+    AppendEscaped(&out, r.error);
+    out += ",\n     ";
+    AppendKey(&out, "tags");
+    out += "{";
+    bool first = true;
+    for (const auto& [k, v] : cell.tags) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      AppendKey(&out, k.c_str());
+      AppendEscaped(&out, v);
+    }
+    out += "},\n     ";
+    AppendKey(&out, "spec");
+    out += "{";
+    AppendKey(&out, "linux_server");
+    out += cell.spec.linux_server ? "true" : "false";
+    out += ", ";
+    AppendKey(&out, "config");
+    AppendEscaped(&out, ServerConfigName(cell.spec.config));
+    out += ", ";
+    AppendKey(&out, "clients");
+    AppendUint(&out, static_cast<uint64_t>(cell.spec.clients));
+    out += ", ";
+    AppendKey(&out, "doc");
+    AppendEscaped(&out, cell.spec.doc);
+    out += ", ";
+    AppendKey(&out, "qos_stream");
+    out += cell.spec.qos_stream ? "true" : "false";
+    out += ", ";
+    AppendKey(&out, "syn_attack_rate");
+    AppendDouble(&out, cell.spec.syn_attack_rate);
+    out += ", ";
+    AppendKey(&out, "cgi_attackers");
+    AppendUint(&out, static_cast<uint64_t>(cell.spec.cgi_attackers));
+    out += ", ";
+    AppendKey(&out, "warmup_s");
+    AppendDouble(&out, cell.spec.warmup_s);
+    out += ", ";
+    AppendKey(&out, "window_s");
+    AppendDouble(&out, cell.spec.window_s);
+    out += "},\n     ";
+    AppendKey(&out, "metrics");
+    out += "{";
+    AppendKey(&out, "conns_per_sec");
+    AppendDouble(&out, e.conns_per_sec);
+    out += ", ";
+    AppendKey(&out, "qos_bytes_per_sec");
+    AppendDouble(&out, e.qos_bytes_per_sec);
+    out += ", ";
+    AppendKey(&out, "completions_total");
+    AppendUint(&out, e.completions_total);
+    out += ", ";
+    AppendKey(&out, "client_failures");
+    AppendUint(&out, e.client_failures);
+    out += ", ";
+    AppendKey(&out, "paths_killed");
+    AppendUint(&out, e.paths_killed);
+    out += ", ";
+    AppendKey(&out, "syns_dropped_at_demux");
+    AppendUint(&out, e.syns_dropped_at_demux);
+    out += ", ";
+    AppendKey(&out, "syns_sent");
+    AppendUint(&out, e.syns_sent);
+    out += ", ";
+    AppendKey(&out, "runaway_detections");
+    AppendUint(&out, e.runaway_detections);
+    out += ", ";
+    AppendKey(&out, "kill_cost_mean");
+    AppendDouble(&out, e.kill_cost_mean);
+    out += ", ";
+    AppendKey(&out, "window_cycles");
+    AppendUint(&out, e.window_cycles);
+    out += ", ";
+    AppendKey(&out, "pd_crossings");
+    AppendUint(&out, e.pd_crossings);
+    out += ", ";
+    AppendKey(&out, "accounting_overhead");
+    AppendUint(&out, e.accounting_overhead);
+    out += ", ";
+    AppendKey(&out, "ledger_total");
+    AppendUint(&out, e.ledger.Total());
+    out += "},\n     ";
+    AppendKey(&out, "ledger");
+    out += "{";
+    first = true;
+    for (const auto& [label, cycles] : e.ledger.totals()) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      AppendEscaped(&out, label);
+      out += ": ";
+      AppendUint(&out, cycles);
+    }
+    out += "},\n     ";
+    AppendKey(&out, "extra");
+    out += "{";
+    first = true;
+    for (const auto& [k, v] : r.metrics.extra) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      AppendKey(&out, k.c_str());
+      AppendDouble(&out, v);
+    }
+    out += "}}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool Sweep::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace escort

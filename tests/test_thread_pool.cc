@@ -1,0 +1,146 @@
+// Unit tests for the sweep thread pool (src/sim/parallel.h): outcome
+// ordering, exception containment, edge cases (zero jobs, more workers
+// than jobs), batch reuse, and clean shutdown with a full kernel +
+// AuditScope world alive inside every cell.
+
+#include "src/sim/parallel.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/audit.h"
+#include "src/kernel/kernel.h"
+
+namespace escort {
+namespace {
+
+TEST(ThreadPool, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(HardwareConcurrency(), 1);
+  ThreadPool defaulted;  // threads <= 0 selects hardware concurrency
+  EXPECT_EQ(defaulted.thread_count(), HardwareConcurrency());
+  ThreadPool clamped(-3);
+  EXPECT_EQ(clamped.thread_count(), HardwareConcurrency());
+}
+
+TEST(ThreadPool, OutcomesArriveInIndexOrder) {
+  ThreadPool pool(4);
+  std::vector<int> values(64, -1);
+  std::vector<JobOutcome> outcomes =
+      pool.RunIndexed(values.size(), [&](size_t i) { values[i] = static_cast<int>(i) * 3; });
+  ASSERT_EQ(outcomes.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok) << i;
+    EXPECT_EQ(values[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ThreadPool, OrderingHoldsWhenCompletionOrderIsScrambled) {
+  // Early indices sleep longest, so completion order is roughly reversed;
+  // the outcome vector must still be index-ordered.
+  ThreadPool pool(8);
+  std::vector<size_t> completion_order;
+  std::mutex mu;
+  std::vector<JobOutcome> outcomes = pool.RunIndexed(8, [&](size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds((8 - i) * 3));
+    std::lock_guard<std::mutex> lock(mu);
+    completion_order.push_back(i);
+  });
+  ASSERT_EQ(outcomes.size(), 8u);
+  ASSERT_EQ(completion_order.size(), 8u);
+  for (const JobOutcome& o : outcomes) {
+    EXPECT_TRUE(o.ok);
+  }
+}
+
+TEST(ThreadPool, ExceptionSurfacesAsFailedJobNotAbort) {
+  ThreadPool pool(4);
+  std::vector<JobOutcome> outcomes = pool.RunIndexed(10, [](size_t i) {
+    if (i == 3) {
+      throw std::runtime_error("cell 3 exploded");
+    }
+    if (i == 7) {
+      throw 42;  // non-std exception must also be contained
+    }
+  });
+  ASSERT_EQ(outcomes.size(), 10u);
+  EXPECT_FALSE(outcomes[3].ok);
+  EXPECT_NE(outcomes[3].error.find("cell 3 exploded"), std::string::npos);
+  EXPECT_FALSE(outcomes[7].ok);
+  EXPECT_EQ(outcomes[7].error, "non-standard exception");
+  for (size_t i : {0u, 1u, 2u, 4u, 5u, 6u, 8u, 9u}) {
+    EXPECT_TRUE(outcomes[i].ok) << i;
+  }
+
+  // The pool survives a failing batch and runs the next one.
+  std::atomic<int> ran{0};
+  std::vector<JobOutcome> again = pool.RunIndexed(4, [&](size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 4);
+  for (const JobOutcome& o : again) {
+    EXPECT_TRUE(o.ok);
+  }
+}
+
+TEST(ThreadPool, ZeroJobsReturnsImmediately) {
+  ThreadPool pool(4);
+  std::vector<JobOutcome> outcomes = pool.RunIndexed(0, [](size_t) { FAIL(); });
+  EXPECT_TRUE(outcomes.empty());
+}
+
+TEST(ThreadPool, MoreWorkersThanJobs) {
+  ThreadPool pool(8);
+  std::atomic<int> ran{0};
+  std::vector<JobOutcome> outcomes = pool.RunIndexed(3, [&](size_t) { ++ran; });
+  EXPECT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, SequentialBatchesReuseWorkers) {
+  ThreadPool pool(2);
+  for (int batch = 0; batch < 5; ++batch) {
+    std::atomic<int> ran{0};
+    std::vector<JobOutcome> outcomes = pool.RunIndexed(6, [&](size_t) { ++ran; });
+    EXPECT_EQ(ran.load(), 6);
+    EXPECT_EQ(outcomes.size(), 6u);
+  }
+}
+
+TEST(ThreadPool, ParallelForOneShot) {
+  std::vector<int> values(16, 0);
+  std::vector<JobOutcome> outcomes =
+      ParallelFor(4, values.size(), [&](size_t i) { values[i] = 1; });
+  EXPECT_EQ(outcomes.size(), 16u);
+  for (int v : values) {
+    EXPECT_EQ(v, 1);
+  }
+}
+
+// Every cell owns a full simulation world — EventQueue + Kernel with an
+// enforcing-capable AuditScope — created and destroyed on a worker thread.
+// The pool must shut down cleanly afterwards; under TSan this also proves
+// the per-cell worlds share no mutable state.
+TEST(ThreadPool, CleanShutdownWithAuditScopePerCell) {
+  {
+    ThreadPool pool(4);
+    std::vector<JobOutcome> outcomes = pool.RunIndexed(8, [](size_t i) {
+      EventQueue eq;
+      KernelConfig kc;
+      kc.accounting = (i % 2) == 0;
+      kc.start_softclock = false;  // it reschedules forever; RunToCompletion must drain
+      Kernel kernel(&eq, kc);
+      AuditScope audit(&kernel);
+      Thread* t = kernel.CreateThread(kernel.kernel_owner(), "cell");
+      t->Push(5'000, kKernelDomain, nullptr, true);
+      eq.RunToCompletion();
+    });
+    for (const JobOutcome& o : outcomes) {
+      EXPECT_TRUE(o.ok) << o.error;
+    }
+  }  // pool destroyed with all per-cell worlds already audited and gone
+}
+
+}  // namespace
+}  // namespace escort

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""check_bench_json: validate BENCH_*.json files emitted by the sweep runner.
+
+The bench binaries (`--json PATH`) write one record per sweep cell. The
+perf-trajectory tooling diffs these files across PRs, so the schema is a
+contract: this script enforces the same key sets that
+tests/test_bench_json.cc pins at the C++ level, but from the outside —
+CI's bench smoke job runs it against freshly produced output.
+
+Checks per file:
+  * parses as JSON, schema_version == 1
+  * top-level keys exactly {schema_version, bench, jobs, cells}
+  * every cell carries exactly {id, ok, error, tags, spec, metrics,
+    ledger, extra} with the pinned spec/metric key sets
+  * cell ids are unique and non-empty; jobs >= 1
+  * ok:true cells have empty error; ok:false cells have a message
+  * all metric values are finite numbers
+
+Usage:
+  check_bench_json.py FILE [FILE...]
+  check_bench_json.py --require-ok FILE   # additionally fail on any ok:false cell
+
+Exit status: 0 all files valid, 1 validation failure, 2 usage/IO error.
+Stdlib only — no dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+TOP_KEYS = {"schema_version", "bench", "jobs", "cells"}
+CELL_KEYS = {"id", "ok", "error", "tags", "spec", "metrics", "ledger", "extra"}
+SPEC_KEYS = {
+    "linux_server", "config", "clients", "doc", "qos_stream",
+    "syn_attack_rate", "cgi_attackers", "warmup_s", "window_s",
+}
+METRIC_KEYS = {
+    "conns_per_sec", "qos_bytes_per_sec", "completions_total", "client_failures",
+    "paths_killed", "syns_dropped_at_demux", "syns_sent", "runaway_detections",
+    "kill_cost_mean", "window_cycles", "pd_crossings", "accounting_overhead",
+    "ledger_total",
+}
+
+
+def expect_keys(errors: list, got: dict, want: set, what: str) -> None:
+    missing = want - got.keys()
+    extra = got.keys() - want
+    if missing:
+        errors.append(f"{what}: missing keys {sorted(missing)}")
+    if extra:
+        errors.append(f"{what}: unexpected keys {sorted(extra)} "
+                      "(schema change? update tests/test_bench_json.cc and this script together)")
+
+
+def check_file(path: str, require_ok: bool) -> list:
+    errors: list = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(root, dict):
+        return [f"{path}: top level is not an object"]
+    expect_keys(errors, root, TOP_KEYS, f"{path}: top level")
+    if root.get("schema_version") != 1:
+        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 1")
+    if not isinstance(root.get("bench"), str) or not root.get("bench"):
+        errors.append(f"{path}: 'bench' must be a non-empty string")
+    jobs = root.get("jobs")
+    if not isinstance(jobs, int) or jobs < 1:
+        errors.append(f"{path}: 'jobs' must be an integer >= 1, got {jobs!r}")
+
+    cells = root.get("cells")
+    if not isinstance(cells, list) or not cells:
+        errors.append(f"{path}: 'cells' must be a non-empty array")
+        return errors
+
+    seen_ids: set = set()
+    for i, cell in enumerate(cells):
+        what = f"{path}: cells[{i}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{what}: not an object")
+            continue
+        expect_keys(errors, cell, CELL_KEYS, what)
+        cid = cell.get("id")
+        if not isinstance(cid, str) or not cid:
+            errors.append(f"{what}: 'id' must be a non-empty string")
+        elif cid in seen_ids:
+            errors.append(f"{what}: duplicate cell id '{cid}'")
+        else:
+            seen_ids.add(cid)
+
+        ok = cell.get("ok")
+        err = cell.get("error")
+        if not isinstance(ok, bool):
+            errors.append(f"{what}: 'ok' must be a boolean")
+        elif ok and err:
+            errors.append(f"{what}: ok:true but error is non-empty: {err!r}")
+        elif not ok:
+            if not err:
+                errors.append(f"{what}: ok:false but error message is empty")
+            if require_ok:
+                errors.append(f"{what}: cell failed ({err!r}) and --require-ok is set")
+
+        for sub, want in (("spec", SPEC_KEYS), ("metrics", METRIC_KEYS)):
+            obj = cell.get(sub)
+            if not isinstance(obj, dict):
+                errors.append(f"{what}: '{sub}' must be an object")
+                continue
+            expect_keys(errors, obj, want, f"{what}.{sub}")
+        metrics = cell.get("metrics")
+        if isinstance(metrics, dict):
+            for key, value in metrics.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                        or not math.isfinite(value):
+                    errors.append(f"{what}.metrics.{key}: not a finite number: {value!r}")
+        for sub in ("tags", "ledger", "extra"):
+            if not isinstance(cell.get(sub), dict):
+                errors.append(f"{what}: '{sub}' must be an object")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files to validate")
+    parser.add_argument("--require-ok", action="store_true",
+                        help="fail if any cell has ok:false (CI smoke runs use this)")
+    args = parser.parse_args()
+
+    failures = 0
+    for path in args.files:
+        errors = check_file(path, args.require_ok)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["cells"])
+            print(f"{path}: valid ({n} cells)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

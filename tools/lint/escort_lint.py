@@ -31,6 +31,19 @@ so this tool checks them statically:
          tracking list and ResourceUsage counter (except cycles) must be
          drain-checked in Auditor::CheckOwnerDrained. A new resource class
          cannot silently skip reclamation or auditing.
+  EL009  thread hygiene / cell isolation: no mutable static state in src/
+         (file-scope or function-local). The parallel sweep runner runs
+         one simulation cell per worker thread; determinism there means
+         "no cross-cell shared mutable state", and a mutable static is
+         exactly that. `static const` / `static constexpr` / constexpr
+         are fine (immutable singletons such as CostModel::Calibrated()).
+  EL010  threading primitives are confined to the pool: std::thread /
+         std::jthread / std::async / thread_local / #include <thread>
+         appear nowhere in src/ except src/sim/parallel.cc. Everything
+         else stays single-threaded code that the pool may replicate.
+         Threads themselves are NOT banned — shared mutable state is;
+         EL009+EL010 together replace the old "no threads" reading of
+         the determinism invariant.
 
 Usage:
   escort_lint.py [--root DIR] [--self-test] [-q]
@@ -60,6 +73,10 @@ RECLAIM_MARKERS = {"iobuffer_locks": ("iobuffer_locks()", "ReleaseAllFor")}
 
 # Counters that are charged but intentionally never released.
 PAIRING_EXEMPT_COUNTERS = {"cycles"}
+
+# EL010: the only file in src/ allowed to touch threading primitives (the
+# sweep thread pool keeps std::thread behind a pimpl there).
+THREADING_ALLOWLIST = ("src/sim/parallel.cc",)
 
 
 class Violation:
@@ -243,6 +260,65 @@ def check_kernel_only_bookkeeping(relpath: str, code: str, violations: list) -> 
                                     "objects insert/remove themselves via the kernel only"))
 
 
+STATIC_KEYWORD = re.compile(r"\bstatic\b")
+THREAD_PRIMITIVE = re.compile(r"\bstd\s*::\s*(?:jthread|thread|async)\b")
+THREAD_LOCAL = re.compile(r"\bthread_local\b")
+THREAD_INCLUDE = re.compile(r"^\s*#\s*include\s*<thread>", re.M)
+
+
+def check_thread_hygiene(relpath: str, code: str, violations: list) -> None:
+    """EL009 (no mutable static state) + EL010 (threading confined to the pool).
+
+    Simulation cells run one-per-worker-thread in the sweep runner; the
+    isolation contract (DESIGN.md) is that a cell touches only its own
+    world plus immutable singletons. Both rules apply to src/ only —
+    tests and benches may use threads and statics freely.
+    """
+    if not relpath.startswith("src/"):
+        return
+
+    # EL009 — a `static` that is not const/constexpr and not a function.
+    for m in STATIC_KEYWORD.finditer(code):
+        # `constexpr static int k = ...` — qualifier may precede the keyword.
+        line_start = code.rfind("\n", 0, m.start()) + 1
+        prefix = code[line_start: m.start()]
+        if "constexpr" in prefix or re.search(r"\bconst\b", prefix):
+            continue
+        # Statement snippet: up to the first `;` or `{`, whichever is nearer.
+        stop = len(code)
+        for terminator in (";", "{"):
+            j = code.find(terminator, m.start())
+            if 0 <= j < stop:
+                stop = j
+        snippet = code[m.start(): min(stop, m.start() + 400)]
+        if re.match(r"static\s+(?:inline\s+)?(?:const\b|constexpr\b)", snippet):
+            continue
+        # A `(` before any `=` means a function declaration/definition
+        # (default arguments put their `=` inside the parens), not data.
+        paren = snippet.find("(")
+        eq = snippet.find("=")
+        if paren != -1 and (eq == -1 or paren < eq):
+            continue
+        violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL009",
+                                    "mutable static state in simulation code: sweep cells run "
+                                    "concurrently and must share nothing mutable — make it "
+                                    "`static const`/`constexpr`, or move it into per-cell state"))
+
+    # EL010 — threading primitives outside the pool implementation.
+    if relpath in THREADING_ALLOWLIST:
+        return
+    for pattern, why in (
+        (THREAD_PRIMITIVE, "std::thread/jthread/async outside src/sim/parallel.cc; "
+                           "parallelism in src/ goes through the sweep ThreadPool"),
+        (THREAD_LOCAL, "thread_local in simulation code hides per-thread mutable state "
+                       "from the cell-isolation contract; pass state explicitly"),
+        (THREAD_INCLUDE, "#include <thread> outside src/sim/parallel.cc; the pool keeps "
+                         "threading primitives behind its pimpl"),
+    ):
+        for m in pattern.finditer(code):
+            violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL010", why))
+
+
 def extract_function_body(code: str, signature_re: str) -> str:
     """Returns the brace-matched body of the first function whose signature
     matches `signature_re`, or '' if not found."""
@@ -355,6 +431,7 @@ def lint_tree(root: str) -> list:
                 check_determinism(relpath, code, violations)
                 check_allocation(relpath, code, violations)
                 check_kernel_only_bookkeeping(relpath, code, violations)
+                check_thread_hygiene(relpath, code, violations)
     check_pairing_and_completeness(root, files, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
@@ -377,6 +454,14 @@ SELF_TEST_CASES = [
      "void f(Owner* o) { o->usage().pages += 1; }\n"),
     ("EL006", "src/path/rogue_list.cc",
      "void f(Owner* o, Thread* t) { o->threads().push_front(t); }\n"),
+    ("EL009", "src/sneaky_static.cc",
+     "int Counter() {\n  static int calls = 0;\n  return ++calls;\n}\n"),
+    ("EL009", "src/global_table.cc",
+     "#include <vector>\nstatic std::vector<int> g_shared_results;\n"),
+    ("EL010", "src/rogue_thread.cc",
+     "#include <thread>\nvoid Fire() { std::thread t([] {}); t.join(); }\n"),
+    ("EL010", "src/sneaky_tls.cc",
+     "int Next() {\n  thread_local int last = 0;\n  return ++last;\n}\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -388,6 +473,30 @@ SELF_TEST_CLEAN = [
      "const char* s = \"new int\";\n"
      "auto p = std::make_unique<int>(3);\n"
      "auto q = std::unique_ptr<int>(new int(4));\n"),
+    # EL009 negative space: const/constexpr statics, static member
+    # functions (with default arguments), and static_cast must all pass.
+    ("src/clean_statics.cc",
+     "#include <string>\n"
+     "const std::string& Name() {\n"
+     "  static const std::string kName = \"escort\";\n"
+     "  return kName;\n"
+     "}\n"
+     "struct Calib {\n"
+     "  static constexpr int kScale = 7;\n"
+     "  static Calib Make(int base = 3);\n"
+     "  constexpr static int kOther = 9;\n"
+     "};\n"
+     "static int Twice(int v) { return static_cast<int>(v) * 2; }\n"),
+    # EL010 negative space: the pool implementation itself may use
+    # std::thread, and std::this_thread elsewhere must not match.
+    ("src/sim/parallel.cc",
+     "#include <thread>\n"
+     "#include <vector>\n"
+     "void Spin() {\n"
+     "  std::vector<std::thread> workers;\n"
+     "  workers.emplace_back([] {});\n"
+     "  workers.back().join();\n"
+     "}\n"),
 ]
 
 # EL007/EL008 fixture: a counter charged but never released, a tracking

@@ -528,12 +528,14 @@ void TcpModule::MasterEventScan() {
       stale.push_back(pcb);
       continue;
     }
+    // Deadlines are due at `now >= deadline`: a deadline landing exactly on
+    // a scan tick expires on that scan, not one full period later.
     if (pcb->state == TcpState::kSynRecvd && pcb->syn_recvd_deadline != 0 &&
-        now > pcb->syn_recvd_deadline) {
+        now >= pcb->syn_recvd_deadline) {
       expired_synrecvd.push_back(pcb);
-    } else if (pcb->state == TcpState::kTimeWait && now > pcb->time_wait_deadline) {
+    } else if (pcb->state == TcpState::kTimeWait && now >= pcb->time_wait_deadline) {
       expired_timewait.push_back(pcb);
-    } else if (pcb->retx_deadline != 0 && now > pcb->retx_deadline && pcb->BytesUnacked() > 0) {
+    } else if (pcb->retx_deadline != 0 && now >= pcb->retx_deadline && pcb->BytesUnacked() > 0) {
       need_retx.push_back(pcb);
     }
   }
@@ -554,11 +556,25 @@ void TcpModule::MasterEventScan() {
       paths()->Destroy(pcb->path);
       continue;
     }
-    // Charge the retransmission to the connection's own path.
-    TcpPcb* target = pcb;
-    pcb->path->GrabThread()->Push(0, pd(), [this, target] {
-      if (target->path == nullptr || target->path->destroyed() ||
+    // Charge the retransmission to the connection's own path. The closure
+    // runs later, on the path's thread: it must not capture the raw pcb
+    // pointer (the path — and with it the pcb — can be destroyed, and the
+    // connection key even reincarnated, between scan and execution, which
+    // would make even a liveness guard on the pointer a use-after-free).
+    // Capture the ConnKey by value and revalidate through the connection
+    // table instead.
+    ConnKey key = pcb->key;
+    Cycles armed_deadline = pcb->retx_deadline;
+    pcb->path->GrabThread()->Push(0, pd(), [this, key, armed_deadline] {
+      TcpPcb* target = FindConn(key);
+      if (target == nullptr || target->path == nullptr || target->path->destroyed() ||
           target->state == TcpState::kClosed) {
+        return;
+      }
+      // A reincarnated connection under the same key, or one whose timer
+      // was re-armed (an ACK arrived first): this closure's retransmit is
+      // no longer owed.
+      if (target->retx_deadline != armed_deadline || target->BytesUnacked() == 0) {
         return;
       }
       target->retx_count += 1;

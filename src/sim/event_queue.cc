@@ -1,25 +1,29 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <utility>
 
+#include "src/sim/parallel.h"
+
 namespace escort {
+
+// ---- serial queue ----------------------------------------------------------
 
 EventQueue::EventId EventQueue::ScheduleAt(Cycles when, Callback fn) {
   if (when < now_) {
     when = now_;
   }
-  EventId id = next_id_++;
-  cancelled_.push_back(false);
+  EventId id = ledger_.Append();
   heap_.push(Event{when, next_seq_++, id, std::move(fn)});
   ++live_count_;
   return id;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (id >= cancelled_.size() || cancelled_[id]) {
+  if (!ledger_.Mark(id)) {
     return false;
   }
-  cancelled_[id] = true;
   if (live_count_ > 0) {
     --live_count_;
   }
@@ -27,7 +31,7 @@ bool EventQueue::Cancel(EventId id) {
 }
 
 void EventQueue::SkipCancelled() const {
-  while (!heap_.empty() && cancelled_[heap_.top().id]) {
+  while (!heap_.empty() && ledger_.IsConsumed(heap_.top().id)) {
     heap_.pop();
   }
 }
@@ -40,7 +44,7 @@ bool EventQueue::Step() {
   // Move the callback out before popping so the event can reschedule itself.
   Event ev = std::move(const_cast<Event&>(heap_.top()));
   heap_.pop();
-  cancelled_[ev.id] = true;  // mark consumed so Cancel() on a fired id fails
+  ledger_.Mark(ev.id);  // mark consumed so Cancel() on a fired id fails
   --live_count_;
   now_ = ev.when;
   ++fired_count_;
@@ -73,6 +77,345 @@ bool EventQueue::PeekNext(Cycles* when) const {
   }
   *when = heap_.top().when;
   return true;
+}
+
+// ---- sharded queue ---------------------------------------------------------
+
+namespace {
+
+// Execution context of the event (or sequenced transaction) currently
+// running on this thread. Owned per worker; `owner` distinguishes nested
+// queues (a test may drive several). Allowed in src/sim/ by EL010: this is
+// part of the parallel execution machinery, invisible to simulation code.
+struct ExecContext {
+  const ShardedEventQueue* owner = nullptr;
+  EventQueue::StreamId stream = 0;  // context whose code is running
+  Cycles now = 0;                   // that context's local clock
+  bool sequenced = false;           // inside a PostSequenced body
+  uint64_t seq = 0;                 // the transaction's sequence number
+  uint32_t next_minor = 0;          // minor index for the txn's children
+};
+
+thread_local ExecContext tls_exec;
+
+constexpr uint64_t kLocalIdMask = (uint64_t{1} << 56) - 1;
+
+}  // namespace
+
+ShardedEventQueue::ShardedEventQueue(int shards, Cycles lookahead) : lookahead_(lookahead) {
+  if (shards < 1) {
+    shards = 1;
+  }
+  if (shards > 64) {
+    shards = 64;
+  }
+  shards_.resize(static_cast<size_t>(shards));
+  streams_.push_back(Stream{0, 0});  // stream 0: server / kernel / main context
+  if (shards > 1) {
+    pool_ = std::make_unique<ThreadPool>(shards);
+  }
+}
+
+ShardedEventQueue::~ShardedEventQueue() = default;
+
+Cycles ShardedEventQueue::now() const {
+  if (tls_exec.owner == this) {
+    return tls_exec.now;
+  }
+  return now_floor_;
+}
+
+const Cycles& ShardedEventQueue::now_ref() const { return shards_[0].clock; }
+
+EventQueue::StreamId ShardedEventQueue::NewStream(int shard) {
+  // Streams may only be created at serial points (testbed construction).
+  StreamId id = static_cast<StreamId>(streams_.size());
+  int home = shard % static_cast<int>(shards_.size());
+  if (home < 0) {
+    home = 0;
+  }
+  streams_.push_back(Stream{home, 0});
+  return id;
+}
+
+EventQueue::StreamId ShardedEventQueue::current_stream() const {
+  if (tls_exec.owner == this) {
+    return tls_exec.stream;
+  }
+  return main_stream_;
+}
+
+EventQueue::StreamId ShardedEventQueue::SwapCurrentStream(StreamId stream) {
+  StreamId prev = main_stream_;
+  main_stream_ = stream;
+  return prev;
+}
+
+EventQueue::EventId ShardedEventQueue::Insert(size_t shard, Key key, StreamId exec,
+                                              Callback fn) {
+  Shard& sh = shards_[shard];
+  uint64_t local = sh.ledger.Append();
+  EventId id = (static_cast<EventId>(shard) << kShardShift) | local;
+  sh.heap.push(Event{key, id, exec, std::move(fn)});
+  ++sh.live;
+  return id;
+}
+
+EventQueue::EventId ShardedEventQueue::ScheduleAt(Cycles when, Callback fn) {
+  ExecContext* ctx = (tls_exec.owner == this) ? &tls_exec : nullptr;
+  Cycles base = ctx != nullptr ? ctx->now : now_floor_;
+  if (when < base) {
+    when = base;
+  }
+  if (ctx != nullptr && ctx->sequenced) {
+    // Children of a sequenced transaction reuse its (stream, seq) and are
+    // ordered by minor index — byte-identical keys at any shard count.
+    Key key{when, ctx->stream, ctx->seq, ++ctx->next_minor};
+    return Insert(static_cast<size_t>(streams_[ctx->stream].shard), key, ctx->stream,
+                  std::move(fn));
+  }
+  StreamId s = ctx != nullptr ? ctx->stream : main_stream_;
+  Key key{when, s, streams_[s].next_seq++, 0};
+  return Insert(static_cast<size_t>(streams_[s].shard), key, s, std::move(fn));
+}
+
+EventQueue::EventId ShardedEventQueue::ScheduleAtFrom(StreamId exec_stream, Cycles when,
+                                                      Callback fn) {
+  ExecContext* ctx = (tls_exec.owner == this) ? &tls_exec : nullptr;
+  Cycles base = ctx != nullptr ? ctx->now : now_floor_;
+  if (when < base) {
+    when = base;
+  }
+  Key key;
+  if (ctx != nullptr && ctx->sequenced) {
+    key = Key{when, ctx->stream, ctx->seq, ++ctx->next_minor};
+  } else {
+    StreamId ks = ctx != nullptr ? ctx->stream : main_stream_;
+    key = Key{when, ks, streams_[ks].next_seq++, 0};
+  }
+  // The event lands on the *executing* stream's home shard: its callback
+  // runs as that stream's action. Cross-shard inserts happen only at
+  // serial points (transaction drains, single-shard windows).
+  return Insert(static_cast<size_t>(streams_[exec_stream].shard), key, exec_stream,
+                std::move(fn));
+}
+
+bool ShardedEventQueue::Cancel(EventId id) {
+  size_t shard = static_cast<size_t>(id >> kShardShift);
+  if (shard >= shards_.size()) {
+    return false;
+  }
+  Shard& sh = shards_[shard];
+  if (!sh.ledger.Mark(id & kLocalIdMask)) {
+    return false;
+  }
+  if (sh.live > 0) {
+    --sh.live;
+  }
+  return true;
+}
+
+bool ShardedEventQueue::PeekShard(size_t s, Key* key) const {
+  const Shard& sh = shards_[s];
+  while (!sh.heap.empty() && sh.ledger.IsConsumed(sh.heap.top().id & kLocalIdMask)) {
+    sh.heap.pop();
+  }
+  if (sh.heap.empty()) {
+    return false;
+  }
+  *key = sh.heap.top().key;
+  return true;
+}
+
+bool ShardedEventQueue::GlobalPeek(size_t* shard, Key* key) const {
+  bool found = false;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Key k;
+    if (!PeekShard(s, &k)) {
+      continue;
+    }
+    if (!found || k < *key) {
+      found = true;
+      *shard = s;
+      *key = k;
+    }
+  }
+  return found;
+}
+
+void ShardedEventQueue::ExecuteTop(size_t s) {
+  Shard& sh = shards_[s];
+  Event ev = std::move(const_cast<Event&>(sh.heap.top()));
+  sh.heap.pop();
+  sh.ledger.Mark(ev.id & kLocalIdMask);
+  --sh.live;
+  ++sh.fired;
+  sh.clock = ev.key.when;
+  ExecContext saved = tls_exec;
+  tls_exec = ExecContext{this, ev.exec, ev.key.when, false, 0, 0};
+  ev.fn();
+  tls_exec = saved;
+}
+
+void ShardedEventQueue::RunShardWindow(size_t s, Cycles horizon) {
+  Key k;
+  while (PeekShard(s, &k) && k.when < horizon) {
+    ExecuteTop(s);
+  }
+}
+
+void ShardedEventQueue::RunTxn(Txn& txn) {
+  ExecContext saved = tls_exec;
+  tls_exec = ExecContext{this, txn.stream, txn.when, true, txn.seq, 0};
+  txn.fn(txn.when);
+  tls_exec = saved;
+}
+
+void ShardedEventQueue::DrainTransactions() {
+  while (!txns_.empty()) {
+    std::vector<Txn> batch;
+    batch.swap(txns_);
+    // Key order == the order the bodies run inline in a serial execution
+    // (seqs are allocated in send order, monotonic per stream).
+    std::stable_sort(batch.begin(), batch.end(), [](const Txn& a, const Txn& b) {
+      if (a.when != b.when) return a.when < b.when;
+      if (a.stream != b.stream) return a.stream < b.stream;
+      return a.seq < b.seq;
+    });
+    for (Txn& t : batch) {
+      RunTxn(t);
+    }
+  }
+}
+
+void ShardedEventQueue::PostSequenced(SequencedFn fn) {
+  ExecContext* ctx = (tls_exec.owner == this) ? &tls_exec : nullptr;
+  StreamId stream = ctx != nullptr ? ctx->stream : main_stream_;
+  Cycles when = ctx != nullptr ? ctx->now : now_floor_;
+  // Exactly one sequence number per transaction, consumed at post time, so
+  // the transaction's key does not depend on when the body runs.
+  uint64_t seq = streams_[stream].next_seq++;
+  if (in_parallel_window_) {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    txns_.push_back(Txn{when, stream, seq, std::move(fn)});
+    return;
+  }
+  Txn t{when, stream, seq, std::move(fn)};
+  RunTxn(t);
+}
+
+bool ShardedEventQueue::Step() {
+  DrainTransactions();
+  size_t s;
+  Key k;
+  if (!GlobalPeek(&s, &k)) {
+    return false;
+  }
+  ExecuteTop(s);
+  now_floor_ = k.when;
+  // Keep the stream-0 shard clock monotonic for now_ref() observers even
+  // when the event ran elsewhere.
+  if (shards_[0].clock < now_floor_) {
+    shards_[0].clock = now_floor_;
+  }
+  return true;
+}
+
+void ShardedEventQueue::RunUntil(Cycles deadline) {
+  constexpr Cycles kMaxCycles = ~static_cast<Cycles>(0);
+  std::vector<size_t> active;
+  for (;;) {
+    DrainTransactions();
+    size_t s;
+    Key k;
+    if (!GlobalPeek(&s, &k) || k.when > deadline) {
+      break;
+    }
+    ++windows_run_;
+    // Conservative window [T, H): T is the global minimum event time, H is
+    // T + lookahead (capped at the deadline). Cross-stream effects posted
+    // inside the window land at >= T + lookahead >= H, so shards cannot
+    // miss each other's messages.
+    Cycles step = lookahead_ > 0 ? lookahead_ : 1;
+    Cycles horizon = k.when > kMaxCycles - step ? kMaxCycles : k.when + step;
+    if (deadline != kMaxCycles && horizon > deadline + 1) {
+      horizon = deadline + 1;
+    }
+    active.clear();
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Key key;
+      if (PeekShard(i, &key) && key.when < horizon) {
+        active.push_back(i);
+      }
+    }
+    if (pool_ != nullptr && active.size() > 1) {
+      ++parallel_windows_;
+      in_parallel_window_ = true;
+      std::vector<JobOutcome> outcomes =
+          pool_->RunIndexed(active.size(), [this, &active, horizon](size_t i) {
+            RunShardWindow(active[i], horizon);
+          });
+      in_parallel_window_ = false;
+      for (const JobOutcome& o : outcomes) {
+        if (!o.ok) {
+          throw std::runtime_error("sharded event queue worker failed: " + o.error);
+        }
+      }
+    } else {
+      for (size_t i : active) {
+        RunShardWindow(i, horizon);
+      }
+    }
+  }
+  if (now_floor_ < deadline) {
+    now_floor_ = deadline;
+  }
+  for (Shard& sh : shards_) {
+    if (sh.clock < deadline) {
+      sh.clock = deadline;
+    }
+  }
+}
+
+void ShardedEventQueue::RunToCompletion() {
+  while (Step()) {
+  }
+}
+
+bool ShardedEventQueue::PeekNext(Cycles* when) const {
+  size_t s;
+  Key k;
+  if (!GlobalPeek(&s, &k)) {
+    return false;
+  }
+  *when = k.when;
+  return true;
+}
+
+bool ShardedEventQueue::empty() const { return pending() == 0; }
+
+size_t ShardedEventQueue::pending() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) {
+    n += sh.live;
+  }
+  return n;
+}
+
+uint64_t ShardedEventQueue::fired_count() const {
+  uint64_t n = 0;
+  for (const Shard& sh : shards_) {
+    n += sh.fired;
+  }
+  return n;
+}
+
+size_t ShardedEventQueue::consumed_slot_count() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) {
+    n += sh.ledger.slot_count();
+  }
+  return n;
 }
 
 }  // namespace escort

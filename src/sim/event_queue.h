@@ -3,12 +3,36 @@
 // Every actor in the system (the server CPU, network links, the disk, client
 // machines) schedules callbacks at absolute cycle times. Events at equal
 // times fire in scheduling order (FIFO), which keeps runs deterministic.
+//
+// Two implementations share one interface:
+//
+//  * EventQueue — the serial queue. One heap, one clock, a global FIFO
+//    sequence for equal-time ties. This is the semantics every unit test
+//    pins and the default for all testbeds.
+//
+//  * ShardedEventQueue — conservative parallel discrete-event simulation
+//    for a single cell. Actors are grouped into *streams* (one per client
+//    machine / attacker; the server, link and kernel share stream 0), and
+//    streams are partitioned across N shards, each with its own heap and
+//    local clock. Shards execute concurrently inside conservative lookahead
+//    windows derived from the minimum link delivery latency; cross-shard
+//    sends are time-stamped mailbox deposits (PostSequenced) drained in
+//    deterministic key order at window boundaries.
+//
+//    Determinism contract: events are totally ordered by the key
+//    (when, stream, seq, minor). Stream ids and per-stream sequence numbers
+//    depend only on the simulation's causal structure — never on the shard
+//    count or thread scheduling — so a run is bit-identical at any N
+//    (tests/test_sharded_equivalence.cc is the regression test).
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -16,50 +40,174 @@
 
 namespace escort {
 
+class ThreadPool;
+
+// Tracks which event ids have been consumed (fired or cancelled). Ids are
+// dense and monotonically increasing, so instead of one bit per event ever
+// scheduled (which grows without bound over million-event runs) the ledger
+// keeps a sliding window [base_, base_ + slots_.size()) and drops the
+// fully-consumed prefix: any id below base_ is consumed by definition.
+// EventId semantics are unchanged — ids are never reused or renumbered.
+class ConsumedLedger {
+ public:
+  // Registers the next id and returns it.
+  uint64_t Append() {
+    slots_.push_back(false);
+    return base_ + slots_.size() - 1;
+  }
+
+  // Marks `id` consumed. Returns false if it was already consumed (or was
+  // never issued). Compacts the consumed prefix as a side effect.
+  bool Mark(uint64_t id) {
+    if (id < base_) {
+      return false;
+    }
+    size_t idx = static_cast<size_t>(id - base_);
+    if (idx >= slots_.size() || slots_[idx]) {
+      return false;
+    }
+    slots_[idx] = true;
+    while (!slots_.empty() && slots_.front()) {
+      slots_.pop_front();
+      ++base_;
+    }
+    return true;
+  }
+
+  bool IsConsumed(uint64_t id) const {
+    if (id < base_) {
+      return true;
+    }
+    size_t idx = static_cast<size_t>(id - base_);
+    return idx < slots_.size() && slots_[idx];
+  }
+
+  uint64_t next_id() const { return base_ + slots_.size(); }
+  // Live window size — bounded by the number of outstanding (unconsumed)
+  // events, not by the total ever scheduled.
+  size_t slot_count() const { return slots_.size(); }
+  uint64_t base() const { return base_; }
+
+ private:
+  std::deque<bool> slots_;
+  uint64_t base_ = 0;
+};
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
   using EventId = uint64_t;
+  // Identity of an actor for deterministic ordering. Stream 0 always
+  // exists (the server/kernel/main context); testbeds allocate one stream
+  // per client machine via NewStream().
+  using StreamId = uint32_t;
+  // A sequenced cross-actor transaction body; receives the simulated time
+  // at which the transaction was posted.
+  using SequencedFn = std::function<void(Cycles send_time)>;
 
   EventQueue() = default;
+  virtual ~EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   // Current simulated time. Only advances inside RunUntil/Step.
-  Cycles now() const { return now_; }
+  virtual Cycles now() const { return now_; }
 
   // Stable reference to the clock, for components that need to observe time
-  // without holding the whole queue (e.g. the EDF scheduler).
-  const Cycles& now_ref() const { return now_; }
+  // without holding the whole queue (e.g. the EDF scheduler). On a sharded
+  // queue this is the stream-0 shard's clock: only stream-0 code (the
+  // kernel and server) may observe it.
+  virtual const Cycles& now_ref() const { return now_; }
 
   // Schedules `fn` to run at absolute time `when`. Times in the past are
   // clamped to `now()`. Returns an id usable with Cancel().
-  EventId ScheduleAt(Cycles when, Callback fn);
+  virtual EventId ScheduleAt(Cycles when, Callback fn);
 
   // Schedules `fn` to run `delay` cycles from now.
-  EventId ScheduleAfter(Cycles delay, Callback fn) { return ScheduleAt(now_ + delay, std::move(fn)); }
+  EventId ScheduleAfter(Cycles delay, Callback fn) {
+    return ScheduleAt(now() + delay, std::move(fn));
+  }
 
   // Cancels a pending event. Returns false if it already fired or was
   // cancelled. Cancellation is O(1); the slot is dropped lazily on pop.
-  bool Cancel(EventId id);
+  virtual bool Cancel(EventId id);
 
   // Fires the next pending event, advancing time to its deadline.
   // Returns false if the queue is empty.
-  bool Step();
+  virtual bool Step();
 
   // Runs events until `deadline` (inclusive). Time is left at `deadline`
   // even if the queue drains earlier.
-  void RunUntil(Cycles deadline);
+  virtual void RunUntil(Cycles deadline);
 
   // Runs until no events remain.
-  void RunToCompletion();
+  virtual void RunToCompletion();
 
   // Time of the earliest pending event; returns false via `ok` if none.
-  bool PeekNext(Cycles* when) const;
+  virtual bool PeekNext(Cycles* when) const;
 
-  bool empty() const { return live_count_ == 0; }
-  size_t pending() const { return live_count_; }
-  uint64_t fired_count() const { return fired_count_; }
+  virtual bool empty() const { return live_count_ == 0; }
+  virtual size_t pending() const { return live_count_; }
+  virtual uint64_t fired_count() const { return fired_count_; }
+
+  // Size of the consumed-event bookkeeping window (test hook for the
+  // prefix-compaction guarantee: bounded by outstanding events, not by
+  // events ever scheduled).
+  virtual size_t consumed_slot_count() const { return ledger_.slot_count(); }
+
+  // ---- Actor streams (meaningful on ShardedEventQueue; no-ops here) ----
+
+  // Allocates a new stream homed on `shard`. The serial queue keeps every
+  // actor on stream 0.
+  virtual StreamId NewStream(int shard) {
+    (void)shard;
+    return 0;
+  }
+
+  // Stream whose context is currently executing (or the ambient stream set
+  // by a StreamScope during testbed construction).
+  virtual StreamId current_stream() const { return 0; }
+
+  // Schedules `fn` to run in the context of `exec_stream` — i.e. events
+  // that `fn` itself schedules are ordered as that stream's actions. Used
+  // by the shared link to hand a frame delivery to the receiving machine's
+  // stream. The serial queue ignores the stream.
+  virtual EventId ScheduleAtFrom(StreamId exec_stream, Cycles when, Callback fn) {
+    (void)exec_stream;
+    return ScheduleAt(when, std::move(fn));
+  }
+
+  // Posts a sequenced transaction: a body that reads/writes state shared
+  // between streams (the wire medium). On the serial queue it runs inline.
+  // On a sharded queue it consumes exactly one sequence number from the
+  // posting stream at call time; during parallel windows the body is
+  // deposited in a mailbox and drained at the next window boundary in
+  // deterministic (time, stream, seq) order — identical to the order the
+  // bodies run inline in a serial execution.
+  virtual void PostSequenced(SequencedFn fn) { fn(now()); }
+
+  // RAII ambient-stream setter for testbed construction: actors created
+  // and started inside the scope schedule their events on `stream`.
+  class StreamScope {
+   public:
+    StreamScope(EventQueue* eq, StreamId stream)
+        : eq_(eq), prev_(eq->SwapCurrentStream(stream)) {}
+    ~StreamScope() { eq_->SwapCurrentStream(prev_); }
+    StreamScope(const StreamScope&) = delete;
+    StreamScope& operator=(const StreamScope&) = delete;
+
+   private:
+    EventQueue* eq_;
+    StreamId prev_;
+  };
+
+ protected:
+  // Swaps the ambient stream used outside event execution; returns the
+  // previous value. No-op on the serial queue (everything is stream 0).
+  virtual StreamId SwapCurrentStream(StreamId stream) {
+    (void)stream;
+    return 0;
+  }
 
  private:
   struct Event {
@@ -79,12 +227,128 @@ class EventQueue {
   void SkipCancelled() const;
 
   mutable std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
-  mutable std::vector<bool> cancelled_;  // indexed by EventId
+  ConsumedLedger ledger_;
   Cycles now_ = 0;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 0;
   size_t live_count_ = 0;
   uint64_t fired_count_ = 0;
+};
+
+// Conservative-PDES sharded queue. See the file comment for the design and
+// DESIGN.md "Sharded event queue" for the synchronization contract.
+class ShardedEventQueue : public EventQueue {
+ public:
+  // `shards` is clamped to [1, 64]. `lookahead` is the conservative window
+  // length in cycles: the minimum latency of any cross-stream interaction
+  // (for the testbed: the shortest possible link delivery, see
+  // SharedLink::MinDeliveryLatency). 0 degenerates to serial execution.
+  explicit ShardedEventQueue(int shards, Cycles lookahead = 0);
+  ~ShardedEventQueue() override;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  Cycles lookahead() const { return lookahead_; }
+
+  Cycles now() const override;
+  const Cycles& now_ref() const override;
+  EventId ScheduleAt(Cycles when, Callback fn) override;
+  EventId ScheduleAtFrom(StreamId exec_stream, Cycles when, Callback fn) override;
+  bool Cancel(EventId id) override;
+  bool Step() override;
+  void RunUntil(Cycles deadline) override;
+  void RunToCompletion() override;
+  bool PeekNext(Cycles* when) const override;
+  bool empty() const override;
+  size_t pending() const override;
+  uint64_t fired_count() const override;
+  size_t consumed_slot_count() const override;
+
+  StreamId NewStream(int shard) override;
+  StreamId current_stream() const override;
+  void PostSequenced(SequencedFn fn) override;
+
+  // Scheduling introspection (tests): windows executed by RunUntil, and
+  // how many of them dispatched 2+ shards onto the pool.
+  uint64_t windows_run() const { return windows_run_; }
+  uint64_t parallel_windows() const { return parallel_windows_; }
+
+  // Home shard of a stream (tests).
+  int shard_of(StreamId stream) const { return streams_[stream].shard; }
+
+ protected:
+  StreamId SwapCurrentStream(StreamId stream) override;
+
+ private:
+  // Total order over all events; independent of shard count by
+  // construction (streams and seqs are assigned causally, minors index
+  // deliveries within one sequenced transaction).
+  struct Key {
+    Cycles when;
+    StreamId stream;
+    uint64_t seq;
+    uint32_t minor;
+    bool operator>(const Key& o) const {
+      if (when != o.when) return when > o.when;
+      if (stream != o.stream) return stream > o.stream;
+      if (seq != o.seq) return seq > o.seq;
+      return minor > o.minor;
+    }
+    bool operator<(const Key& o) const { return o > *this; }
+  };
+
+  struct Event {
+    Key key;
+    EventId id;
+    StreamId exec;  // stream whose context runs `fn` (child-event identity)
+    Callback fn;
+    bool operator>(const Event& o) const { return key > o.key; }
+  };
+
+  struct Shard {
+    mutable std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+    mutable ConsumedLedger ledger;
+    Cycles clock = 0;
+    size_t live = 0;
+    uint64_t fired = 0;
+  };
+
+  struct Stream {
+    int shard = 0;
+    uint64_t next_seq = 0;
+  };
+
+  // A deposited cross-stream transaction, drained in Key order.
+  struct Txn {
+    Cycles when;
+    StreamId stream;
+    uint64_t seq;
+    SequencedFn fn;
+  };
+
+  static constexpr int kShardShift = 56;  // EventId = shard << 56 | local id
+
+  bool PeekShard(size_t s, Key* key) const;
+  bool GlobalPeek(size_t* shard, Key* key) const;
+  EventId Insert(size_t shard, Key key, StreamId exec, Callback fn);
+  // Pops and runs the head of shard `s` (caller guarantees it exists).
+  void ExecuteTop(size_t s);
+  // Runs every event of shard `s` with key.when < horizon.
+  void RunShardWindow(size_t s, Cycles horizon);
+  // Runs deposited transactions in deterministic key order (serial points
+  // only — never while workers run).
+  void DrainTransactions();
+  void RunTxn(Txn& txn);
+
+  std::vector<Shard> shards_;
+  std::vector<Stream> streams_;
+  StreamId main_stream_ = 0;  // ambient stream outside event execution
+  Cycles now_floor_ = 0;      // committed global time (main-context now())
+  Cycles lookahead_ = 0;
+  std::vector<Txn> txns_;
+  std::mutex txn_mu_;
+  std::unique_ptr<ThreadPool> pool_;
+  bool in_parallel_window_ = false;
+  uint64_t windows_run_ = 0;
+  uint64_t parallel_windows_ = 0;
 };
 
 }  // namespace escort

@@ -30,6 +30,9 @@ double Samples::Percentile(double p) const {
   if (values_.empty()) {
     return 0.0;
   }
+  // Out-of-range p would produce a negative rank, which casts to a huge
+  // size_t and reads out of bounds; clamp to the documented domain.
+  p = std::clamp(p, 0.0, 100.0);
   std::vector<double> sorted = values_;
   std::sort(sorted.begin(), sorted.end());
   double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);

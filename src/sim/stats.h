@@ -7,6 +7,7 @@
 #define SRC_SIM_STATS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,23 +17,34 @@
 namespace escort {
 
 // Monotonic event counter with a windowed-rate reading.
+//
+// One RateMeter is shared by every client in a testbed, so under a
+// ShardedEventQueue it is incremented concurrently from several shards.
+// The counters are relaxed atomics: sums and maxima are commutative, so
+// the readings stay bit-identical at any shard count. Open/CloseWindow
+// and the accessors are only called at serial points.
 class RateMeter {
  public:
   RateMeter() = default;
 
   void Record(Cycles now, uint64_t count = 1) {
-    total_ += count;
+    total_.fetch_add(count, std::memory_order_relaxed);
     if (window_open_) {
-      window_count_ += count;
+      window_count_.fetch_add(count, std::memory_order_relaxed);
     }
-    last_event_ = now;
+    // last_event_ is the max over all recordings (equivalent to "last
+    // assignment" under a serial queue, where `now` is monotonic).
+    Cycles prev = last_event_.load(std::memory_order_relaxed);
+    while (prev < now &&
+           !last_event_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
   }
 
   // Opens the measurement window (call after warm-up).
   void OpenWindow(Cycles now) {
     window_open_ = true;
     window_start_ = now;
-    window_count_ = 0;
+    window_count_.store(0, std::memory_order_relaxed);
   }
 
   // Closes the window and returns events/second over it.
@@ -42,18 +54,18 @@ class RateMeter {
     if (secs <= 0) {
       return 0.0;
     }
-    return static_cast<double>(window_count_) / secs;
+    return static_cast<double>(window_count_.load(std::memory_order_relaxed)) / secs;
   }
 
-  uint64_t total() const { return total_; }
-  uint64_t window_count() const { return window_count_; }
-  Cycles last_event() const { return last_event_; }
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+  uint64_t window_count() const { return window_count_.load(std::memory_order_relaxed); }
+  Cycles last_event() const { return last_event_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t total_ = 0;
-  uint64_t window_count_ = 0;
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> window_count_{0};
   Cycles window_start_ = 0;
-  Cycles last_event_ = 0;
+  std::atomic<Cycles> last_event_{0};
   bool window_open_ = false;
 };
 

@@ -31,7 +31,15 @@ Ip4Addr CgiAttackerIp(int i) {
 }
 
 struct Testbed {
-  EventQueue eq;
+  // The sharded queue IS the serial queue at shards=1 — and bit-identical
+  // to it at any other shard count (ordering keys are assigned per stream,
+  // independent of the shard partition). The lookahead window is the
+  // minimum link delivery latency: the only cross-stream interaction is
+  // the wire.
+  explicit Testbed(int shards)
+      : eq(shards, SharedLink::MinDeliveryLatency(NetworkModel::Calibrated())) {}
+
+  ShardedEventQueue eq;
   std::unique_ptr<SharedLink> link;
   std::unique_ptr<EscortWebServer> server;
   std::unique_ptr<MonolithicServer> linux_server;
@@ -48,7 +56,7 @@ struct Testbed {
 };
 
 std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
-  auto tb = std::make_unique<Testbed>();
+  auto tb = std::make_unique<Testbed>(spec.shards);
   tb->link = std::make_unique<SharedLink>(&tb->eq, NetworkModel::Calibrated());
 
   if (spec.linux_server) {
@@ -69,6 +77,17 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
     tb->audit = std::make_unique<AuditScope>(&tb->server->kernel());
   }
 
+  // Every machine (client, attacker, QoS endpoint) is its own event
+  // stream, round-robined over shards 1..N-1 (the server/kernel stay on
+  // shard 0). Stream ids depend only on construction order — never on the
+  // shard count — which is what keeps results bit-identical at any N.
+  int next_actor = 0;
+  auto actor_stream = [&]() -> EventQueue::StreamId {
+    int n = tb->eq.shard_count();
+    int shard = n <= 1 ? 0 : 1 + (next_actor++ % (n - 1));
+    return tb->eq.NewStream(shard);
+  };
+
   auto add_machine = [&](Ip4Addr ip, uint64_t mac_index, uint64_t seed) {
     auto machine = std::make_unique<ClientMachine>(&tb->eq, tb->link.get(),
                                                    MacAddr::FromIndex(mac_index), ip,
@@ -83,6 +102,7 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
 
   // Regular clients.
   for (int i = 0; i < spec.clients; ++i) {
+    EventQueue::StreamScope scope(&tb->eq, actor_stream());
     ClientMachine* m = add_machine(ClientIp(i), 100 + static_cast<uint64_t>(i),
                                    0xc11e47 + static_cast<uint64_t>(i));
     auto client = std::make_unique<HttpClient>(m, kServerIp, spec.doc);
@@ -93,6 +113,7 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
 
   // CGI attackers (trusted subnet, like regular clients).
   for (int i = 0; i < spec.cgi_attackers; ++i) {
+    EventQueue::StreamScope scope(&tb->eq, actor_stream());
     ClientMachine* m = add_machine(CgiAttackerIp(i), 200 + static_cast<uint64_t>(i),
                                    0xa77acc + static_cast<uint64_t>(i));
     auto attacker = std::make_unique<CgiAttacker>(m, kServerIp);
@@ -102,6 +123,7 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
 
   // QoS stream.
   if (spec.qos_stream) {
+    EventQueue::StreamScope scope(&tb->eq, actor_stream());
     tb->qos_machine = std::make_unique<ClientMachine>(&tb->eq, tb->link.get(),
                                                       MacAddr::FromIndex(50), kQosIp,
                                                       NetworkModel::Calibrated(), 0x9075ULL);
@@ -115,6 +137,7 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
 
   // SYN attacker (untrusted subnet).
   if (spec.syn_attack_rate > 0) {
+    EventQueue::StreamScope scope(&tb->eq, actor_stream());
     MacAddr amac = MacAddr::FromIndex(60);
     tb->syn_attacker = std::make_unique<SynAttacker>(&tb->eq, tb->link.get(), amac,
                                                      kSynAttackerIp, kServerIp, kServerMac,

@@ -24,6 +24,7 @@ struct ExperimentSpec {
   bool qos_stream = false;
   double syn_attack_rate = 0.0;            // SYNs/s from the untrusted subnet
   int cgi_attackers = 0;                   // one attack/s each
+  int shards = 1;                          // event-queue shards (bit-identical at any N)
   double warmup_s = 0.6;
   double window_s = 2.0;
   WebServerOptions server_options;         // config/scheduler filled in by Run

@@ -33,13 +33,28 @@ class SharedLink {
   SharedLink(const SharedLink&) = delete;
   SharedLink& operator=(const SharedLink&) = delete;
 
+  // Attaches an endpoint. The port remembers the event queue's current
+  // stream: deliveries to this endpoint execute in that stream's context
+  // (testbeds construct each machine inside an EventQueue::StreamScope).
   void Attach(const MacAddr& mac, NetEndpoint* endpoint, Cycles extra_latency = 0);
   void Detach(const MacAddr& mac);
 
   // Transmits a frame. Unicast goes to the owner of the destination MAC;
   // broadcast goes to everyone except the sender. Delivery happens after
   // the medium frees up + serialization + latency.
+  //
+  // The medium is the one piece of state shared between streams, so the
+  // send runs as a sequenced transaction (EventQueue::PostSequenced):
+  // inline on a serial queue, deposited and drained in deterministic key
+  // order on a sharded one. Either way arbitration order and results are
+  // identical.
   void Send(const MacAddr& src, std::vector<uint8_t> frame);
+
+  // Lower bound on the wire time of any frame (the 84-byte minimum wire
+  // frame at link bandwidth). Every delivery happens at least this long
+  // after its send, which makes it the conservative lookahead for
+  // ShardedEventQueue.
+  static Cycles MinDeliveryLatency(const NetworkModel& model);
 
   // Test hook: drop every n-th frame (0 = no loss).
   void set_drop_every(uint64_t n) { drop_every_ = n; }
@@ -53,9 +68,13 @@ class SharedLink {
   struct Port {
     NetEndpoint* endpoint = nullptr;
     Cycles extra_latency = 0;
+    EventQueue::StreamId stream = 0;  // deliveries run in this stream
   };
 
   Cycles SerializationTime(size_t frame_bytes) const;
+  // Body of Send: runs at a serial point in sequenced-transaction order.
+  void TransmitSequenced(const MacAddr& src, const MacAddr& dst, std::vector<uint8_t> frame,
+                         Cycles send_time);
 
   EventQueue* const eq_;
   const NetworkModel model_;

@@ -32,9 +32,11 @@ namespace {
     std::fprintf(stderr, "unknown argument: %s\n", bad);
   }
   std::fprintf(stderr,
-               "usage: %s [--quick] [--jobs N] [--json PATH]\n"
+               "usage: %s [--quick] [--jobs N] [--shards N] [--json PATH]\n"
                "  --quick      run the bench's reduced grid\n"
                "  --jobs N     worker threads (default: hardware concurrency)\n"
+               "  --shards N   event-queue shards within each cell (default 1;\n"
+               "               results are bit-identical at any N)\n"
                "  --json PATH  also write machine-readable results to PATH\n",
                argv0);
   std::exit(2);
@@ -47,14 +49,22 @@ namespace {
 
 // `--jobs fast` must be an error, not a silent fall-through to the
 // hardware-concurrency default (atoi("fast") == 0 would do exactly that).
-int ParseJobs(const char* argv0, const char* value) {
+int ParseCount(const char* argv0, const char* flag, const char* value, long max) {
   char* end = nullptr;
   long n = std::strtol(value, &end, 10);
-  if (end == value || *end != '\0' || n < 1 || n > 4096) {
-    std::fprintf(stderr, "--jobs expects an integer in [1, 4096], got '%s'\n", value);
+  if (end == value || *end != '\0' || n < 1 || n > max) {
+    std::fprintf(stderr, "%s expects an integer in [1, %ld], got '%s'\n", flag, max, value);
     UsageAndExit(argv0, nullptr);
   }
   return static_cast<int>(n);
+}
+
+int ParseJobs(const char* argv0, const char* value) {
+  return ParseCount(argv0, "--jobs", value, 4096);
+}
+
+int ParseShards(const char* argv0, const char* value) {
+  return ParseCount(argv0, "--shards", value, 64);
 }
 
 void AppendEscaped(std::string* out, const std::string& s) {
@@ -121,6 +131,10 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       opts.jobs = ParseJobs(argv[0], argv[++i]);
     } else if (std::strncmp(a, "--jobs=", 7) == 0) {
       opts.jobs = ParseJobs(argv[0], a + 7);
+    } else if (std::strcmp(a, "--shards") == 0 && i + 1 < argc) {
+      opts.shards = ParseShards(argv[0], argv[++i]);
+    } else if (std::strncmp(a, "--shards=", 9) == 0) {
+      opts.shards = ParseShards(argv[0], a + 9);
     } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
       opts.json_path = argv[++i];
     } else if (std::strncmp(a, "--json=", 7) == 0) {
@@ -158,6 +172,9 @@ void Sweep::Run(const SweepOptions& opts) {
   for (SweepCell& cell : cells_) {
     cell.spec.warmup_s = EnvSeconds("ESCORT_WARMUP_S", cell.spec.warmup_s);
     cell.spec.window_s = EnvSeconds("ESCORT_WINDOW_S", cell.spec.window_s);
+    if (opts.shards > 0) {
+      cell.spec.shards = opts.shards;
+    }
   }
   results_.assign(cells_.size(), CellResult());
   std::vector<JobOutcome> outcomes =
@@ -281,6 +298,9 @@ std::string Sweep::ToJson() const {
     out += ", ";
     AppendKey(&out, "cgi_attackers");
     AppendUint(&out, static_cast<uint64_t>(cell.spec.cgi_attackers));
+    out += ", ";
+    AppendKey(&out, "shards");
+    AppendUint(&out, static_cast<uint64_t>(cell.spec.shards));
     out += ", ";
     AppendKey(&out, "warmup_s");
     AppendDouble(&out, cell.spec.warmup_s);

@@ -16,6 +16,9 @@
 //
 // Every bench built on this harness accepts:
 //   --jobs N     worker threads (default: hardware concurrency)
+//   --shards N   event-queue shards *within* each cell (default 1;
+//                results are bit-identical at any N — see
+//                ShardedEventQueue). Recorded in the JSON spec.
 //   --json PATH  machine-readable BENCH_*.json output for the perf
 //                trajectory, alongside the human-readable tables
 //   --quick      the bench's reduced grid
@@ -59,12 +62,13 @@ struct CellResult {
 
 struct SweepOptions {
   int jobs = 0;            // <= 0: hardware concurrency
+  int shards = 0;          // <= 0: keep each spec's own value (default 1)
   std::string json_path;   // empty: no JSON emitted
   bool quick = false;
 };
 
-// Parses the common bench flags (--jobs N, --json PATH, --quick).
-// Prints usage and exits with status 2 on an unknown argument.
+// Parses the common bench flags (--jobs N, --shards N, --json PATH,
+// --quick). Prints usage and exits with status 2 on an unknown argument.
 SweepOptions ParseSweepArgs(int argc, char** argv);
 
 class Sweep {

@@ -235,7 +235,7 @@ const std::vector<std::string> kCellKeys = {"id",   "ok",     "error",  "tags",
                                             "spec", "metrics", "ledger", "extra"};
 const std::vector<std::string> kSpecKeys = {
     "linux_server", "config",        "clients",  "doc",      "qos_stream",
-    "syn_attack_rate", "cgi_attackers", "warmup_s", "window_s"};
+    "syn_attack_rate", "cgi_attackers", "shards",   "warmup_s", "window_s"};
 const std::vector<std::string> kMetricKeys = {
     "conns_per_sec",  "qos_bytes_per_sec", "completions_total",     "client_failures",
     "paths_killed",   "syns_dropped_at_demux", "syns_sent",         "runaway_detections",
@@ -318,6 +318,7 @@ TEST(BenchJson, SchemaIsPinned) {
   EXPECT_GT(exp.At("spec").At("window_s").number, 0.0);
   EXPECT_EQ(exp.At("spec").At("config").str, "Accounting");
   EXPECT_EQ(exp.At("spec").At("clients").number, 2.0);
+  EXPECT_EQ(exp.At("spec").At("shards").number, 1.0);
   EXPECT_EQ(exp.At("tags").At("variant").str, "acct");
 
   // The custom cell's extras round-trip.

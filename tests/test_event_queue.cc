@@ -117,5 +117,83 @@ TEST(EventQueue, StepReturnsFalseWhenOnlyCancelledRemain) {
   EXPECT_FALSE(eq.Step());
 }
 
+TEST(EventQueue, CancelThenRescheduleYieldsFreshId) {
+  EventQueue eq;
+  int fired = 0;
+  auto a = eq.ScheduleAt(10, [&] { fired = 1; });
+  EXPECT_TRUE(eq.Cancel(a));
+  auto b = eq.ScheduleAt(10, [&] { fired = 2; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(eq.Cancel(a));  // old id stays dead
+  eq.RunToCompletion();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(eq.Cancel(b));  // fired, not cancellable
+}
+
+TEST(EventQueue, PeekNextSkipsCancelledHead) {
+  EventQueue eq;
+  auto head = eq.ScheduleAt(10, [] {});
+  eq.ScheduleAt(20, [] {});
+  eq.Cancel(head);
+  Cycles when = 0;
+  ASSERT_TRUE(eq.PeekNext(&when));
+  EXPECT_EQ(when, 20u);  // the cancelled earlier event is invisible
+  EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, PeekNextFalseWhenAllCancelled) {
+  EventQueue eq;
+  auto a = eq.ScheduleAt(10, [] {});
+  auto b = eq.ScheduleAt(20, [] {});
+  eq.Cancel(a);
+  eq.Cancel(b);
+  Cycles when = 0;
+  EXPECT_FALSE(eq.PeekNext(&when));
+  EXPECT_TRUE(eq.empty());
+}
+
+// Regression test for unbounded consumed-event bookkeeping: the queue used
+// to keep one entry per event ever scheduled. With prefix compaction the
+// window is bounded by the number of *outstanding* events, so a long run
+// with periodic timers (schedule, fire, cancel, repeat) stays O(live).
+TEST(EventQueue, ConsumedBookkeepingIsCompacted) {
+  EventQueue eq;
+  constexpr int kRounds = 100000;
+  for (int i = 0; i < kRounds; ++i) {
+    eq.ScheduleAfter(1, [] {});
+    auto cancelled = eq.ScheduleAfter(2, [] {});
+    eq.Cancel(cancelled);
+    eq.Step();
+  }
+  EXPECT_EQ(eq.fired_count(), static_cast<uint64_t>(kRounds));
+  // Pre-fix this was 2 * kRounds (one slot per event ever scheduled).
+  EXPECT_LT(eq.consumed_slot_count(), 16u);
+}
+
+// Out-of-order consumption keeps exactly the unconsumed suffix alive; ids
+// are never reused or renumbered by compaction.
+TEST(EventQueue, CompactionPreservesIdSemantics) {
+  EventQueue eq;
+  std::vector<EventQueue::EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(eq.ScheduleAt(10 + static_cast<Cycles>(i), [] {}));
+  }
+  // Cancel a late block first: no prefix is consumed, window stays full.
+  for (int i = 32; i < 64; ++i) {
+    EXPECT_TRUE(eq.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(eq.consumed_slot_count(), 64u);
+  // Consuming the front collapses the whole prefix including the block.
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(eq.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  EXPECT_EQ(eq.consumed_slot_count(), 0u);
+  for (auto id : ids) {
+    EXPECT_FALSE(eq.Cancel(id));  // every consumed id stays consumed
+  }
+  auto fresh = eq.ScheduleAt(100, [] {});
+  EXPECT_GT(fresh, ids.back());  // ids keep increasing across compaction
+}
+
 }  // namespace
 }  // namespace escort

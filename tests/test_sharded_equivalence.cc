@@ -1,0 +1,147 @@
+// The headline determinism regression test for the sharded event queue:
+// the same ExperimentSpec, run on a single-queue testbed (shards=1) and on
+// sharded testbeds (shards=2, 4), must produce bit-identical
+// ExperimentResults for every cell — throughput, the full cycle ledger,
+// kills, and drops. Sharding partitions the simulation's actors across
+// worker threads inside conservative lookahead windows; the stream-keyed
+// event order makes the execution order — and therefore every result bit —
+// independent of the shard count. This test runs under TSan in CI.
+//
+// (tests/test_parallel_equivalence.cc pins the same property for
+// cross-cell parallelism; this file pins it for intra-cell parallelism.)
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/sweep.h"
+
+namespace escort {
+namespace {
+
+// The grid covers the features whose event interleavings are most at risk
+// from sharding: multi-client load on the shared medium, the SYN flood
+// (high cross-stream frame rate), the QoS stream (rate-based cadence), and
+// CGI attackers (pathKill and reclamation).
+std::vector<SweepCell> BuildGrid() {
+  Sweep proto("sharded_equivalence_grid");
+  auto add = [&proto](const std::string& id, ServerConfig config, int clients,
+                      const std::string& doc) -> ExperimentSpec& {
+    ExperimentSpec spec;
+    spec.config = config;
+    spec.clients = clients;
+    spec.doc = doc;
+    spec.warmup_s = 0.05;
+    spec.window_s = 0.25;
+    return proto.Add(id, spec).spec;
+  };
+  add("scout/c4/1b", ServerConfig::kScout, 4, "/doc1b");
+  add("acct/c8/1k", ServerConfig::kAccounting, 8, "/doc1k");
+  add("acct/syn/c4", ServerConfig::kAccounting, 4, "/doc1b").syn_attack_rate = 800.0;
+  add("acct/qos/c2", ServerConfig::kAccounting, 2, "/doc10k").qos_stream = true;
+  add("acct/cgi/c4", ServerConfig::kAccounting, 4, "/doc1b").cgi_attackers = 2;
+  return proto.cells();
+}
+
+void ExpectIdentical(const ExperimentResult& a, const ExperimentResult& b,
+                     const std::string& cell, int shards) {
+  std::string ctx = cell + " (shards=" + std::to_string(shards) + ")";
+  // Doubles compared with ==: same binary, same inputs, same event order
+  // must give the same bits, not merely close values.
+  EXPECT_EQ(a.conns_per_sec, b.conns_per_sec) << ctx;
+  EXPECT_EQ(a.qos_bytes_per_sec, b.qos_bytes_per_sec) << ctx;
+  EXPECT_EQ(a.completions_total, b.completions_total) << ctx;
+  EXPECT_EQ(a.client_failures, b.client_failures) << ctx;
+  EXPECT_EQ(a.paths_killed, b.paths_killed) << ctx;
+  EXPECT_EQ(a.syns_dropped_at_demux, b.syns_dropped_at_demux) << ctx;
+  EXPECT_EQ(a.syns_sent, b.syns_sent) << ctx;
+  EXPECT_EQ(a.runaway_detections, b.runaway_detections) << ctx;
+  EXPECT_EQ(a.kill_cost_mean, b.kill_cost_mean) << ctx;
+  EXPECT_EQ(a.window_cycles, b.window_cycles) << ctx;
+  EXPECT_EQ(a.pd_crossings, b.pd_crossings) << ctx;
+  EXPECT_EQ(a.accounting_overhead, b.accounting_overhead) << ctx;
+  // The full per-owner ledger, label by label.
+  EXPECT_EQ(a.ledger.totals(), b.ledger.totals()) << ctx;
+}
+
+TEST(ShardedEquivalence, ShardsTwoAndFourMatchSingleQueue) {
+  std::vector<SweepCell> grid = BuildGrid();
+
+  Sweep single("sharded_equiv_single");
+  for (const SweepCell& cell : grid) {
+    single.Add(cell.id, cell.spec);  // spec.shards defaults to 1
+  }
+  SweepOptions opts;
+  opts.jobs = 2;
+  single.Run(opts);
+  ASSERT_EQ(single.failed_count(), 0);
+
+  for (int shards : {2, 4}) {
+    Sweep sharded("sharded_equiv_n" + std::to_string(shards));
+    for (const SweepCell& cell : grid) {
+      ExperimentSpec spec = cell.spec;
+      spec.shards = shards;
+      sharded.Add(cell.id, spec);
+    }
+    sharded.Run(opts);
+    ASSERT_EQ(sharded.failed_count(), 0) << "shards=" << shards;
+    for (const SweepCell& cell : grid) {
+      ExpectIdentical(single.Result(cell.id), sharded.Result(cell.id), cell.id, shards);
+    }
+  }
+}
+
+// The --shards sweep override (SweepOptions::shards) reaches every cell:
+// results must equal per-spec sharding, and the spec records the override.
+TEST(ShardedEquivalence, SweepShardsOverrideMatchesPerSpecShards) {
+  std::vector<SweepCell> grid = BuildGrid();
+  const std::string id = grid[0].id;
+
+  Sweep per_spec("override_per_spec");
+  ExperimentSpec spec = grid[0].spec;
+  spec.shards = 4;
+  per_spec.Add(id, spec);
+  SweepOptions opts;
+  opts.jobs = 1;
+  per_spec.Run(opts);
+  ASSERT_EQ(per_spec.failed_count(), 0);
+
+  Sweep overridden("override_via_opts");
+  overridden.Add(id, grid[0].spec);  // spec.shards left at 1
+  SweepOptions override_opts;
+  override_opts.jobs = 1;
+  override_opts.shards = 4;
+  overridden.Run(override_opts);
+  ASSERT_EQ(overridden.failed_count(), 0);
+
+  EXPECT_EQ(overridden.cells()[0].spec.shards, 4);
+  ExpectIdentical(per_spec.Result(id), overridden.Result(id), id, 4);
+}
+
+// Sharded runs are reproducible against themselves: two shards=4 runs of
+// the same cell are bit-identical (thread scheduling never leaks in).
+TEST(ShardedEquivalence, ShardedRunsAreReproducible) {
+  std::vector<SweepCell> grid = BuildGrid();
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.shards = 4;
+
+  Sweep first("sharded_repro_a");
+  Sweep second("sharded_repro_b");
+  // A couple of representative cells, not the whole grid twice.
+  for (size_t i = 0; i < grid.size(); i += 2) {
+    first.Add(grid[i].id, grid[i].spec);
+    second.Add(grid[i].id, grid[i].spec);
+  }
+  first.Run(opts);
+  second.Run(opts);
+  ASSERT_EQ(first.failed_count(), 0);
+  ASSERT_EQ(second.failed_count(), 0);
+  for (const SweepCell& cell : first.cells()) {
+    ExpectIdentical(first.Result(cell.id), second.Result(cell.id), cell.id, 4);
+  }
+}
+
+}  // namespace
+}  // namespace escort

@@ -121,6 +121,39 @@ TEST(Samples, EmptyIsSafe) {
   EXPECT_EQ(s.StdDev(), 0.0);
 }
 
+TEST(Samples, PercentileBoundaries) {
+  Samples s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 17.5);  // linear interpolation
+}
+
+// Regression: p outside [0,100] used to produce a negative rank, which
+// cast to a huge size_t and read out of bounds. The domain is clamped.
+TEST(Samples, PercentileOutOfRangeIsClamped) {
+  Samples s;
+  for (double v : {10.0, 20.0, 30.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(-5), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(-1e9), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(200), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1e9), 30.0);
+}
+
+TEST(Samples, PercentileSingleSample) {
+  Samples s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(-3), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(101), 42.0);
+}
+
 TEST(Stats, WithCommas) {
   EXPECT_EQ(WithCommas(0), "0");
   EXPECT_EQ(WithCommas(999), "999");

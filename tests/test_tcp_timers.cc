@@ -1,0 +1,199 @@
+// Boundary and lifetime tests for the TCP master-event timers.
+//
+// The master event scans every connection once per period. Two families of
+// regressions are pinned here:
+//
+//  * Off-by-one at the scan boundary: a deadline landing exactly on a scan
+//    tick must expire on THAT scan (`now >= deadline`), not one full master
+//    event period later (`now > deadline`). The tests measure the actual
+//    scan cadence from the running system, plant a deadline exactly on the
+//    predicted next tick, and assert the action happens on that tick.
+//
+//  * Deferred-retransmit lifetime: the scan pushes the retransmit work
+//    onto the path's thread as a closure that runs later. The closure must
+//    not capture the raw TcpPcb* (the path — and the PCB it owns — can be
+//    reclaimed, and the connection key even reincarnated, between scan and
+//    execution). It captures the ConnKey and the armed deadline instead
+//    and revalidates through the connection table.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/workload/wire.h"
+#include "tests/testbed.h"
+
+namespace escort {
+namespace {
+
+constexpr Cycles kFarFuture = CyclesFromSeconds(100);
+
+// Steps the queue one event at a time until the master event fires once
+// more, and returns the simulated time of that scan (the event fires with
+// kernel()->now() == eq.now() of the step that ran it).
+Cycles StepToNextScan(Testbed* tb) {
+  uint64_t n0 = tb->server->tcp()->master_event_fires();
+  while (tb->server->tcp()->master_event_fires() == n0) {
+    if (!tb->eq.Step()) {
+      ADD_FAILURE() << "event queue drained before the next master scan";
+      return 0;
+    }
+  }
+  return tb->eq.now();
+}
+
+// Sends a bare SYN from the machine. The server answers SYN-ACK and holds
+// the connection half-open: nothing ever ACKs the SYN-ACK, so the PCB sits
+// in SYN-RCVD with one byte unacked and the retransmit timer armed —
+// exactly the state every timer in the scan can be tested against.
+TcpPcb* PlantHalfOpenConn(Testbed* tb, ClientMachine* m) {
+  TcpHeader syn;
+  syn.src_port = 5000;
+  syn.dst_port = 80;
+  syn.seq = 1;
+  syn.flags = kTcpSyn;
+  std::vector<uint8_t> frame = BuildTcpFrame(m->mac(), tb->server->options().mac, m->ip(),
+                                             tb->server->options().ip, syn, {});
+  m->Transmit(frame);
+  tb->RunFor(0.005);  // deliver + SYN-ACK; before the first 10ms scan
+  const auto& conns = tb->server->tcp()->conns();
+  if (conns.size() != 1u) {
+    ADD_FAILURE() << "expected exactly one half-open connection";
+    return nullptr;
+  }
+  TcpPcb* pcb = conns.begin()->second;
+  EXPECT_EQ(pcb->state, TcpState::kSynRecvd);
+  EXPECT_GT(pcb->BytesUnacked(), 0u);
+  // Park both timers out of the way; each test re-plants the one it needs.
+  pcb->syn_recvd_deadline = kFarFuture;
+  pcb->retx_deadline = kFarFuture;
+  return pcb;
+}
+
+// Measures the scan cadence until it is stable — the first scans carry
+// startup transients (thread wake-up costs) — then returns the predicted
+// time of the next scan. The prediction is asserted at use, so a cadence
+// change fails loudly instead of silently skewing the test.
+Cycles PredictNextScan(Testbed* tb) {
+  Cycles prev = StepToNextScan(tb);
+  Cycles delta = 0;
+  for (int i = 0; i < 16; ++i) {
+    Cycles t = StepToNextScan(tb);
+    Cycles d = t - prev;
+    prev = t;
+    if (d == delta) {
+      return t + delta;
+    }
+    delta = d;
+  }
+  ADD_FAILURE() << "master scan cadence did not settle within 16 scans";
+  return 0;
+}
+
+TEST(TcpTimers, SynRecvdExpiresOnTheScanAtItsDeadline) {
+  Testbed tb(ServerConfig::kAccounting);
+  TcpPcb* pcb = PlantHalfOpenConn(&tb, tb.AddClient(0));
+  ASSERT_NE(pcb, nullptr);
+
+  Cycles t3 = PredictNextScan(&tb);
+  // The deadline lands exactly on the next scan tick: `now >= deadline`
+  // expires it on that scan; the pre-fix `now > deadline` slipped a full
+  // master-event period.
+  pcb->syn_recvd_deadline = t3;
+  ASSERT_EQ(StepToNextScan(&tb), t3);
+  EXPECT_EQ(tb.server->tcp()->conn_count(), 0u);
+}
+
+TEST(TcpTimers, TimeWaitReapsOnTheScanAtItsDeadline) {
+  Testbed tb(ServerConfig::kAccounting);
+  ClientMachine* m = tb.AddClient(0);
+  HttpClient client(m, tb.server->options().ip, "/doc1b");
+  client.max_requests = 1;
+  client.Start();
+  // Step to the completed request, then to the server side entering
+  // TIME-WAIT (the FIN exchange trails the response by a few events).
+  while (client.completed() == 0) {
+    ASSERT_TRUE(tb.eq.Step());
+  }
+  ASSERT_EQ(tb.server->tcp()->conn_count(), 1u);
+  TcpPcb* pcb = tb.server->tcp()->conns().begin()->second;
+  while (pcb->state != TcpState::kTimeWait) {
+    ASSERT_TRUE(tb.eq.Step());
+  }
+  pcb->time_wait_deadline = kFarFuture;
+
+  Cycles t3 = PredictNextScan(&tb);
+  pcb->time_wait_deadline = t3;
+  ASSERT_EQ(StepToNextScan(&tb), t3);
+  EXPECT_EQ(tb.server->tcp()->conn_count(), 0u);
+}
+
+TEST(TcpTimers, RetransmitFiresOnTheScanAtItsDeadline) {
+  Testbed tb(ServerConfig::kAccounting);
+  TcpPcb* pcb = PlantHalfOpenConn(&tb, tb.AddClient(0));
+  ASSERT_NE(pcb, nullptr);
+
+  Cycles t3 = PredictNextScan(&tb);
+  Cycles period = t3 - tb.eq.now();
+  uint64_t base = tb.server->tcp()->total_retransmits();
+  pcb->retx_deadline = t3;
+  ASSERT_EQ(StepToNextScan(&tb), t3);
+  // The scan pushed the retransmit closure onto the path's thread; it runs
+  // within a few events — well before the next scan.
+  Cycles cutoff = t3 + period / 2;
+  while (tb.eq.now() < cutoff && tb.server->tcp()->total_retransmits() == base) {
+    ASSERT_TRUE(tb.eq.Step());
+  }
+  EXPECT_EQ(tb.server->tcp()->total_retransmits(), base + 1);
+  EXPECT_EQ(pcb->retransmits, 1u);
+}
+
+// The scan observed a due timer and queued the retransmit; before the
+// closure runs, the timer re-arms (in production: an ACK arrived and new
+// data was sent). The closure must notice the armed-deadline mismatch and
+// retransmit nothing — the pre-fix closure fired a stale retransmit.
+TEST(TcpTimers, StaleRetransmitClosureIsDroppedWhenTimerRearms) {
+  Testbed tb(ServerConfig::kAccounting);
+  TcpPcb* pcb = PlantHalfOpenConn(&tb, tb.AddClient(0));
+  ASSERT_NE(pcb, nullptr);
+
+  Cycles t3 = PredictNextScan(&tb);
+  uint64_t base = tb.server->tcp()->total_retransmits();
+  // One cycle before the tick: overdue under either boundary comparison,
+  // so this test isolates the closure-staleness bug from the off-by-one.
+  pcb->retx_deadline = t3 - 1;
+  ASSERT_EQ(StepToNextScan(&tb), t3);  // closure queued on the path thread
+  pcb->retx_deadline = t3 + CyclesFromMillis(500);  // re-armed before it runs
+  StepToNextScan(&tb);  // a full period: the stale closure has executed
+  EXPECT_EQ(tb.server->tcp()->total_retransmits(), base);
+  EXPECT_EQ(pcb->retransmits, 0u);
+}
+
+// pathKill lands between the scan and the closure: the kernel reclaims the
+// path unilaterally (no destructors), the kernel cleanup severs the
+// conns_ entry, and reaping the retired path frees the PCB the pre-fix
+// closure captured raw. In the current system the closure happens to die
+// with the path's own thread pool, so the old capture was latent rather
+// than reachable — this test pins the safe behavior (and ASan builds
+// verify no freed memory is touched) so a future shared-thread dispatch
+// cannot resurrect the use-after-free.
+TEST(TcpTimers, RetransmitClosureSurvivesPathKill) {
+  Testbed tb(ServerConfig::kAccounting);
+  TcpPcb* pcb = PlantHalfOpenConn(&tb, tb.AddClient(0));
+  ASSERT_NE(pcb, nullptr);
+
+  Cycles t3 = PredictNextScan(&tb);
+  uint64_t base = tb.server->tcp()->total_retransmits();
+  pcb->retx_deadline = t3 - 1;  // overdue under either boundary comparison
+  ASSERT_EQ(StepToNextScan(&tb), t3);  // closure queued on the path thread
+  Path* path = pcb->path;
+  tb.server->paths().Kill(path);
+  tb.server->paths().ReapRetired();  // actually free the path and its PCB
+  EXPECT_EQ(tb.server->tcp()->conn_count(), 0u);
+  StepToNextScan(&tb);  // run well past where the closure would have fired
+  EXPECT_EQ(tb.server->tcp()->total_retransmits(), base);
+  EXPECT_EQ(tb.server->paths().killed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace escort

@@ -19,6 +19,9 @@ Checks per file:
 Usage:
   check_bench_json.py FILE [FILE...]
   check_bench_json.py --require-ok FILE   # additionally fail on any ok:false cell
+  check_bench_json.py --expect-equal A B  # A and B must carry identical results
+                                          # (spec.shards and top-level jobs ignored:
+                                          # the sharded-equivalence CI check)
 
 Exit status: 0 all files valid, 1 validation failure, 2 usage/IO error.
 Stdlib only — no dependencies.
@@ -35,7 +38,7 @@ TOP_KEYS = {"schema_version", "bench", "jobs", "cells"}
 CELL_KEYS = {"id", "ok", "error", "tags", "spec", "metrics", "ledger", "extra"}
 SPEC_KEYS = {
     "linux_server", "config", "clients", "doc", "qos_stream",
-    "syn_attack_rate", "cgi_attackers", "warmup_s", "window_s",
+    "syn_attack_rate", "cgi_attackers", "shards", "warmup_s", "window_s",
 }
 METRIC_KEYS = {
     "conns_per_sec", "qos_bytes_per_sec", "completions_total", "client_failures",
@@ -124,13 +127,59 @@ def check_file(path: str, require_ok: bool) -> list:
     return errors
 
 
+def normalized_for_equality(root: dict) -> dict:
+    """Strips the knobs that legitimately differ between a single-queue and a
+    sharded run of the same grid: top-level jobs and every spec.shards."""
+    out = json.loads(json.dumps(root))  # deep copy
+    out.pop("jobs", None)
+    for cell in out.get("cells", []):
+        if isinstance(cell, dict) and isinstance(cell.get("spec"), dict):
+            cell["spec"].pop("shards", None)
+    return out
+
+
+def check_equal(path_a: str, path_b: str) -> list:
+    loaded = []
+    for path in (path_a, path_b):
+        try:
+            with open(path, encoding="utf-8") as f:
+                loaded.append(json.load(f))
+        except (OSError, json.JSONDecodeError) as e:
+            return [f"{path}: unreadable or invalid JSON: {e}"]
+    a, b = (normalized_for_equality(r) for r in loaded)
+    if a == b:
+        return []
+    errors = [f"{path_a} and {path_b} differ (ignoring jobs/spec.shards)"]
+    cells_a = {c.get("id"): c for c in a.get("cells", []) if isinstance(c, dict)}
+    cells_b = {c.get("id"): c for c in b.get("cells", []) if isinstance(c, dict)}
+    for cid in sorted(set(cells_a) | set(cells_b)):
+        if cells_a.get(cid) != cells_b.get(cid):
+            errors.append(f"  cell '{cid}' differs")
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("files", nargs="+", help="BENCH_*.json files to validate")
     parser.add_argument("--require-ok", action="store_true",
                         help="fail if any cell has ok:false (CI smoke runs use this)")
+    parser.add_argument("--expect-equal", action="store_true",
+                        help="take exactly two files and require identical results "
+                             "modulo jobs/spec.shards (sharded-equivalence check)")
     args = parser.parse_args()
+
+    if args.expect_equal:
+        if len(args.files) != 2:
+            print("--expect-equal takes exactly two files", file=sys.stderr)
+            return 2
+        errors = check_equal(args.files[0], args.files[1])
+        if errors:
+            for e in errors:
+                print(e, file=sys.stderr)
+            return 1
+        print(f"{args.files[0]} == {args.files[1]} (modulo jobs/spec.shards)")
+        return 0
 
     failures = 0
     for path in args.files:

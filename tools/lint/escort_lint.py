@@ -37,10 +37,12 @@ so this tool checks them statically:
          "no cross-cell shared mutable state", and a mutable static is
          exactly that. `static const` / `static constexpr` / constexpr
          are fine (immutable singletons such as CostModel::Calibrated()).
-  EL010  threading primitives are confined to the pool: std::thread /
+  EL010  threading primitives are confined to src/sim/: std::thread /
          std::jthread / std::async / thread_local / #include <thread>
-         appear nowhere in src/ except src/sim/parallel.cc. Everything
-         else stays single-threaded code that the pool may replicate.
+         appear nowhere in src/ except src/sim/parallel.cc (the pool)
+         and src/sim/event_queue.cc (the sharded queue's per-worker
+         execution context). Everything else stays single-threaded code
+         that the pool may replicate.
          Threads themselves are NOT banned — shared mutable state is;
          EL009+EL010 together replace the old "no threads" reading of
          the determinism invariant.
@@ -74,9 +76,10 @@ RECLAIM_MARKERS = {"iobuffer_locks": ("iobuffer_locks()", "ReleaseAllFor")}
 # Counters that are charged but intentionally never released.
 PAIRING_EXEMPT_COUNTERS = {"cycles"}
 
-# EL010: the only file in src/ allowed to touch threading primitives (the
-# sweep thread pool keeps std::thread behind a pimpl there).
-THREADING_ALLOWLIST = ("src/sim/parallel.cc",)
+# EL010: the only files in src/ allowed to touch threading primitives —
+# the sweep thread pool (std::thread behind a pimpl) and the sharded
+# event queue (a thread_local execution context per worker).
+THREADING_ALLOWLIST = ("src/sim/parallel.cc", "src/sim/event_queue.cc")
 
 
 class Violation:
@@ -308,11 +311,11 @@ def check_thread_hygiene(relpath: str, code: str, violations: list) -> None:
     if relpath in THREADING_ALLOWLIST:
         return
     for pattern, why in (
-        (THREAD_PRIMITIVE, "std::thread/jthread/async outside src/sim/parallel.cc; "
+        (THREAD_PRIMITIVE, "std::thread/jthread/async outside src/sim/; "
                            "parallelism in src/ goes through the sweep ThreadPool"),
         (THREAD_LOCAL, "thread_local in simulation code hides per-thread mutable state "
                        "from the cell-isolation contract; pass state explicitly"),
-        (THREAD_INCLUDE, "#include <thread> outside src/sim/parallel.cc; the pool keeps "
+        (THREAD_INCLUDE, "#include <thread> outside src/sim/; the pool keeps "
                          "threading primitives behind its pimpl"),
     ):
         for m in pattern.finditer(code):
@@ -497,6 +500,10 @@ SELF_TEST_CLEAN = [
      "  workers.emplace_back([] {});\n"
      "  workers.back().join();\n"
      "}\n"),
+    # ...and the sharded queue may keep a thread_local execution context.
+    ("src/sim/event_queue.cc",
+     "struct ExecContext { int stream = 0; };\n"
+     "thread_local ExecContext tls_exec;\n"),
 ]
 
 # EL007/EL008 fixture: a counter charged but never released, a tracking

@@ -1,12 +1,12 @@
 #include "src/kernel/audit.h"
 
 #include <cinttypes>
-#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 #include "src/kernel/kernel.h"
 #include "src/kernel/owner.h"
+#include "src/sim/trace.h"
 
 namespace escort {
 
@@ -47,6 +47,7 @@ void Auditor::CheckOwnerDrained(const Owner& owner) {
 }
 
 void Auditor::CheckConservation(Kernel& kernel) {
+  const size_t violations_before = violations_.size();
   // Rule 2: Table 1 as a hard assertion. Summed per-owner cycles (live
   // owners + the retired ledger) must equal elapsed simulation time once
   // the in-flight busy segment is accounted for.
@@ -85,6 +86,14 @@ void Auditor::CheckConservation(Kernel& kernel) {
   agree("events", events, kernel.live_event_count());
   agree("pages", pages, kernel.pages().allocated_pages());
   agree("iobuffer_locks", locks, kernel.iobuffers().total_lock_count());
+
+  // Post-mortem context: a conservation violation dumps the flight
+  // recorder (the events leading up to the inconsistency) when a tracer
+  // is attached.
+  if (kernel.tracer() != nullptr && violations_.size() > violations_before) {
+    kernel.tracer()->DumpFlight("audit:conservation " + violations_.back().check,
+                                kernel.now());
+  }
 }
 
 std::string Auditor::Report() const {
@@ -100,8 +109,7 @@ void Auditor::Enforce() const {
   if (violations_.empty()) {
     return;
   }
-  std::fputs(Report().c_str(), stderr);
-  std::fflush(stderr);
+  Tracer::Diag(Report());
   std::abort();
 }
 
@@ -123,7 +131,7 @@ AuditScope::~AuditScope() {
   if (enforce_) {
     auditor_.Enforce();
   } else if (!auditor_.ok()) {
-    std::fputs(auditor_.Report().c_str(), stderr);
+    Tracer::Diag(auditor_.Report());
   }
 }
 

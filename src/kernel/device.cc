@@ -1,8 +1,7 @@
 #include "src/kernel/device.h"
 
-#include <cstdio>
-
 #include "src/kernel/kernel.h"
+#include "src/sim/trace.h"
 
 namespace escort {
 
@@ -89,7 +88,7 @@ bool Console::Write(PdId domain, const std::string& line) {
   }
   lines_.push_back(line);
   if (echo_) {
-    std::fprintf(stderr, "[console] %s\n", line.c_str());
+    Tracer::Diag("[console] " + line + "\n");
   }
   return true;
 }

@@ -1,5 +1,7 @@
 #include "src/kernel/kernel.h"
 
+#include "src/sim/trace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -401,6 +403,12 @@ void Kernel::FinishItem() {
   Cycles survivor_pc = 0;
   if (owner->max_thread_run() > 0 && t->run_since_yield_ > owner->max_thread_run()) {
     ++runaway_detections_;
+    if (tracer_ != nullptr && tracer_->lifecycle_enabled()) {
+      tracer_->Instant(eq_->now(), OwnerTrack(owner->id(), owner->name()),
+                       "runaway-detection", "policy",
+                       {{"run_since_yield", Tracer::Num(t->run_since_yield_)},
+                        {"max_thread_run", Tracer::Num(owner->max_thread_run())}});
+    }
     if (runaway_handler_) {
       // The handler typically runs pathKill, whose reclamation cost is
       // precharged; collect it and let the corresponding CPU time pass.
@@ -712,7 +720,11 @@ Cycles Kernel::DestroyOwner(Owner* owner, int pd_count) {
   // watch — removal consumes none of the offender's *remaining* resources.
   ConsumePrechargedTo(owner, cost);
   if (auditor_ != nullptr) {
+    size_t violations_before = auditor_->violations().size();
     auditor_->CheckOwnerDrained(*owner);
+    if (tracer_ != nullptr && auditor_->violations().size() > violations_before) {
+      tracer_->DumpFlight("audit:owner-drain " + owner->name(), eq_->now());
+    }
   }
   owner->mark_destroyed();
   UnregisterOwner(owner);

@@ -40,6 +40,7 @@
 namespace escort {
 
 class Auditor;
+class Tracer;
 
 enum class SchedulerKind { kPriority, kProportionalShare, kEdf };
 
@@ -200,6 +201,14 @@ class Kernel {
   void set_auditor(Auditor* a) { auditor_ = a; }
   Auditor* auditor() { return auditor_; }
 
+  // --- Trace hooks -----------------------------------------------------------------
+  // When set, the kernel and everything above it (path manager, TCP,
+  // policies) emit deterministic timeline events (see src/sim/trace.h).
+  // Owned by the caller; null (the default) means tracing is off and
+  // every instrumentation site reduces to this one pointer test.
+  void set_tracer(Tracer* t) { tracer_ = t; }
+  Tracer* tracer() const { return tracer_; }
+
   // Cycles of the in-flight busy segment that have been consumed but not
   // yet charged to any owner. Negative when the segment was partially
   // precharged (teardown costs are billed up front). Zero when the CPU is
@@ -300,6 +309,7 @@ class Kernel {
   FaultHandler fault_handler_;
   uint64_t crossing_violations_ = 0;
   Auditor* auditor_ = nullptr;
+  Tracer* tracer_ = nullptr;
 
   Cycles start_time_ = 0;
   uint64_t dispatch_count_ = 0;

@@ -4,6 +4,7 @@
 
 #include "src/net/ip.h"
 #include "src/path/path_manager.h"
+#include "src/sim/trace.h"
 
 namespace escort {
 
@@ -20,6 +21,17 @@ const char* TcpStateName(TcpState s) {
     case TcpState::kClosed: return "CLOSED";
   }
   return "?";
+}
+
+void TcpModule::SetState(TcpPcb* pcb, TcpState next) {
+  Tracer* t = kernel()->tracer();
+  if (t != nullptr && t->lifecycle_enabled() && pcb->path != nullptr &&
+      pcb->state != next) {
+    t->Instant(kernel()->now(), OwnerTrack(pcb->path->id(), pcb->path->name()),
+               std::string("tcp:") + TcpStateName(pcb->state) + "->" + TcpStateName(next),
+               "tcp");
+  }
+  pcb->state = next;
 }
 
 void TcpModule::Init() {
@@ -132,7 +144,7 @@ void TcpModule::UnregisterConn(TcpPcb* pcb) {
   if (it != conns_.end() && it->second == pcb) {
     conns_.erase(it);
   }
-  pcb->state = TcpState::kClosed;
+  SetState(pcb, TcpState::kClosed);
 }
 
 DemuxDecision TcpModule::Demux(const Message& msg) {
@@ -336,14 +348,14 @@ void TcpModule::HandleSegment(TcpPcb* pcb, const TcpHeader& hdr, Message payload
     SendAck(pcb);
     switch (pcb->state) {
       case TcpState::kEstablished:
-        pcb->state = TcpState::kCloseWait;
+        SetState(pcb, TcpState::kCloseWait);
         // Server closes too once pending data drains.
         pcb->close_after_send = true;
         MaybeSendFin(pcb);
         break;
       case TcpState::kFinWait1:
         // Simultaneous close; our FIN not yet acked.
-        pcb->state = TcpState::kLastAck;
+        SetState(pcb, TcpState::kLastAck);
         break;
       case TcpState::kFinWait2:
         EnterTimeWait(pcb);
@@ -356,7 +368,7 @@ void TcpModule::HandleSegment(TcpPcb* pcb, const TcpHeader& hdr, Message payload
 
 void TcpModule::HandleAck(TcpPcb* pcb, uint32_t ack) {
   if (pcb->state == TcpState::kSynRecvd && ack == pcb->iss + 1) {
-    pcb->state = TcpState::kEstablished;
+    SetState(pcb, TcpState::kEstablished);
     pcb->snd_una = ack;
     pcb->syn_recvd_deadline = 0;
     pcb->retx_deadline = 0;
@@ -403,7 +415,7 @@ void TcpModule::HandleAck(TcpPcb* pcb, uint32_t ack) {
   if (pcb->fin_sent && pcb->snd_una == pcb->fin_seq + 1) {
     // Our FIN is acknowledged.
     if (pcb->state == TcpState::kFinWait1) {
-      pcb->state = TcpState::kFinWait2;
+      SetState(pcb, TcpState::kFinWait2);
     } else if (pcb->state == TcpState::kLastAck) {
       CloseAndDestroy(pcb);
       return;
@@ -453,9 +465,9 @@ void TcpModule::MaybeSendFin(TcpPcb* pcb) {
   SendSegment(pcb, kTcpFin | kTcpAck, pcb->snd_nxt, nullptr, 0);
   pcb->snd_nxt += 1;
   if (pcb->state == TcpState::kEstablished) {
-    pcb->state = TcpState::kFinWait1;
+    SetState(pcb, TcpState::kFinWait1);
   } else if (pcb->state == TcpState::kCloseWait) {
-    pcb->state = TcpState::kLastAck;
+    SetState(pcb, TcpState::kLastAck);
   }
   ArmRetx(pcb);
 }
@@ -501,14 +513,14 @@ void TcpModule::ArmRetx(TcpPcb* pcb) {
 }
 
 void TcpModule::EnterTimeWait(TcpPcb* pcb) {
-  pcb->state = TcpState::kTimeWait;
+  SetState(pcb, TcpState::kTimeWait);
   pcb->time_wait_deadline = kernel()->now() + time_wait_duration;
 }
 
 void TcpModule::CloseAndDestroy(TcpPcb* pcb) {
   kernel()->ConsumeCharged(kernel()->costs().tcp_conn_teardown);
   Path* path = pcb->path;
-  pcb->state = TcpState::kClosed;
+  SetState(pcb, TcpState::kClosed);
   // pathDestroy runs the destructors (which unregister the conn).
   paths()->Destroy(path);
 }

@@ -181,6 +181,9 @@ class TcpModule : public Module {
   void ArmRetx(TcpPcb* pcb);
   void EnterTimeWait(TcpPcb* pcb);
   void CloseAndDestroy(TcpPcb* pcb);
+  // State-machine transition: updates pcb->state and emits a trace instant
+  // ("tcp:FROM->TO" on the owning path's track) when a tracer is attached.
+  void SetState(TcpPcb* pcb, TcpState next);
   void MasterEventScan();
   void UnregisterConn(TcpPcb* pcb);
 

@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "src/sim/trace.h"
+
 namespace escort {
+
+namespace {
+
+// Lifecycle-family tracer, or null when tracing (or the family) is off.
+Tracer* LifecycleTracer(Kernel* kernel) {
+  Tracer* t = kernel->tracer();
+  return (t != nullptr && t->lifecycle_enabled()) ? t : nullptr;
+}
+
+}  // namespace
 
 PathManager::PathManager(Kernel* kernel, ModuleGraph* graph) : kernel_(kernel), graph_(graph) {
   interrupt_thread_ = kernel_->CreateThread(kernel_->kernel_owner(), "interrupt");
@@ -71,6 +83,12 @@ Path* PathManager::Create(Module* start, const Attributes& attrs,
   ++created_;
   live_list_.push_back(path);
   paths_[path] = std::move(owned);
+  if (Tracer* t = LifecycleTracer(kernel_)) {
+    t->BeginSpan(kernel_->now(), OwnerTrack(path->id(), path->name()),
+                 "path:" + account_label, "path",
+                 {{"owner", Tracer::Num(path->id())},
+                  {"stages", Tracer::Num(path->stages().size())}});
+  }
   return path;
 }
 
@@ -98,6 +116,10 @@ void PathManager::Destroy(Path* path) {
                                          kernel_->costs().path_destroy_per_stage *
                                              path->stages().size());
   ++destroyed_;
+  if (Tracer* t = LifecycleTracer(kernel_)) {
+    t->Instant(kernel_->now(), OwnerTrack(path->id(), path->name()), "pathDestroy", "path");
+    t->EndSpan(kernel_->now(), OwnerTrack(path->id(), path->name()));
+  }
   ReclaimPath(path);
 }
 
@@ -116,6 +138,14 @@ Cycles PathManager::Kill(Path* path) {
     }
   }
   ++killed_;
+  if (Tracer* t = LifecycleTracer(kernel_)) {
+    t->Instant(kernel_->now(), OwnerTrack(path->id(), path->name()), "pathKill", "path",
+               {{"cycles_charged", Tracer::Num(path->usage().cycles)}});
+    t->EndSpan(kernel_->now(), OwnerTrack(path->id(), path->name()));
+    // pathKill is a defensive action worth a post-mortem: dump the events
+    // that led up to it.
+    t->DumpFlight("pathKill " + path->name(), kernel_->now());
+  }
   return ReclaimPath(path);
 }
 
@@ -188,6 +218,10 @@ Path* PathManager::DemuxAndDeliver(Module* start, Message msg, const char** drop
   drop_reasons_[reason] += 1;
   if (drop_reason != nullptr) {
     *drop_reason = reason;
+  }
+  if (Tracer* t = LifecycleTracer(kernel_)) {
+    t->Instant(kernel_->now(), "demux", "demux-drop", "path",
+               {{"reason", Tracer::Str(reason)}});
   }
   interrupt_thread_->Push(cost + cm.demux_drop, kKernelDomain, nullptr, /*yields=*/true);
   return nullptr;

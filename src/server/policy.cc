@@ -30,6 +30,14 @@ void BlacklistPolicy::RecordViolation(Ip4Addr addr, Cycles now) {
   Entry& e = entries_[addr];
   e.strikes += 1;
   e.last_violation = now;
+  Tracer* t = server_->kernel().tracer();
+  if (t != nullptr && t->lifecycle_enabled()) {
+    t->Instant(now, "policy", e.strikes >= options_.strikes ? "blacklist-insert"
+                                                            : "blacklist-strike",
+               "policy",
+               {{"addr", Tracer::Str(addr.ToString())},
+                {"strikes", Tracer::Num(e.strikes)}});
+  }
 }
 
 bool BlacklistPolicy::IsBlacklisted(Ip4Addr addr, Cycles now) const {

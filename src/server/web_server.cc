@@ -22,6 +22,9 @@ EscortWebServer::EscortWebServer(EventQueue* eq, SharedLink* link, WebServerOpti
   kc.scheduler = options_.scheduler;
   kc.costs = options_.costs;
   kernel_ = std::make_unique<Kernel>(eq, kc);
+  // Attach before anything builds so boot-time work (listener passive
+  // paths, module registration) appears in the timeline too.
+  kernel_->set_tracer(options_.tracer);
 
   // Protection domains: in the PD configuration every module runs in its
   // own domain (the paper's worst case, Figure 3); otherwise everything is
@@ -137,6 +140,13 @@ void EscortWebServer::DeliverFrame(const std::vector<uint8_t>& frame) {
 void EscortWebServer::ConfigureQosListener(TcpListener* listener) {
   listener->active_label = "QoS Path";
   listener->active_tickets = options_.qos_tickets;
+  Tracer* t = kernel_->tracer();
+  if (t != nullptr && t->lifecycle_enabled()) {
+    // QoS throttling is ticket-based: record the share decision so the
+    // timeline explains why QoS paths outrun best-effort ones.
+    t->Instant(kernel_->now(), "policy", "qos-tickets", "policy",
+               {{"tickets", Tracer::Num(options_.qos_tickets)}});
+  }
   // A QoS stream legitimately consumes CPU for long stretches; exempt it
   // from the runaway budget (it yields at every hop anyway).
   listener->active_max_run = 0;

@@ -34,6 +34,7 @@
 #include "src/path/path_manager.h"
 #include "src/server/cgi.h"
 #include "src/sim/stats.h"
+#include "src/sim/trace.h"
 #include "src/workload/network.h"
 
 namespace escort {
@@ -70,6 +71,9 @@ struct WebServerOptions {
     uint64_t size;
   };
   std::vector<Doc> documents = {{"/doc1b", 1}, {"/doc1k", 1024}, {"/doc10k", 10240}};
+
+  // Deterministic trace sink (see src/sim/trace.h). Not owned; null = off.
+  Tracer* tracer = nullptr;
 };
 
 class EscortWebServer : public NetEndpoint {

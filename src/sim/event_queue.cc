@@ -275,6 +275,10 @@ void ShardedEventQueue::DrainTransactions() {
   while (!txns_.empty()) {
     std::vector<Txn> batch;
     batch.swap(txns_);
+    txns_drained_ += batch.size();
+    if (batch.size() > max_mailbox_depth_) {
+      max_mailbox_depth_ = batch.size();
+    }
     // Key order == the order the bodies run inline in a serial execution
     // (seqs are allocated in send order, monotonic per stream).
     std::stable_sort(batch.begin(), batch.end(), [](const Txn& a, const Txn& b) {
@@ -341,11 +345,13 @@ void ShardedEventQueue::RunUntil(Cycles deadline) {
     if (deadline != kMaxCycles && horizon > deadline + 1) {
       horizon = deadline + 1;
     }
+    window_cycles_ += horizon - k.when;
     active.clear();
     for (size_t i = 0; i < shards_.size(); ++i) {
       Key key;
       if (PeekShard(i, &key) && key.when < horizon) {
         active.push_back(i);
+        ++shards_[i].windows_active;
       }
     }
     if (pool_ != nullptr && active.size() > 1) {
@@ -400,6 +406,25 @@ size_t ShardedEventQueue::pending() const {
     n += sh.live;
   }
   return n;
+}
+
+ShardProfile ShardedEventQueue::Profile() const {
+  ShardProfile p;
+  p.shards = shard_count();
+  p.lookahead = lookahead_;
+  p.windows_run = windows_run_;
+  p.parallel_windows = parallel_windows_;
+  p.window_cycles = window_cycles_;
+  p.txns_drained = txns_drained_;
+  p.max_mailbox_depth = max_mailbox_depth_;
+  p.per_shard.reserve(shards_.size());
+  for (const Shard& sh : shards_) {
+    ShardProfile::PerShard entry;
+    entry.events_fired = sh.fired;
+    entry.windows_active = sh.windows_active;
+    p.per_shard.push_back(entry);
+  }
+  return p;
 }
 
 uint64_t ShardedEventQueue::fired_count() const {

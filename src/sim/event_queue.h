@@ -234,6 +234,33 @@ class EventQueue {
   uint64_t fired_count_ = 0;
 };
 
+// Per-shard scheduling profile aggregated over a run: the signal needed
+// to tune conservative lookahead windows (how long windows are, how many
+// shards each one dispatches, how deep the cross-shard mailbox gets).
+// Collected unconditionally — every field is maintained at serial points
+// of RunUntil, so the cost is a handful of adds per window.
+struct ShardProfile {
+  struct PerShard {
+    uint64_t events_fired = 0;
+    // Windows in which this shard had at least one runnable event. The
+    // complement (windows_run - windows_active) is idle time.
+    uint64_t windows_active = 0;
+  };
+
+  int shards = 0;
+  Cycles lookahead = 0;
+  uint64_t windows_run = 0;
+  uint64_t parallel_windows = 0;
+  // Sum over windows of (horizon - window start): mean window length is
+  // window_cycles / windows_run.
+  Cycles window_cycles = 0;
+  // Cross-shard mailbox traffic: total transactions drained, and the
+  // largest batch observed at any single drain.
+  uint64_t txns_drained = 0;
+  uint64_t max_mailbox_depth = 0;
+  std::vector<PerShard> per_shard;
+};
+
 // Conservative-PDES sharded queue. See the file comment for the design and
 // DESIGN.md "Sharded event queue" for the synchronization contract.
 class ShardedEventQueue : public EventQueue {
@@ -270,6 +297,10 @@ class ShardedEventQueue : public EventQueue {
   // how many of them dispatched 2+ shards onto the pool.
   uint64_t windows_run() const { return windows_run_; }
   uint64_t parallel_windows() const { return parallel_windows_; }
+
+  // Scheduling profile for lookahead tuning (serialized into the bench
+  // JSON `shard_utilization` block). Call at a serial point.
+  ShardProfile Profile() const;
 
   // Home shard of a stream (tests).
   int shard_of(StreamId stream) const { return streams_[stream].shard; }
@@ -309,6 +340,7 @@ class ShardedEventQueue : public EventQueue {
     Cycles clock = 0;
     size_t live = 0;
     uint64_t fired = 0;
+    uint64_t windows_active = 0;  // windows with a runnable event here
   };
 
   struct Stream {
@@ -349,6 +381,9 @@ class ShardedEventQueue : public EventQueue {
   bool in_parallel_window_ = false;
   uint64_t windows_run_ = 0;
   uint64_t parallel_windows_ = 0;
+  Cycles window_cycles_ = 0;       // sum of window lengths (horizon - T)
+  uint64_t txns_drained_ = 0;      // mailbox transactions run at drains
+  uint64_t max_mailbox_depth_ = 0;  // largest single drain batch
 };
 
 }  // namespace escort

@@ -29,7 +29,7 @@ class RateMeter {
 
   void Record(Cycles now, uint64_t count = 1) {
     total_.fetch_add(count, std::memory_order_relaxed);
-    if (window_open_) {
+    if (window_open_.load(std::memory_order_relaxed)) {
       window_count_.fetch_add(count, std::memory_order_relaxed);
     }
     // last_event_ is the max over all recordings (equivalent to "last
@@ -40,16 +40,17 @@ class RateMeter {
     }
   }
 
-  // Opens the measurement window (call after warm-up).
+  // Opens the measurement window (call after warm-up, at a serial point:
+  // window_start_ is deliberately plain — see DESIGN.md §6.5).
   void OpenWindow(Cycles now) {
-    window_open_ = true;
     window_start_ = now;
     window_count_.store(0, std::memory_order_relaxed);
+    window_open_.store(true, std::memory_order_relaxed);
   }
 
   // Closes the window and returns events/second over it.
   double CloseWindow(Cycles now) {
-    window_open_ = false;
+    window_open_.store(false, std::memory_order_relaxed);
     double secs = SecondsFromCycles(now - window_start_);
     if (secs <= 0) {
       return 0.0;
@@ -64,48 +65,64 @@ class RateMeter {
  private:
   std::atomic<uint64_t> total_{0};
   std::atomic<uint64_t> window_count_{0};
-  Cycles window_start_ = 0;
+  Cycles window_start_ = 0;  // written/read at serial points only
   std::atomic<Cycles> last_event_{0};
-  bool window_open_ = false;
+  // Record() reads this from shard threads while the window toggles
+  // happen at serial points; the atomic makes that cross-thread read
+  // well-defined (relaxed suffices — the drain barrier at the window
+  // boundary publishes the toggle before any shard can Record again).
+  std::atomic<bool> window_open_{false};
 };
 
 // Byte-throughput meter for QoS streams (bytes/second over a window).
+//
+// Same commutative relaxed-atomic contract as RateMeter: Record() may be
+// called concurrently from several shards (sums commute, last_event_ is
+// a max), while OpenWindow/Close and the accessors are serial-point-only.
 class ThroughputMeter {
  public:
   void Record(Cycles now, uint64_t bytes) {
-    total_bytes_ += bytes;
-    if (window_open_) {
-      window_bytes_ += bytes;
+    total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (window_open_.load(std::memory_order_relaxed)) {
+      window_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     }
-    last_event_ = now;
+    Cycles prev = last_event_.load(std::memory_order_relaxed);
+    while (prev < now &&
+           !last_event_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+    }
   }
 
   void OpenWindow(Cycles now) {
-    window_open_ = true;
     window_start_ = now;
-    window_bytes_ = 0;
+    window_bytes_.store(0, std::memory_order_relaxed);
+    window_open_.store(true, std::memory_order_relaxed);
   }
 
   double CloseWindowBytesPerSec(Cycles now) {
-    window_open_ = false;
+    window_open_.store(false, std::memory_order_relaxed);
     double secs = SecondsFromCycles(now - window_start_);
     if (secs <= 0) {
       return 0.0;
     }
-    return static_cast<double>(window_bytes_) / secs;
+    return static_cast<double>(window_bytes_.load(std::memory_order_relaxed)) / secs;
   }
 
-  uint64_t total_bytes() const { return total_bytes_; }
+  uint64_t total_bytes() const { return total_bytes_.load(std::memory_order_relaxed); }
 
  private:
-  uint64_t total_bytes_ = 0;
-  uint64_t window_bytes_ = 0;
-  Cycles window_start_ = 0;
-  Cycles last_event_ = 0;
-  bool window_open_ = false;
+  std::atomic<uint64_t> total_bytes_{0};
+  std::atomic<uint64_t> window_bytes_{0};
+  Cycles window_start_ = 0;  // written/read at serial points only
+  std::atomic<Cycles> last_event_{0};
+  std::atomic<bool> window_open_{false};
 };
 
 // Simple sample accumulator (latency distributions, kill costs).
+//
+// NOT shard-safe, by design: the values vector is ordered and Mean() is
+// floating-point-order dependent, so there is no commutative contract to
+// convert to. Every Add() site must run on stream 0 or at a serial point
+// (today: the kernel's runaway/fault handlers and end-of-run harvests).
 class Samples {
  public:
   void Add(double v) { values_.push_back(v); }

@@ -1,0 +1,167 @@
+// Deterministic trace subsystem: Chrome trace-event JSON timelines.
+//
+// The tracer turns Escort's resource accounting into inspectable
+// timelines: per-owner ledger balances become counter tracks, path
+// lifecycles become duration spans, and policy actions (runaway
+// detection, blacklist inserts, pathKill) become instant events. The
+// output loads directly into Perfetto / chrome://tracing.
+//
+// Determinism contract
+// --------------------
+// Timestamps are sim-cycles, never wall clock, and every emission site
+// executes either on stream 0 (the server/kernel stream, which runs on
+// exactly one worker at a time with happens-before edges through the
+// pool dispatch) or at a serial point of the ShardedEventQueue. Events
+// are appended to a single unsynchronized buffer in execution order,
+// which the queue's total event order makes independent of the shard
+// count — so a trace is byte-identical across `--jobs` and `--shards`.
+// Emitting from any other stream is a contract violation (TSan would
+// flag it as a data race on the buffer).
+//
+// Zero overhead when disabled: components hold a `Tracer*` that stays
+// nullptr unless `--trace` is given; every instrumentation site is a
+// single pointer test, with no allocation behind it.
+//
+// The flight recorder keeps the most recent events in a bounded ring
+// and dumps them to `<trace>.flight.json` when something goes wrong
+// (audit violation, pathKill), giving post-mortem context.
+
+#ifndef SRC_SIM_TRACE_H_
+#define SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace escort {
+
+// Per-family enable bits and output locations. `path` empty = disabled.
+struct TraceConfig {
+  std::string path;  // Chrome trace JSON output; empty disables tracing
+
+  // Event families (ISSUE terminology): owner/ledger counter tracks,
+  // path lifecycle + policy events, and per-shard queue profiling. The
+  // first two are deterministic across shard counts; shard profiling is
+  // inherently per-partition and therefore off by default (it always
+  // flows into the bench JSON `shard_utilization` block instead).
+  bool ledger = true;
+  bool lifecycle = true;
+  bool shard_profile = false;
+
+  // Ledger sampling cadence in sim time.
+  Cycles sample_interval = CyclesFromMillis(5.0);
+
+  // Flight recorder: ring capacity and dump location (empty = derive
+  // `path + ".flight.json"`).
+  size_t flight_capacity = 256;
+  std::string flight_path;
+
+  bool enabled() const { return !path.empty(); }
+  std::string ResolvedFlightPath() const {
+    return flight_path.empty() ? path + ".flight.json" : flight_path;
+  }
+};
+
+// Track name for an owner (paths, protection domains): the owner id is
+// the stable identity, the name makes the Perfetto track readable.
+std::string OwnerTrack(uint64_t owner_id, const std::string& owner_name);
+
+class Tracer {
+ public:
+  // Argument list for an event: (key, pre-encoded JSON value). Encode
+  // values with Str()/Num() so serialization stays byte-stable.
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  explicit Tracer(TraceConfig config);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  const TraceConfig& config() const { return config_; }
+  bool ledger_enabled() const { return config_.ledger; }
+  bool lifecycle_enabled() const { return config_.lifecycle; }
+  bool shard_profile_enabled() const { return config_.shard_profile; }
+
+  // JSON value encoders for Args.
+  static std::string Str(const std::string& s);
+  static std::string Num(uint64_t v);
+
+  // Duration span on `track` (ph "B"). Spans on one track must nest.
+  void BeginSpan(Cycles ts, const std::string& track, const std::string& name,
+                 const char* category, Args args = {});
+  // Closes the innermost open span on `track` (ph "E"). Ignored if the
+  // track has no open span (e.g. the span began before tracing attached).
+  void EndSpan(Cycles ts, const std::string& track);
+  // Instant event (ph "I").
+  void Instant(Cycles ts, const std::string& track, const std::string& name,
+               const char* category, Args args = {});
+  // Counter sample (ph "C"): `series` maps series name -> value.
+  void Counter(Cycles ts, const std::string& name, Args series);
+
+  // Closes every still-open span at `ts` so the output always balances.
+  void Finalize(Cycles ts);
+
+  // --- Flight recorder -------------------------------------------------
+  // Serializes the ring (most recent events, oldest first) plus `reason`
+  // and writes it to ResolvedFlightPath(). Keeps the dump in memory for
+  // tests. Best effort on I/O failure.
+  void DumpFlight(const std::string& reason, Cycles ts);
+  uint64_t flight_dumps() const { return flight_dumps_; }
+  const std::string& last_flight_dump() const { return last_flight_dump_; }
+
+  // --- Serialization ---------------------------------------------------
+  size_t event_count() const { return events_.size(); }
+  // Comma-joined trace-event objects for one process (pid) of a merged
+  // trace, preceded by process/thread metadata. No enclosing brackets.
+  std::string SerializeEvents(uint32_t pid, const std::string& process_name) const;
+  // Complete single-process trace document.
+  std::string SerializeStandalone() const;
+  // Writes SerializeStandalone() to config().path. Returns false on I/O error.
+  bool WriteStandalone() const;
+
+  // Wraps pre-serialized per-process fragments into one trace document
+  // (the sweep runner merges per-cell tracers in grid order with this).
+  static std::string WrapDocument(const std::vector<std::string>& fragments);
+  static bool WriteFile(const std::string& path, const std::string& content);
+
+  // All stderr diagnostics in src/ funnel through here (lint rule EL011):
+  // keeping one choke point means a future consumer can redirect or
+  // timestamp diagnostics without touching emission sites. Writes `text`
+  // verbatim.
+  static void Diag(const std::string& text);
+
+ private:
+  struct TraceEvent {
+    char ph;
+    Cycles ts;
+    uint32_t tid;
+    const char* category;
+    std::string name;
+    Args args;
+  };
+
+  // tid 0 is the process-wide pseudo-track (counters); named tracks get
+  // ids from 1 in first-use order (deterministic — allocation follows
+  // event order).
+  uint32_t TrackId(const std::string& track);
+  void Push(TraceEvent ev);
+  static void AppendEvent(std::string* out, const TraceEvent& ev, uint32_t pid);
+
+  TraceConfig config_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> track_names_;          // index = tid - 1
+  std::map<std::string, uint32_t> track_ids_;
+  std::map<uint32_t, uint32_t> open_spans_;       // tid -> open-depth
+  std::deque<TraceEvent> flight_;
+  uint64_t flight_dumps_ = 0;
+  std::string last_flight_dump_;
+};
+
+}  // namespace escort
+
+#endif  // SRC_SIM_TRACE_H_

@@ -1,6 +1,7 @@
 #include "src/workload/experiment.h"
 
 #include <cstdlib>
+#include <map>
 
 #include "src/kernel/audit.h"
 
@@ -55,7 +56,7 @@ struct Testbed {
   RateMeter completions;
 };
 
-std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
+std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer = nullptr) {
   auto tb = std::make_unique<Testbed>(spec.shards);
   tb->link = std::make_unique<SharedLink>(&tb->eq, NetworkModel::Calibrated());
 
@@ -71,6 +72,7 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
     opts.config = spec.config;
     opts.mac = kServerMac;
     opts.ip = kServerIp;
+    opts.tracer = tracer;
     tb->server = std::make_unique<EscortWebServer>(&tb->eq, tb->link.get(), opts);
     // Every experiment run doubles as a resource-conservation audit
     // (enforced — i.e. violations abort — under ESCORT_AUDIT builds).
@@ -150,14 +152,76 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec) {
   return tb;
 }
 
+// One ledger-family sample: cycle balances per account label (from the
+// kernel snapshot, a sorted map) plus live pages/threads/IOBuffer locks
+// aggregated per label. account_labels() is keyed by pointer, so the
+// aggregation goes through a string-keyed map to keep emission order
+// independent of the address-space layout.
+void SampleLedger(Tracer* tracer, Kernel& kernel, Cycles now) {
+  CycleLedger snapshot = kernel.Snapshot();
+  for (const auto& [label, cycles] : snapshot.totals()) {
+    tracer->Counter(now, "cycles/" + label, {{"cycles", Tracer::Num(cycles)}});
+  }
+
+  struct Balances {
+    uint64_t pages = 0;
+    uint64_t threads = 0;
+    uint64_t iobuffer_locks = 0;
+  };
+  std::map<std::string, Balances> balances;
+  for (const auto& [owner, label] : kernel.account_labels()) {
+    Balances& b = balances[label];
+    const ResourceUsage& u = owner->usage();
+    b.pages += u.pages;
+    b.threads += u.threads;
+    b.iobuffer_locks += u.iobuffer_locks;
+  }
+  for (const auto& [label, b] : balances) {
+    tracer->Counter(now, "pages/" + label, {{"pages", Tracer::Num(b.pages)}});
+    tracer->Counter(now, "threads/" + label, {{"threads", Tracer::Num(b.threads)}});
+    tracer->Counter(now, "iobufs/" + label, {{"locks", Tracer::Num(b.iobuffer_locks)}});
+  }
+}
+
+// Self-rescheduling stream-0 sampler, bounded by `end` so RunUntil always
+// drains. Scheduled from the main context (stream 0) and rescheduled from
+// its own execution context (also stream 0), so emission order is part of
+// the queue's deterministic total order.
+void ScheduleLedgerSampler(EventQueue* eq, Kernel* kernel, Tracer* tracer, Cycles at,
+                           Cycles interval, Cycles end) {
+  if (at > end) {
+    return;
+  }
+  eq->ScheduleAt(at, [eq, kernel, tracer, at, interval, end] {
+    SampleLedger(tracer, *kernel, eq->now());
+    ScheduleLedgerSampler(eq, kernel, tracer, at + interval, interval, end);
+  });
+}
+
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentSpec& spec) {
   double warmup_s = EnvSeconds("ESCORT_WARMUP_S", spec.warmup_s);
   double window_s = EnvSeconds("ESCORT_WINDOW_S", spec.window_s);
 
-  auto tb = BuildTestbed(spec);
+  // Tracing: use the caller's sink (sweep cells) or own one for the run.
+  std::unique_ptr<Tracer> owned_tracer;
+  Tracer* tracer = spec.tracer;
+  if (tracer == nullptr && spec.trace.enabled()) {
+    owned_tracer = std::make_unique<Tracer>(spec.trace);
+    tracer = owned_tracer.get();
+  }
+
+  auto tb = BuildTestbed(spec, tracer);
   EventQueue& eq = tb->eq;
+
+  Cycles run_end = CyclesFromSeconds(warmup_s) + CyclesFromSeconds(window_s);
+  if (tracer != nullptr && tracer->ledger_enabled() && tb->server != nullptr) {
+    Cycles interval = tracer->config().sample_interval > 0
+                          ? tracer->config().sample_interval
+                          : CyclesFromMillis(5.0);
+    ScheduleLedgerSampler(&eq, &tb->server->kernel(), tracer, 0, interval, run_end);
+  }
 
   eq.RunUntil(CyclesFromSeconds(warmup_s));
 
@@ -196,6 +260,31 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
     r.accounting_overhead = s.kernel().accounting_overhead_cycles();
     for (const auto& l : s.tcp()->listeners()) {
       r.syns_dropped_at_demux += l->syns_dropped_at_demux;
+    }
+  }
+  r.shard_profile = tb->eq.Profile();
+
+  if (tracer != nullptr) {
+    if (tracer->shard_profile_enabled()) {
+      // Shard-family events are per-partition by nature; they only appear
+      // when explicitly requested (TraceConfig.shard_profile) because they
+      // break cross-shard byte-identity of the trace.
+      const ShardProfile& p = r.shard_profile;
+      for (size_t i = 0; i < p.per_shard.size(); ++i) {
+        tracer->Counter(window_end, "shard/" + std::to_string(i),
+                        {{"events_fired", Tracer::Num(p.per_shard[i].events_fired)},
+                         {"windows_active", Tracer::Num(p.per_shard[i].windows_active)}});
+      }
+    }
+    tracer->Finalize(window_end);
+    // Detach before teardown: ~PathManager kills surviving paths in
+    // pointer order (address-space dependent), which must not reach the
+    // deterministic trace stream.
+    if (tb->server != nullptr) {
+      tb->server->kernel().set_tracer(nullptr);
+    }
+    if (owned_tracer != nullptr) {
+      owned_tracer->WriteStandalone();
     }
   }
   return r;

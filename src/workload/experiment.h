@@ -28,6 +28,13 @@ struct ExperimentSpec {
   double warmup_s = 0.6;
   double window_s = 2.0;
   WebServerOptions server_options;         // config/scheduler filled in by Run
+
+  // Deterministic tracing (src/sim/trace.h). `trace.path` empty = off.
+  // When `tracer` is null and tracing is on, RunExperiment owns a Tracer
+  // and writes `trace.path` itself; the sweep runner instead passes a
+  // per-cell sink here and merges all cells into one trace document.
+  TraceConfig trace;
+  Tracer* tracer = nullptr;                // not owned
 };
 
 struct ExperimentResult {
@@ -44,6 +51,10 @@ struct ExperimentResult {
   Cycles window_cycles = 0;  // elapsed cycles in the window
   uint64_t pd_crossings = 0;
   Cycles accounting_overhead = 0;
+  // Event-queue scheduling profile over the whole run (warmup + window):
+  // feeds the bench JSON `shard_utilization` block. Inherently depends on
+  // the shard partition, so it is excluded from cross-shard equality.
+  ShardProfile shard_profile;
 };
 
 // Scale factors from the environment (ESCORT_WARMUP_S / ESCORT_WINDOW_S),

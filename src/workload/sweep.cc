@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 #include "src/sim/parallel.h"
+#include "src/sim/trace.h"
 
 namespace escort {
 
@@ -32,12 +34,14 @@ namespace {
     std::fprintf(stderr, "unknown argument: %s\n", bad);
   }
   std::fprintf(stderr,
-               "usage: %s [--quick] [--jobs N] [--shards N] [--json PATH]\n"
+               "usage: %s [--quick] [--jobs N] [--shards N] [--json PATH] [--trace PATH]\n"
                "  --quick      run the bench's reduced grid\n"
                "  --jobs N     worker threads (default: hardware concurrency)\n"
                "  --shards N   event-queue shards within each cell (default 1;\n"
                "               results are bit-identical at any N)\n"
-               "  --json PATH  also write machine-readable results to PATH\n",
+               "  --json PATH  also write machine-readable results to PATH\n"
+               "  --trace PATH write a deterministic Chrome trace (Perfetto /\n"
+               "               chrome://tracing) covering every cell\n",
                argv0);
   std::exit(2);
 }
@@ -119,6 +123,19 @@ void AppendKey(std::string* out, const char* key) {
   *out += ": ";
 }
 
+// Cell ids become part of flight-dump filenames; keep them path-safe.
+std::string PathSafe(const std::string& id) {
+  std::string out = id;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '-' || c == '.' || c == '_';
+    if (!ok) {
+      c = '-';
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 SweepOptions ParseSweepArgs(int argc, char** argv) {
@@ -139,6 +156,10 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       opts.json_path = argv[++i];
     } else if (std::strncmp(a, "--json=", 7) == 0) {
       opts.json_path = a + 7;
+    } else if (std::strcmp(a, "--trace") == 0 && i + 1 < argc) {
+      opts.trace_path = argv[++i];
+    } else if (std::strncmp(a, "--trace=", 8) == 0) {
+      opts.trace_path = a + 8;
     } else {
       UsageAndExit(argv[0], a);
     }
@@ -176,6 +197,21 @@ void Sweep::Run(const SweepOptions& opts) {
       cell.spec.shards = opts.shards;
     }
   }
+  // Tracing: each cell gets its own sink (cells run concurrently), and the
+  // per-cell buffers are merged in grid order afterwards — one trace
+  // "process" per cell — so the document is byte-identical at any --jobs.
+  std::vector<std::unique_ptr<Tracer>> tracers;
+  if (!opts.trace_path.empty()) {
+    tracers.resize(cells_.size());
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      TraceConfig tc;
+      tc.path = opts.trace_path;
+      tc.flight_path = opts.trace_path + "." + PathSafe(cells_[i].id) + ".flight.json";
+      tracers[i] = std::make_unique<Tracer>(tc);
+      cells_[i].spec.trace = tc;
+      cells_[i].spec.tracer = tracers[i].get();
+    }
+  }
   results_.assign(cells_.size(), CellResult());
   std::vector<JobOutcome> outcomes =
       ParallelFor(jobs_used_, cells_.size(), [this](size_t i) {
@@ -189,6 +225,16 @@ void Sweep::Run(const SweepOptions& opts) {
   for (size_t i = 0; i < outcomes.size(); ++i) {
     results_[i].ok = outcomes[i].ok;
     results_[i].error = outcomes[i].error;
+  }
+  if (!opts.trace_path.empty()) {
+    std::vector<std::string> fragments;
+    fragments.reserve(tracers.size());
+    for (size_t i = 0; i < tracers.size(); ++i) {
+      fragments.push_back(tracers[i]->SerializeEvents(static_cast<uint32_t>(i), cells_[i].id));
+    }
+    if (!Tracer::WriteFile(opts.trace_path, Tracer::WrapDocument(fragments))) {
+      Die("cannot write trace output to " + opts.trace_path);
+    }
   }
   if (!opts.json_path.empty() && !WriteJson(opts.json_path)) {
     Die("cannot write JSON output to " + opts.json_path);
@@ -240,7 +286,7 @@ std::string Sweep::ToJson() const {
   out.reserve(4096 + 1024 * cells_.size());
   out += "{\n  ";
   AppendKey(&out, "schema_version");
-  out += "1,\n  ";
+  out += "2,\n  ";
   AppendKey(&out, "bench");
   AppendEscaped(&out, name_);
   out += ",\n  ";
@@ -362,6 +408,60 @@ std::string Sweep::ToJson() const {
       AppendUint(&out, cycles);
     }
     out += "},\n     ";
+    // Scheduling profile of the cell's sharded event queue (schema v2).
+    // Depends on the shard partition by nature, so check_bench_json.py
+    // strips it for --expect-equal comparisons.
+    const ShardProfile& sp = e.shard_profile;
+    AppendKey(&out, "shard_utilization");
+    out += "{";
+    AppendKey(&out, "shards");
+    AppendUint(&out, static_cast<uint64_t>(sp.shards));
+    out += ", ";
+    AppendKey(&out, "lookahead_cycles");
+    AppendUint(&out, sp.lookahead);
+    out += ", ";
+    AppendKey(&out, "windows_run");
+    AppendUint(&out, sp.windows_run);
+    out += ", ";
+    AppendKey(&out, "parallel_windows");
+    AppendUint(&out, sp.parallel_windows);
+    out += ", ";
+    AppendKey(&out, "mean_window_cycles");
+    AppendDouble(&out, sp.windows_run > 0
+                           ? static_cast<double>(sp.window_cycles) /
+                                 static_cast<double>(sp.windows_run)
+                           : 0.0);
+    out += ", ";
+    AppendKey(&out, "txns_drained");
+    AppendUint(&out, sp.txns_drained);
+    out += ", ";
+    AppendKey(&out, "max_mailbox_depth");
+    AppendUint(&out, sp.max_mailbox_depth);
+    out += ", ";
+    AppendKey(&out, "per_shard");
+    out += "[";
+    for (size_t s = 0; s < sp.per_shard.size(); ++s) {
+      if (s != 0) {
+        out += ", ";
+      }
+      out += "{";
+      AppendKey(&out, "shard");
+      AppendUint(&out, static_cast<uint64_t>(s));
+      out += ", ";
+      AppendKey(&out, "events_fired");
+      AppendUint(&out, sp.per_shard[s].events_fired);
+      out += ", ";
+      AppendKey(&out, "windows_active");
+      AppendUint(&out, sp.per_shard[s].windows_active);
+      out += ", ";
+      AppendKey(&out, "idle_fraction");
+      AppendDouble(&out, sp.windows_run > 0
+                             ? 1.0 - static_cast<double>(sp.per_shard[s].windows_active) /
+                                         static_cast<double>(sp.windows_run)
+                             : 0.0);
+      out += "}";
+    }
+    out += "]},\n     ";
     AppendKey(&out, "extra");
     out += "{";
     first = true;

@@ -21,6 +21,10 @@
 //                ShardedEventQueue). Recorded in the JSON spec.
 //   --json PATH  machine-readable BENCH_*.json output for the perf
 //                trajectory, alongside the human-readable tables
+//   --trace PATH deterministic Chrome trace-event JSON of every cell
+//                (one process per cell, merged in grid order; byte-
+//                identical across --jobs and --shards). Flight-recorder
+//                dumps land next to it as PATH.<cell>.flight.json.
 //   --quick      the bench's reduced grid
 
 #ifndef SRC_WORKLOAD_SWEEP_H_
@@ -64,11 +68,13 @@ struct SweepOptions {
   int jobs = 0;            // <= 0: hardware concurrency
   int shards = 0;          // <= 0: keep each spec's own value (default 1)
   std::string json_path;   // empty: no JSON emitted
+  std::string trace_path;  // empty: no trace emitted
   bool quick = false;
 };
 
 // Parses the common bench flags (--jobs N, --shards N, --json PATH,
-// --quick). Prints usage and exits with status 2 on an unknown argument.
+// --trace PATH, --quick). Prints usage and exits with status 2 on an
+// unknown argument.
 SweepOptions ParseSweepArgs(int argc, char** argv);
 
 class Sweep {
@@ -102,7 +108,7 @@ class Sweep {
   const std::vector<CellResult>& results() const { return results_; }
   int failed_count() const;
 
-  // JSON serialization of the whole sweep (schema_version 1; the schema
+  // JSON serialization of the whole sweep (schema_version 2; the schema
   // is pinned by tests/test_bench_json.cc and tools/check_bench_json.py).
   std::string ToJson() const;
   bool WriteJson(const std::string& path) const;

@@ -231,8 +231,9 @@ class JsonParser {
 // --- the pinned schema -------------------------------------------------------
 
 const std::vector<std::string> kTopKeys = {"schema_version", "bench", "jobs", "cells"};
-const std::vector<std::string> kCellKeys = {"id",   "ok",     "error",  "tags",
-                                            "spec", "metrics", "ledger", "extra"};
+const std::vector<std::string> kCellKeys = {
+    "id",   "ok",      "error",  "tags",
+    "spec", "metrics", "ledger", "shard_utilization", "extra"};
 const std::vector<std::string> kSpecKeys = {
     "linux_server", "config",        "clients",  "doc",      "qos_stream",
     "syn_attack_rate", "cgi_attackers", "shards",   "warmup_s", "window_s"};
@@ -241,6 +242,11 @@ const std::vector<std::string> kMetricKeys = {
     "paths_killed",   "syns_dropped_at_demux", "syns_sent",         "runaway_detections",
     "kill_cost_mean", "window_cycles",     "pd_crossings",          "accounting_overhead",
     "ledger_total"};
+const std::vector<std::string> kUtilKeys = {
+    "shards",       "lookahead_cycles",   "windows_run", "parallel_windows",
+    "mean_window_cycles", "txns_drained", "max_mailbox_depth", "per_shard"};
+const std::vector<std::string> kPerShardKeys = {
+    "shard", "events_fired", "windows_active", "idle_fraction"};
 
 void ExpectExactKeys(const JsonValue& obj, const std::vector<std::string>& keys,
                      const std::string& what) {
@@ -288,7 +294,7 @@ TEST(BenchJson, SchemaIsPinned) {
   ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
 
   ExpectExactKeys(root, kTopKeys, "top-level");
-  EXPECT_EQ(root.At("schema_version").number, 1.0);
+  EXPECT_EQ(root.At("schema_version").number, 2.0);
   EXPECT_EQ(root.At("bench").str, "json_schema_probe");
   EXPECT_EQ(root.At("jobs").number, 2.0);
 
@@ -300,6 +306,8 @@ TEST(BenchJson, SchemaIsPinned) {
     ExpectExactKeys(cell, kCellKeys, "cell " + cell.At("id").str);
     ExpectExactKeys(cell.At("spec"), kSpecKeys, "spec of " + cell.At("id").str);
     ExpectExactKeys(cell.At("metrics"), kMetricKeys, "metrics of " + cell.At("id").str);
+    ExpectExactKeys(cell.At("shard_utilization"), kUtilKeys,
+                    "shard_utilization of " + cell.At("id").str);
   }
 
   // Grid order is preserved in the JSON.
@@ -320,6 +328,17 @@ TEST(BenchJson, SchemaIsPinned) {
   EXPECT_EQ(exp.At("spec").At("clients").number, 2.0);
   EXPECT_EQ(exp.At("spec").At("shards").number, 1.0);
   EXPECT_EQ(exp.At("tags").At("variant").str, "acct");
+
+  // The experiment cell really ran a simulation, so its scheduling profile
+  // is populated: one per_shard entry per shard, with real window counts.
+  const JsonValue& util = exp.At("shard_utilization");
+  EXPECT_EQ(util.At("shards").number, 1.0);
+  EXPECT_GT(util.At("windows_run").number, 0.0);
+  ASSERT_EQ(util.At("per_shard").kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(util.At("per_shard").array.size(), 1u);
+  ExpectExactKeys(util.At("per_shard").array[0], kPerShardKeys,
+                  "per_shard entry of acct/c2");
+  EXPECT_GT(util.At("per_shard").array[0].At("events_fired").number, 0.0);
 
   // The custom cell's extras round-trip.
   const JsonValue& custom = cells.array[1];

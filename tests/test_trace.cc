@@ -1,0 +1,272 @@
+// Trace subsystem tests (src/sim/trace.h): span bookkeeping and the
+// flight-recorder ring in isolation, then the system-level guarantees —
+// the same experiment produces a byte-identical trace at every shard
+// count, tracing never perturbs measured results, and flight dumps fire
+// on pathKill and on audit violations with the preceding events intact.
+//
+// Also pins the shard-safety contract of the stats meters (DESIGN.md
+// §6.5): RateMeter/ThroughputMeter recordings from concurrently running
+// shards are commutative relaxed atomics, so totals are exact at any
+// shard count. That test races for real under the TSan CI preset.
+
+#include "src/sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/kernel/audit.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+#include "src/workload/experiment.h"
+#include "tests/testbed.h"
+
+namespace escort {
+namespace {
+
+size_t CountOccurrences(const std::string& haystack, const std::string& needle) {
+  size_t n = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(TraceUnit, SpansBalanceAndFinalizeClosesOpenOnes) {
+  TraceConfig tc;
+  tc.path = ::testing::TempDir() + "trace_unit.json";
+  Tracer tracer(tc);
+
+  tracer.BeginSpan(10, "track-a", "outer", "test");
+  tracer.BeginSpan(20, "track-a", "inner", "test");
+  tracer.EndSpan(30, "track-a");
+  tracer.BeginSpan(15, "track-b", "other", "test");
+  // EndSpan on a track with no open span is dropped (spans that began
+  // before tracing attached).
+  tracer.EndSpan(40, "track-c");
+  tracer.Finalize(50);  // closes track-a's outer and track-b's span
+
+  std::string doc = tracer.SerializeStandalone();
+  EXPECT_EQ(CountOccurrences(doc, "\"ph\":\"B\""), 3u);
+  EXPECT_EQ(CountOccurrences(doc, "\"ph\":\"E\""), 3u);
+  EXPECT_NE(doc.find("\"clock\": \"sim-cycles\""), std::string::npos);
+  EXPECT_NE(doc.find("\"outer\""), std::string::npos);
+
+  // A second Finalize is a no-op: everything is already balanced.
+  tracer.Finalize(60);
+  EXPECT_EQ(CountOccurrences(tracer.SerializeStandalone(), "\"ph\":\"E\""), 3u);
+}
+
+TEST(TraceUnit, StrEscapesJsonMetacharacters) {
+  EXPECT_EQ(Tracer::Str("plain"), "\"plain\"");
+  EXPECT_EQ(Tracer::Str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Tracer::Str("line\nbreak\t"), "\"line\\nbreak\\t\"");
+  EXPECT_EQ(Tracer::Str(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(Tracer::Num(0), "0");
+  EXPECT_EQ(Tracer::Num(18446744073709551615ull), "18446744073709551615");
+}
+
+TEST(TraceUnit, FlightRingIsBoundedAndDumpsMostRecent) {
+  TraceConfig tc;
+  tc.path = ::testing::TempDir() + "trace_flight_unit.json";
+  tc.flight_capacity = 4;
+  Tracer tracer(tc);
+
+  for (int i = 0; i < 10; ++i) {
+    tracer.Instant(static_cast<Cycles>(i), "t", "event-" + std::to_string(i), "test");
+  }
+  tracer.DumpFlight("unit-test-reason", 10);
+
+  EXPECT_EQ(tracer.flight_dumps(), 1u);
+  const std::string& dump = tracer.last_flight_dump();
+  EXPECT_NE(dump.find("unit-test-reason"), std::string::npos);
+  EXPECT_NE(dump.find("\"depth\": 4"), std::string::npos);
+  // Only the 4 most recent events survive the ring.
+  EXPECT_EQ(dump.find("event-5"), std::string::npos);
+  EXPECT_NE(dump.find("event-6"), std::string::npos);
+  EXPECT_NE(dump.find("event-9"), std::string::npos);
+
+  // The dump landed on disk at the derived <path>.flight.json location.
+  FILE* f = std::fopen(tc.ResolvedFlightPath().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(tc.ResolvedFlightPath().c_str());
+}
+
+ExperimentSpec AttackSpec(int shards) {
+  ExperimentSpec spec;
+  spec.config = ServerConfig::kAccounting;
+  spec.clients = 4;
+  spec.doc = "/doc1b";
+  spec.syn_attack_rate = 1000.0;
+  spec.shards = shards;
+  spec.warmup_s = 0.05;
+  spec.window_s = 0.2;
+  return spec;
+}
+
+// The headline determinism property: every emission site runs on stream 0
+// or at a serial point, so the trace byte stream is a pure function of the
+// spec — independent of the shard partition.
+TEST(Trace, ByteIdenticalAcrossShardCounts) {
+  TraceConfig tc;  // external sink: path stays empty, nothing hits disk
+  Tracer t1(tc);
+  Tracer t4(tc);
+
+  ExperimentSpec s1 = AttackSpec(1);
+  s1.tracer = &t1;
+  ExperimentSpec s4 = AttackSpec(4);
+  s4.tracer = &t4;
+  RunExperiment(s1);
+  RunExperiment(s4);
+
+  ASSERT_GT(t1.event_count(), 0u);
+  std::string doc1 = t1.SerializeStandalone();
+  std::string doc4 = t4.SerializeStandalone();
+  EXPECT_EQ(doc1, doc4) << "trace differs between shards=1 and shards=4";
+
+  // All three event families are present: lifecycle spans, TCP state
+  // transitions, and ledger counter tracks.
+  EXPECT_NE(doc1.find("\"path:"), std::string::npos);
+  EXPECT_NE(doc1.find("tcp:SYN_RECVD->ESTABLISHED"), std::string::npos);
+  EXPECT_NE(doc1.find("cycles/"), std::string::npos);
+  EXPECT_NE(doc1.find("pages/"), std::string::npos);
+}
+
+// Tracing is observation only: attaching a tracer must not change any
+// measured result (the instrumentation sites branch on the pointer and
+// do no work when it is null — zero overhead when disabled, zero
+// perturbation when enabled).
+TEST(Trace, TracingDoesNotPerturbResults) {
+  ExperimentSpec plain = AttackSpec(1);
+  ExperimentResult off = RunExperiment(plain);
+
+  TraceConfig tc;
+  Tracer tracer(tc);
+  ExperimentSpec traced = AttackSpec(1);
+  traced.tracer = &tracer;
+  ExperimentResult on = RunExperiment(traced);
+
+  EXPECT_EQ(off.completions_total, on.completions_total);
+  EXPECT_EQ(off.conns_per_sec, on.conns_per_sec);
+  EXPECT_EQ(off.syns_sent, on.syns_sent);
+  EXPECT_EQ(off.syns_dropped_at_demux, on.syns_dropped_at_demux);
+  EXPECT_EQ(off.paths_killed, on.paths_killed);
+  EXPECT_EQ(off.window_cycles, on.window_cycles);
+  EXPECT_EQ(off.ledger.Total(), on.ledger.Total());
+}
+
+// A runaway CGI attack ends in pathKill, which must dump the flight
+// recorder with the events leading up to the kill.
+TEST(Trace, FlightDumpOnPathKill) {
+  TraceConfig tc;
+  tc.flight_path = ::testing::TempDir() + "trace_pathkill.flight.json";
+  Tracer tracer(tc);
+
+  ExperimentSpec spec;
+  spec.config = ServerConfig::kAccounting;
+  spec.clients = 0;
+  spec.cgi_attackers = 1;
+  spec.warmup_s = 0.05;
+  spec.window_s = 1.5;  // long enough for >= 1 attack -> runaway -> kill
+  spec.tracer = &tracer;
+  ExperimentResult r = RunExperiment(spec);
+
+  ASSERT_GE(r.paths_killed, 1u);
+  ASSERT_GE(tracer.flight_dumps(), 1u);
+  const std::string& dump = tracer.last_flight_dump();
+  EXPECT_NE(dump.find("pathKill"), std::string::npos);
+  // The ring preserved context from before the kill: the runaway
+  // detection that triggered it.
+  EXPECT_NE(dump.find("runaway-detection"), std::string::npos);
+
+  FILE* f = std::fopen(tc.ResolvedFlightPath().c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(tc.ResolvedFlightPath().c_str());
+}
+
+// Audit violations dump the flight recorder too: both the end-of-run
+// conservation checks and the per-owner drain check on destruction.
+TEST(Trace, FlightDumpOnAuditViolation) {
+  KernelConfig kc;
+  kc.start_softclock = false;
+  EventQueue eq;
+  Kernel kernel(&eq, kc);
+  AuditScope scope(&kernel, /*enforce=*/false);
+
+  TraceConfig tc;
+  tc.flight_path = ::testing::TempDir() + "trace_audit.flight.json";
+  Tracer tracer(tc);
+  kernel.set_tracer(&tracer);
+
+  tracer.Instant(0, "test", "before-violation", "test");
+
+  // Rule 2 violation: cycles charged with no elapsed simulation time.
+  Owner victim(OwnerType::kPath, kernel.NextOwnerId(), "victim");
+  kernel.RegisterOwner(&victim, "victim");
+  victim.usage().cycles += 9999;
+  scope.auditor().CheckConservation(kernel);
+  ASSERT_FALSE(scope.auditor().ok());
+  EXPECT_EQ(tracer.flight_dumps(), 1u);
+  EXPECT_NE(tracer.last_flight_dump().find("audit:conservation"), std::string::npos);
+  EXPECT_NE(tracer.last_flight_dump().find("before-violation"), std::string::npos);
+
+  // Rule 1 violation: a counter that never drained before destruction.
+  Owner leaky(OwnerType::kPath, kernel.NextOwnerId(), "leaky");
+  kernel.RegisterOwner(&leaky, "leaky");
+  leaky.usage().pages += 1;
+  kernel.DestroyOwner(&leaky, 0);
+  EXPECT_EQ(tracer.flight_dumps(), 2u);
+  EXPECT_NE(tracer.last_flight_dump().find("audit:owner-drain leaky"),
+            std::string::npos);
+
+  scope.auditor().Clear();
+  kernel.set_tracer(nullptr);
+  std::remove(tc.ResolvedFlightPath().c_str());
+  // Unregister the stack-allocated victim before the kernel tears down.
+  kernel.DestroyOwner(&victim, 0);
+  scope.auditor().Clear();
+}
+
+// DESIGN.md §6.5: RateMeter and ThroughputMeter recordings commute, so a
+// meter shared across concurrently running shards reads exactly right at
+// any shard count. Under the TSan preset this test also proves the
+// accesses are race-free (they were plain uint64_t before).
+TEST(Meters, SharedRecordingAcrossShards) {
+  constexpr int kShards = 4;
+  constexpr int kStreams = 8;
+  constexpr int kEventsPerStream = 200;
+
+  ShardedEventQueue eq(kShards, /*lookahead=*/50);
+  RateMeter rate;
+  ThroughputMeter tput;
+  rate.OpenWindow(0);
+  tput.OpenWindow(0);
+
+  for (int s = 0; s < kStreams; ++s) {
+    EventQueue::StreamId stream = eq.NewStream(static_cast<size_t>(s));
+    EventQueue::StreamScope scope(&eq, stream);
+    for (int i = 0; i < kEventsPerStream; ++i) {
+      Cycles at = static_cast<Cycles>(10 + i * 7 + s);
+      eq.ScheduleAt(at, [&eq, &rate, &tput] {
+        rate.Record(eq.now());
+        tput.Record(eq.now(), 100);
+      });
+    }
+  }
+  eq.RunToCompletion();
+
+  constexpr uint64_t kTotal = static_cast<uint64_t>(kStreams) * kEventsPerStream;
+  EXPECT_EQ(rate.total(), kTotal);
+  EXPECT_EQ(rate.window_count(), kTotal);
+  EXPECT_EQ(tput.total_bytes(), kTotal * 100);
+  EXPECT_GT(rate.last_event(), 0u);
+  rate.CloseWindow(eq.now());
+  tput.CloseWindowBytesPerSec(eq.now());
+}
+
+}  // namespace
+}  // namespace escort

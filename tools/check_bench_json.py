@@ -8,10 +8,11 @@ tests/test_bench_json.cc pins at the C++ level, but from the outside —
 CI's bench smoke job runs it against freshly produced output.
 
 Checks per file:
-  * parses as JSON, schema_version == 1
+  * parses as JSON, schema_version == 2
   * top-level keys exactly {schema_version, bench, jobs, cells}
   * every cell carries exactly {id, ok, error, tags, spec, metrics,
-    ledger, extra} with the pinned spec/metric key sets
+    ledger, shard_utilization, extra} with the pinned spec/metric/
+    shard_utilization key sets
   * cell ids are unique and non-empty; jobs >= 1
   * ok:true cells have empty error; ok:false cells have a message
   * all metric values are finite numbers
@@ -20,8 +21,9 @@ Usage:
   check_bench_json.py FILE [FILE...]
   check_bench_json.py --require-ok FILE   # additionally fail on any ok:false cell
   check_bench_json.py --expect-equal A B  # A and B must carry identical results
-                                          # (spec.shards and top-level jobs ignored:
-                                          # the sharded-equivalence CI check)
+                                          # (spec.shards, top-level jobs, and the
+                                          # per-cell shard_utilization profile
+                                          # ignored: the sharded-equivalence CI check)
 
 Exit status: 0 all files valid, 1 validation failure, 2 usage/IO error.
 Stdlib only — no dependencies.
@@ -35,7 +37,8 @@ import math
 import sys
 
 TOP_KEYS = {"schema_version", "bench", "jobs", "cells"}
-CELL_KEYS = {"id", "ok", "error", "tags", "spec", "metrics", "ledger", "extra"}
+CELL_KEYS = {"id", "ok", "error", "tags", "spec", "metrics", "ledger",
+             "shard_utilization", "extra"}
 SPEC_KEYS = {
     "linux_server", "config", "clients", "doc", "qos_stream",
     "syn_attack_rate", "cgi_attackers", "shards", "warmup_s", "window_s",
@@ -46,6 +49,11 @@ METRIC_KEYS = {
     "kill_cost_mean", "window_cycles", "pd_crossings", "accounting_overhead",
     "ledger_total",
 }
+UTIL_KEYS = {
+    "shards", "lookahead_cycles", "windows_run", "parallel_windows",
+    "mean_window_cycles", "txns_drained", "max_mailbox_depth", "per_shard",
+}
+PER_SHARD_KEYS = {"shard", "events_fired", "windows_active", "idle_fraction"}
 
 
 def expect_keys(errors: list, got: dict, want: set, what: str) -> None:
@@ -69,8 +77,8 @@ def check_file(path: str, require_ok: bool) -> list:
     if not isinstance(root, dict):
         return [f"{path}: top level is not an object"]
     expect_keys(errors, root, TOP_KEYS, f"{path}: top level")
-    if root.get("schema_version") != 1:
-        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 1")
+    if root.get("schema_version") != 2:
+        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 2")
     if not isinstance(root.get("bench"), str) or not root.get("bench"):
         errors.append(f"{path}: 'bench' must be a non-empty string")
     jobs = root.get("jobs")
@@ -124,17 +132,42 @@ def check_file(path: str, require_ok: bool) -> list:
         for sub in ("tags", "ledger", "extra"):
             if not isinstance(cell.get(sub), dict):
                 errors.append(f"{what}: '{sub}' must be an object")
+
+        util = cell.get("shard_utilization")
+        if not isinstance(util, dict):
+            errors.append(f"{what}: 'shard_utilization' must be an object")
+        else:
+            expect_keys(errors, util, UTIL_KEYS, f"{what}.shard_utilization")
+            per_shard = util.get("per_shard")
+            if not isinstance(per_shard, list):
+                errors.append(f"{what}.shard_utilization.per_shard: not an array")
+            else:
+                if isinstance(util.get("shards"), int) and \
+                        len(per_shard) != util["shards"]:
+                    errors.append(
+                        f"{what}.shard_utilization: per_shard has "
+                        f"{len(per_shard)} entries but shards={util['shards']}")
+                for j, entry in enumerate(per_shard):
+                    if not isinstance(entry, dict):
+                        errors.append(
+                            f"{what}.shard_utilization.per_shard[{j}]: not an object")
+                        continue
+                    expect_keys(errors, entry, PER_SHARD_KEYS,
+                                f"{what}.shard_utilization.per_shard[{j}]")
     return errors
 
 
 def normalized_for_equality(root: dict) -> dict:
     """Strips the knobs that legitimately differ between a single-queue and a
-    sharded run of the same grid: top-level jobs and every spec.shards."""
+    sharded run of the same grid: top-level jobs, every spec.shards, and the
+    per-cell shard_utilization profile (scheduling detail, not a result)."""
     out = json.loads(json.dumps(root))  # deep copy
     out.pop("jobs", None)
     for cell in out.get("cells", []):
-        if isinstance(cell, dict) and isinstance(cell.get("spec"), dict):
-            cell["spec"].pop("shards", None)
+        if isinstance(cell, dict):
+            if isinstance(cell.get("spec"), dict):
+                cell["spec"].pop("shards", None)
+            cell.pop("shard_utilization", None)
     return out
 
 
@@ -149,7 +182,8 @@ def check_equal(path_a: str, path_b: str) -> list:
     a, b = (normalized_for_equality(r) for r in loaded)
     if a == b:
         return []
-    errors = [f"{path_a} and {path_b} differ (ignoring jobs/spec.shards)"]
+    errors = [f"{path_a} and {path_b} differ "
+              "(ignoring jobs/spec.shards/shard_utilization)"]
     cells_a = {c.get("id"): c for c in a.get("cells", []) if isinstance(c, dict)}
     cells_b = {c.get("id"): c for c in b.get("cells", []) if isinstance(c, dict)}
     for cid in sorted(set(cells_a) | set(cells_b)):
@@ -178,7 +212,8 @@ def main() -> int:
             for e in errors:
                 print(e, file=sys.stderr)
             return 1
-        print(f"{args.files[0]} == {args.files[1]} (modulo jobs/spec.shards)")
+        print(f"{args.files[0]} == {args.files[1]} "
+              "(modulo jobs/spec.shards/shard_utilization)")
         return 0
 
     failures = 0

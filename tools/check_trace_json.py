@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""check_trace_json: validate trace files emitted by src/sim/trace.cc.
+
+The benches' `--trace PATH` flag writes Chrome trace-event JSON (loadable
+in Perfetto / chrome://tracing) stamped in simulated cycles. Because every
+emission site runs on event stream 0 or at a serial point, the file is a
+pure function of the experiment spec — byte-identical across --jobs and
+--shards. CI's bench smoke job produces two traces at different shard
+counts and runs this script over both plus an --expect-equal diff.
+
+Checks per file:
+  * parses as JSON with top-level keys {traceEvents, displayTimeUnit,
+    otherData}; otherData.clock == "sim-cycles"
+  * every event has ph in {B, E, I, C, M}, integer ts >= 0, integer
+    pid/tid >= 0; non-M events carry cat/name as required by phase
+  * per (pid, tid) track: timestamps are monotonically non-decreasing
+    over non-metadata events
+  * per (pid, tid) track: B/E spans balance — no E without an open B,
+    and every track ends at depth 0 (Tracer::Finalize guarantees this)
+  * C events carry a non-empty numeric args series
+
+Usage:
+  check_trace_json.py FILE [FILE...]
+  check_trace_json.py --expect-equal A B   # byte-for-byte determinism diff
+
+Exit status: 0 all files valid, 1 validation failure, 2 usage/IO error.
+Stdlib only — no dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TOP_KEYS = {"traceEvents", "displayTimeUnit", "otherData"}
+PHASES = {"B", "E", "I", "C", "M"}
+MAX_ERRORS_PER_FILE = 20
+
+
+def check_file(path: str) -> list:
+    errors: list = []
+
+    def err(msg: str) -> None:
+        if len(errors) < MAX_ERRORS_PER_FILE:
+            errors.append(msg)
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(root, dict):
+        return [f"{path}: top level is not an object"]
+    missing = TOP_KEYS - root.keys()
+    if missing:
+        err(f"{path}: top level missing keys {sorted(missing)}")
+    other = root.get("otherData")
+    clock = other.get("clock") if isinstance(other, dict) else other
+    if clock != "sim-cycles":
+        err(f"{path}: otherData.clock must be 'sim-cycles' (got {clock!r})")
+
+    events = root.get("traceEvents")
+    if not isinstance(events, list):
+        err(f"{path}: traceEvents must be an array")
+        return errors
+
+    # Per-(pid,tid) state for the monotonicity and span-balance checks.
+    last_ts: dict = {}
+    depth: dict = {}
+    flight = isinstance(root.get("flight"), dict)  # flight dumps are partial
+    for i, ev in enumerate(events):
+        what = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            err(f"{what}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in PHASES:
+            err(f"{what}: ph is {ph!r}, expected one of {sorted(PHASES)}")
+            continue
+        for key in ("ts", "pid", "tid"):
+            v = ev.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                err(f"{what}: '{key}' must be a non-negative integer, got {v!r}")
+        if ph == "M":
+            continue  # metadata carries no timeline semantics
+        track = (ev.get("pid"), ev.get("tid"))
+        ts = ev.get("ts")
+        if isinstance(ts, int):
+            if track in last_ts and ts < last_ts[track]:
+                err(f"{what}: ts {ts} goes backwards on track pid={track[0]} "
+                    f"tid={track[1]} (previous {last_ts[track]})")
+            last_ts[track] = ts
+        if ph in ("B", "I", "C"):
+            if not isinstance(ev.get("name"), str) or not ev["name"]:
+                err(f"{what}: '{ph}' event needs a non-empty name")
+        if ph == "B":
+            depth[track] = depth.get(track, 0) + 1
+        elif ph == "E":
+            if depth.get(track, 0) <= 0:
+                if not flight:  # ring eviction may drop a span's B
+                    err(f"{what}: 'E' with no open span on track pid={track[0]} "
+                        f"tid={track[1]}")
+            else:
+                depth[track] -= 1
+        elif ph == "C":
+            args = ev.get("args")
+            if not isinstance(args, dict) or not args:
+                err(f"{what}: 'C' event needs a non-empty args series")
+            else:
+                for k, v in args.items():
+                    if not isinstance(v, (int, float)) or isinstance(v, bool):
+                        err(f"{what}: counter series '{k}' is not numeric: {v!r}")
+
+    if not flight:  # a flight-recorder ring may begin mid-span
+        for track, d in sorted(depth.items()):
+            if d != 0:
+                err(f"{path}: track pid={track[0]} tid={track[1]} ends with "
+                    f"{d} unclosed span(s) — Tracer::Finalize not called?")
+    if len(errors) >= MAX_ERRORS_PER_FILE:
+        errors.append(f"{path}: ... further errors suppressed")
+    return errors
+
+
+def check_equal(path_a: str, path_b: str) -> list:
+    blobs = []
+    for path in (path_a, path_b):
+        try:
+            with open(path, "rb") as f:
+                blobs.append(f.read())
+        except OSError as e:
+            return [f"{path}: unreadable: {e}"]
+    if blobs[0] == blobs[1]:
+        return []
+    # Locate the first differing line so the CI log points at the event.
+    lines_a, lines_b = (b.split(b"\n") for b in blobs)
+    for n, (la, lb) in enumerate(zip(lines_a, lines_b), start=1):
+        if la != lb:
+            return [f"{path_a} and {path_b} differ at line {n}:",
+                    f"  a: {la[:200].decode('utf-8', 'replace')}",
+                    f"  b: {lb[:200].decode('utf-8', 'replace')}"]
+    return [f"{path_a} and {path_b} differ in length "
+            f"({len(lines_a)} vs {len(lines_b)} lines)"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", help="trace .json files to validate")
+    parser.add_argument("--expect-equal", action="store_true",
+                        help="take exactly two files and require them to be "
+                             "byte-identical (cross-shard determinism check)")
+    args = parser.parse_args()
+
+    if args.expect_equal:
+        if len(args.files) != 2:
+            print("--expect-equal takes exactly two files", file=sys.stderr)
+            return 2
+        errors = check_equal(args.files[0], args.files[1])
+        if errors:
+            for e in errors:
+                print(e, file=sys.stderr)
+            return 1
+        print(f"{args.files[0]} == {args.files[1]} (byte-identical)")
+        return 0
+
+    failures = 0
+    for path in args.files:
+        errors = check_file(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["traceEvents"])
+            print(f"{path}: valid ({n} events)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,14 @@ so this tool checks them statically:
          Threads themselves are NOT banned — shared mutable state is;
          EL009+EL010 together replace the old "no threads" reading of
          the determinism invariant.
+  EL011  diagnostics funnel through Tracer::Diag: no printf/fprintf/
+         fputs/puts, no std::cout/cerr/clog, and no bare stdout/stderr
+         anywhere in src/ except src/sim/trace.cc (the funnel itself)
+         and src/workload/sweep.cc (the bench CLI layer, whose tables
+         ARE its output). Simulation code writing to the console
+         directly bypasses the single choke point that keeps output
+         deterministic and redirectable; snprintf (formatting into a
+         buffer) is fine.
 
 Usage:
   escort_lint.py [--root DIR] [--self-test] [-q]
@@ -80,6 +88,11 @@ PAIRING_EXEMPT_COUNTERS = {"cycles"}
 # the sweep thread pool (std::thread behind a pimpl) and the sharded
 # event queue (a thread_local execution context per worker).
 THREADING_ALLOWLIST = ("src/sim/parallel.cc", "src/sim/event_queue.cc")
+
+# EL011: the only files in src/ allowed to write to the console — the
+# diagnostics funnel itself and the bench CLI layer (its tables are the
+# product, not diagnostics).
+DIAG_ALLOWLIST = ("src/sim/trace.cc", "src/workload/sweep.cc")
 
 
 class Violation:
@@ -322,6 +335,30 @@ def check_thread_hygiene(relpath: str, code: str, violations: list) -> None:
             violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL010", why))
 
 
+DIAG_PATTERNS = (
+    # \b keeps snprintf/sprintf (buffer formatting) out of scope.
+    (re.compile(r"\b(?:printf|fprintf|vfprintf|fputs|puts|fputc|putchar|perror)\s*\("),
+     "console I/O call in simulation code; route diagnostics through Tracer::Diag "
+     "(src/sim/trace.h) so output stays deterministic and redirectable"),
+    (re.compile(r"\bstd\s*::\s*(?:cout|cerr|clog)\b"),
+     "iostream console object in simulation code; route diagnostics through "
+     "Tracer::Diag (src/sim/trace.h)"),
+    (re.compile(r"\bstd(?:out|err)\b"),
+     "bare stdout/stderr in simulation code; route diagnostics through "
+     "Tracer::Diag (src/sim/trace.h)"),
+)
+
+
+def check_diagnostics(relpath: str, code: str, violations: list) -> None:
+    """EL011 — console output is confined to the Tracer::Diag funnel."""
+    if not relpath.startswith("src/") or relpath in DIAG_ALLOWLIST:
+        return
+    for pattern, why in DIAG_PATTERNS:
+        for m in pattern.finditer(code):
+            violations.append(Violation(relpath, code[: m.start()].count("\n") + 1,
+                                        "EL011", why))
+
+
 def extract_function_body(code: str, signature_re: str) -> str:
     """Returns the brace-matched body of the first function whose signature
     matches `signature_re`, or '' if not found."""
@@ -435,6 +472,7 @@ def lint_tree(root: str) -> list:
                 check_allocation(relpath, code, violations)
                 check_kernel_only_bookkeeping(relpath, code, violations)
                 check_thread_hygiene(relpath, code, violations)
+                check_diagnostics(relpath, code, violations)
     check_pairing_and_completeness(root, files, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
@@ -465,6 +503,12 @@ SELF_TEST_CASES = [
      "#include <thread>\nvoid Fire() { std::thread t([] {}); t.join(); }\n"),
     ("EL010", "src/sneaky_tls.cc",
      "int Next() {\n  thread_local int last = 0;\n  return ++last;\n}\n"),
+    ("EL011", "src/chatty_printf.cc",
+     "#include <cstdio>\nvoid Report(int n) { printf(\"%d\\n\", n); }\n"),
+    ("EL011", "src/chatty_cout.cc",
+     "#include <iostream>\nvoid Report(int n) { std::cout << n; }\n"),
+    ("EL011", "src/chatty_stderr.cc",
+     "#include <cstdio>\nvoid Warn(const char* m) { fputs(m, stderr); }\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -504,6 +548,16 @@ SELF_TEST_CLEAN = [
     ("src/sim/event_queue.cc",
      "struct ExecContext { int stream = 0; };\n"
      "thread_local ExecContext tls_exec;\n"),
+    # EL011 negative space: the funnel itself may hit stderr, buffer
+    # formatting (snprintf) is allowed everywhere, and identifiers that
+    # merely contain "stdout" must not match.
+    ("src/sim/trace.cc",
+     "#include <cstdio>\n"
+     "void Diag(const char* t) { std::fwrite(t, 1, 1, stderr); std::fflush(stderr); }\n"),
+    ("src/format_ok.cc",
+     "#include <cstdio>\n"
+     "void Format(char* buf) { snprintf(buf, 8, \"%d\", 3); }\n"
+     "void set_echo_to_stdout(bool on);\n"),
 ]
 
 # EL007/EL008 fixture: a counter charged but never released, a tracking

@@ -76,16 +76,34 @@ void ScsiDiskModule::Process(Stage& stage, Message msg, Direction dir) {
                              image_.begin() + static_cast<long>(offset + len));
   Kernel* k = kernel();
   PdId my_pd = pd();
-  k->event_queue()->ScheduleAt(done, [this, k, my_pd, path, stage_ptr, note,
+  // The completion fires after the seek + transfer delay, during which the
+  // path can be killed AND reaped (ReapRetired frees retired paths at the
+  // next demux). Capture value keys — the owner id and stage index — and
+  // revalidate through the manager at each hop (EA001); the old
+  // `path->destroyed()` guard dereferenced freed memory. The manager itself
+  // is cell-lifetime and safe to capture.
+  PathManager* pm = path->manager();
+  uint64_t path_id = path->id();
+  size_t stage_index = static_cast<size_t>(stage.index);
+  k->event_queue()->ScheduleAt(done, [this, k, my_pd, pm, path_id, stage_index, note,
                                       bytes = std::move(bytes)] {
-    if (path->destroyed()) {
-      return;
+    Path* path = pm->FindLive(path_id);
+    if (path == nullptr) {
+      return;  // killed while the disk was seeking
     }
     // Completion interrupt: build the reply and send it down the path,
     // charged to the path.
     Thread* t = path->GrabThread();
-    t->Push(k->costs().fs_read_block_hit, my_pd, [this, k, my_pd, path, stage_ptr, note, bytes] {
-      if (path->destroyed()) {
+    t->Push(k->costs().fs_read_block_hit, my_pd,
+            [this, k, my_pd, pm, path_id, stage_index, note, bytes] {
+      // Revalidate again: the kill can land between the completion
+      // interrupt and this work item's dispatch.
+      Path* path = pm->FindLive(path_id);
+      if (path == nullptr) {
+        return;
+      }
+      Stage* stage = path->stage(stage_index);
+      if (stage == nullptr) {
         return;
       }
       Message reply = Message::Alloc(k, path, my_pd, path->StageDomains(), bytes.size(), 0);
@@ -96,7 +114,7 @@ void ScsiDiskModule::Process(Stage& stage, Message msg, Direction dir) {
       k->Consume(bytes.size() * k->costs().per_byte_touch);
       reply.kind = MsgKind::kFileData;
       reply.note = note;
-      path->ForwardDown(*stage_ptr, std::move(reply));
+      path->ForwardDown(*stage, std::move(reply));
     }, /*yields=*/true);
   });
 }

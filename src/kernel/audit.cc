@@ -65,8 +65,8 @@ void Auditor::CheckConservation(Kernel& kernel) {
 
   // Rule 3: per-owner counters must agree with the kernel-wide registries.
   uint64_t threads = 0, semaphores = 0, events = 0, pages = 0, locks = 0;
-  for (const auto& [owner, label] : kernel.account_labels()) {
-    const ResourceUsage& u = owner->usage();
+  for (const auto& [id, rec] : kernel.account_labels()) {
+    const ResourceUsage& u = rec.owner->usage();
     threads += u.threads;
     semaphores += u.semaphores;
     events += u.events;

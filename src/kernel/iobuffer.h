@@ -39,6 +39,10 @@ class IoBufferManager;
 
 enum class MapPerm : uint8_t { kNone = 0, kRead = 1, kReadWrite = 2 };
 
+// Buffers are reclaimed when the last lock drops (cache eviction) or when
+// an owner dies (ReleaseAllFor during pathKill): deferred closures must
+// capture the buffer id, not the IoBuffer*.
+// ESCORT_KERNEL_LIFETIME
 class IoBuffer {
  public:
   uint64_t id() const { return id_; }

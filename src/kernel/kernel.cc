@@ -87,22 +87,22 @@ ProtectionDomain* Kernel::domain(PdId id) {
 }
 
 void Kernel::RegisterOwner(Owner* owner, const std::string& account_label) {
-  account_labels_[owner] = account_label;
+  account_labels_[owner->id()] = AccountRecord{owner, account_label};
 }
 
 void Kernel::UnregisterOwner(Owner* owner) {
-  auto it = account_labels_.find(owner);
+  auto it = account_labels_.find(owner->id());
   if (it == account_labels_.end()) {
     return;
   }
-  retired_.Charge(it->second, owner->usage().cycles);
+  retired_.Charge(it->second.label, owner->usage().cycles);
   account_labels_.erase(it);
 }
 
 const std::string& Kernel::AccountLabel(const Owner* owner) const {
   static const std::string kUnknown = "unknown";
-  auto it = account_labels_.find(owner);
-  return it == account_labels_.end() ? kUnknown : it->second;
+  auto it = account_labels_.find(owner->id());
+  return it == account_labels_.end() ? kUnknown : it->second.label;
 }
 
 // --- ACL --------------------------------------------------------------------------
@@ -743,8 +743,8 @@ void Kernel::SettleIdle() {
 CycleLedger Kernel::Snapshot() {
   SettleIdle();
   CycleLedger ledger = retired_;
-  for (const auto& [owner, label] : account_labels_) {
-    ledger.Charge(label, owner->usage().cycles);
+  for (const auto& [id, rec] : account_labels_) {
+    ledger.Charge(rec.label, rec.owner->usage().cycles);
   }
   return ledger;
 }
@@ -753,8 +753,8 @@ Cycles Kernel::TotalCharged() { return Snapshot().Total(); }
 
 void Kernel::ResetAccounting() {
   SettleIdle();
-  for (auto& [owner, label] : account_labels_) {
-    const_cast<Owner*>(owner)->usage().cycles = 0;
+  for (auto& [id, rec] : account_labels_) {
+    rec.owner->usage().cycles = 0;
   }
   retired_.Reset();
   start_time_ = eq_->now();

@@ -105,7 +105,16 @@ class Kernel {
   void RegisterOwner(Owner* owner, const std::string& account_label);
   void UnregisterOwner(Owner* owner);
   const std::string& AccountLabel(const Owner* owner) const;
-  const std::map<const Owner*, std::string>& account_labels() const { return account_labels_; }
+
+  // Registered owners, keyed by owner id: iteration follows creation
+  // order, never heap layout, so every consumer (snapshots, audits,
+  // ledger sampling) is deterministic across runs and shard counts
+  // (EA005 — pointer-keyed iteration is the bug class this replaces).
+  struct AccountRecord {
+    Owner* owner = nullptr;
+    std::string label;
+  };
+  const std::map<uint64_t, AccountRecord>& account_labels() const { return account_labels_; }
 
   // --- Devices and console ---------------------------------------------------
   DeviceRegistry& devices() { return devices_; }
@@ -146,6 +155,10 @@ class Kernel {
   Thread* current_thread() { return running_; }
 
   // --- Timer events + softclock ---------------------------------------------
+  // The handler fires from the softclock, long after registration: the
+  // EA001 deferred-capture contract applies to it (no raw kernel-object
+  // pointers; capture a value key and revalidate at fire time).
+  // ESCORT_DEFERRED_API
   KernelEvent* RegisterEvent(Owner* owner, const std::string& name, Cycles delay, Cycles period,
                              Cycles dispatch_cost, PdId pd, KernelEvent::Handler handler);
   void CancelEvent(KernelEvent* ev);
@@ -266,7 +279,7 @@ class Kernel {
   std::unique_ptr<Owner> idle_owner_;
   std::vector<std::unique_ptr<ProtectionDomain>> domains_;
   uint64_t next_owner_id_ = 1;
-  std::map<const Owner*, std::string> account_labels_;
+  std::map<uint64_t, AccountRecord> account_labels_;
   CycleLedger retired_;
 
   std::vector<std::unique_ptr<Thread>> threads_;

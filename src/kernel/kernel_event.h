@@ -22,6 +22,9 @@ namespace escort {
 
 class Kernel;
 
+// Events are cancelled and freed when their owner is destroyed (pathKill
+// walks owner->events()); a KernelEvent* in a deferred closure dangles.
+// ESCORT_KERNEL_LIFETIME
 class KernelEvent {
  public:
   using Handler = std::function<void()>;

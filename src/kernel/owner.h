@@ -66,6 +66,11 @@ struct SchedState {
   Cycles next_deadline = 0;
 };
 
+// Owners (paths, protection domains) are destroyed by pathDestroy/pathKill
+// while deferred work may still reference them: EA001 forbids capturing an
+// Owner* (or any subclass pointer) into deferred closures — capture the
+// owner id and revalidate instead.
+// ESCORT_KERNEL_LIFETIME
 class Owner {
  public:
   Owner(OwnerType type, uint64_t id, std::string name)

@@ -18,6 +18,9 @@ namespace escort {
 
 inline constexpr uint64_t kPageSize = 8192;  // Alpha page size
 
+// Pages are freed en masse on owner destruction (pathKill walks
+// owner->pages()); a Page* in a deferred closure dangles.
+// ESCORT_KERNEL_LIFETIME
 struct Page {
   uint64_t id = 0;
   Owner* owner = nullptr;

@@ -9,6 +9,7 @@ bool ProtectionDomain::HeapAlloc(Owner* for_owner, uint64_t bytes) {
   // Grow the heap by whole pages; the kernel only deals in pages and the
   // pages are charged to this domain.
   while (heap_in_use_ + bytes > heap_reserved_) {
+    // NOLINT-EA003(heap pages are retained on purpose: they stay charged to this domain until teardown releases the whole heap)
     Page* page = kernel_->AllocPage(this);
     if (page == nullptr) {
       return false;

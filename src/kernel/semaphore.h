@@ -19,6 +19,9 @@ namespace escort {
 
 class Kernel;
 
+// Semaphores die with their owner (pathKill walks owner->semaphores());
+// a Semaphore* in a deferred closure dangles.
+// ESCORT_KERNEL_LIFETIME
 class Semaphore {
  public:
   Semaphore(Kernel* kernel, Owner* owner, std::string name, int initial);

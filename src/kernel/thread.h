@@ -45,6 +45,9 @@ struct WorkItem {
 
 enum class ThreadState { kReady, kRunning, kBlocked, kDead };
 
+// Threads are reclaimed when their owner is destroyed (pathKill), so a
+// Thread* must never be captured into a deferred closure (EA001).
+// ESCORT_KERNEL_LIFETIME
 class Thread {
  public:
   Thread(Kernel* kernel, Owner* owner, std::string name);
@@ -60,7 +63,14 @@ class Thread {
   PdId current_pd() const { return current_pd_; }
 
   // Enqueues work. If the thread was idle it becomes runnable.
+  //
+  // The action runs later, when the kernel dispatches the item: the EA001
+  // deferred-capture contract applies (no raw kernel-object pointers in
+  // the closure — the PR 3 retransmit bug was exactly this, a TcpPcb*
+  // captured into a Push closure; capture a value key and revalidate).
+  // ESCORT_DEFERRED_API
   void Push(WorkItem item);
+  // ESCORT_DEFERRED_API
   void Push(Cycles cost, PdId pd, std::function<void()> fn, bool yields = false);
 
   bool HasWork() const { return !queue_.empty(); }

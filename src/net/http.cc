@@ -171,6 +171,7 @@ void HttpServerModule::StartStream(Stage& stage) {
   std::vector<uint8_t> chunk(stream_chunk, 'S');
   kernel()->RegisterEvent(
       path, "stream-gen", period, period, kernel()->costs().http_respond / 4, pd(),
+      // NOLINT-EA001(the KernelEvent is path-owned: UnregisterOwner cancels it at pathKill, so the closure cannot fire after reclaim)
       [this, path, stage_ptr, chunk = std::move(chunk)] {
         if (path->destroyed()) {
           return;

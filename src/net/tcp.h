@@ -74,6 +74,10 @@ struct TcpListener {
   uint64_t conns_established = 0;
 };
 
+// PCBs are stage state: they die with their path (pathKill at any time).
+// The PR 3 retransmit bug captured a TcpPcb* into a deferred closure;
+// capture the ConnKey and revalidate via TcpModule::FindConn instead.
+// ESCORT_KERNEL_LIFETIME
 struct TcpPcb : StageState {
   ConnKey key;
   TcpState state = TcpState::kClosed;

@@ -96,6 +96,7 @@ void Path::DeliverAt(size_t index, Direction dir, Message msg, Cycles extra_cost
   Thread* t = GrabThread();
   Module* module = stage->module;
   t->Push(extra_cost, stage->pd,
+          // NOLINT-EA001(queue is path-owned: pathKill drains the thread pool before reclaim, the closure cannot outlive this path)
           [this, stage, module, msg = std::move(msg), dir]() mutable {
             ++messages_processed;
             module->Process(*stage, std::move(msg), dir);

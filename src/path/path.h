@@ -29,7 +29,11 @@ namespace escort {
 
 class PathManager;
 
-// One module's contribution to a path.
+// One module's contribution to a path. Stages die with their path (they
+// live in Path::stages_), so a Stage* is as dangerous to capture into a
+// deferred closure as the Path* itself — capture the stage index and
+// re-derive through a revalidated path.
+// ESCORT_KERNEL_LIFETIME
 class Stage {
  public:
   Module* module = nullptr;
@@ -45,6 +49,11 @@ class Stage {
   }
 };
 
+// Paths are reclaimed at arbitrary times by pathKill (runaway detection,
+// policy action) and lazily freed at the next demux safe point; a raw
+// Path* in a deferred closure is a use-after-free waiting for an attack
+// burst. Capture path->id() and revalidate via PathManager::FindLive.
+// ESCORT_KERNEL_LIFETIME
 class Path : public Owner {
  public:
   // The four path-end queues (paper Figure 6: Queues[4]).

@@ -22,9 +22,13 @@ PathManager::PathManager(Kernel* kernel, ModuleGraph* graph) : kernel_(kernel), 
 
 PathManager::~PathManager() {
   // Tear down remaining paths without destructors (the kernel is going
-  // away with us).
-  while (!paths_.empty()) {
-    Kill(paths_.begin()->first);
+  // away with us). Iterate a copy of live_list_ — creation order — rather
+  // than paths_, whose Path* keys would impose allocator-dependent
+  // teardown order (EA005: reclamation costs and trace events must not
+  // depend on where the heap put each path).
+  std::vector<Path*> remaining = live_list_;
+  for (Path* path : remaining) {
+    Kill(path);
   }
   ReapRetired();
 }
@@ -83,6 +87,7 @@ Path* PathManager::Create(Module* start, const Attributes& attrs,
   ++created_;
   live_list_.push_back(path);
   paths_[path] = std::move(owned);
+  by_id_[path->id()] = path;
   if (Tracer* t = LifecycleTracer(kernel_)) {
     t->BeginSpan(kernel_->now(), OwnerTrack(path->id(), path->name()),
                  "path:" + account_label, "path",
@@ -158,6 +163,7 @@ Cycles PathManager::ReclaimPath(Path* path) {
   path->kernel_cleanups_.clear();
   Cycles cost = kernel_->DestroyOwner(path, path->DistinctDomainCount());
   live_list_.erase(std::remove(live_list_.begin(), live_list_.end(), path), live_list_.end());
+  by_id_.erase(path->id());
   auto it = paths_.find(path);
   if (it != paths_.end()) {
     retired_.push_back(std::move(it->second));
@@ -167,6 +173,11 @@ Cycles PathManager::ReclaimPath(Path* path) {
 }
 
 void PathManager::ReapRetired() { retired_.clear(); }
+
+Path* PathManager::FindLive(uint64_t owner_id) {
+  auto it = by_id_.find(owner_id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
 
 Path* PathManager::DemuxAndDeliver(Module* start, Message msg, const char** drop_reason) {
   const CostModel& cm = kernel_->costs();

@@ -59,6 +59,12 @@ class PathManager {
   const std::vector<Path*>& live_paths() const { return live_list_; }
   size_t live_count() const { return paths_.size(); }
 
+  // Owner-id lookup, nullptr once the path has been reclaimed (retired
+  // paths are NOT found). This is the revalidation point for deferred
+  // work: closures capture path->id() instead of the Path* (EA001) and
+  // re-resolve here at fire time.
+  Path* FindLive(uint64_t owner_id);
+
   uint64_t created_count() const { return created_; }
   uint64_t destroyed_count() const { return destroyed_; }
   uint64_t killed_count() const { return killed_; }
@@ -77,6 +83,7 @@ class PathManager {
   Thread* interrupt_thread_ = nullptr;
 
   std::map<Path*, std::unique_ptr<Path>> paths_;
+  std::map<uint64_t, Path*> by_id_;  // owner id -> live path (FindLive)
   std::vector<Path*> live_list_;
   std::vector<std::unique_ptr<Path>> retired_;
 

@@ -75,6 +75,7 @@ void CgiModule::StartRunaway(Path* path) {
 
 void CgiModule::PushRunawayChunk(Thread* t, Path* path) {
   t->Push(runaway_chunk, pd(),
+          // NOLINT-EA001(t is the path's own thread: queued chunks are freed with the thread at pathKill, before path is reclaimed)
           [this, t, path] {
             ++chunks_;
             if (!path->destroyed()) {

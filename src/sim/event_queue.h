@@ -121,9 +121,16 @@ class EventQueue {
 
   // Schedules `fn` to run at absolute time `when`. Times in the past are
   // clamped to `now()`. Returns an id usable with Cancel().
+  //
+  // Deferred-capture contract (EA001, tools/analyze/escort_analyzer.py):
+  // `fn` outlives the current event, so it must not capture raw pointers
+  // or references to kernel-lifetime objects (Path, Thread, TcpPcb, ...);
+  // capture a value key and revalidate at fire time instead.
+  // ESCORT_DEFERRED_API
   virtual EventId ScheduleAt(Cycles when, Callback fn);
 
   // Schedules `fn` to run `delay` cycles from now.
+  // ESCORT_DEFERRED_API
   EventId ScheduleAfter(Cycles delay, Callback fn) {
     return ScheduleAt(now() + delay, std::move(fn));
   }
@@ -172,6 +179,7 @@ class EventQueue {
   // that `fn` itself schedules are ordered as that stream's actions. Used
   // by the shared link to hand a frame delivery to the receiving machine's
   // stream. The serial queue ignores the stream.
+  // ESCORT_DEFERRED_API
   virtual EventId ScheduleAtFrom(StreamId exec_stream, Cycles when, Callback fn) {
     (void)exec_stream;
     return ScheduleAt(when, std::move(fn));
@@ -183,7 +191,10 @@ class EventQueue {
   // posting stream at call time; during parallel windows the body is
   // deposited in a mailbox and drained at the next window boundary in
   // deterministic (time, stream, seq) order — identical to the order the
-  // bodies run inline in a serial execution.
+  // bodies run inline in a serial execution. The body runs at a serial
+  // point (EA002 treats it as serial context), but it is still deferred:
+  // the EA001 capture contract applies.
+  // ESCORT_DEFERRED_API
   virtual void PostSequenced(SequencedFn fn) { fn(now()); }
 
   // RAII ambient-stream setter for testbed construction: actors created

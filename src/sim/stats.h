@@ -27,6 +27,7 @@ class RateMeter {
  public:
   RateMeter() = default;
 
+  // ESCORT_SHARD_SAFE
   void Record(Cycles now, uint64_t count = 1) {
     total_.fetch_add(count, std::memory_order_relaxed);
     if (window_open_.load(std::memory_order_relaxed)) {
@@ -42,6 +43,7 @@ class RateMeter {
 
   // Opens the measurement window (call after warm-up, at a serial point:
   // window_start_ is deliberately plain — see DESIGN.md §6.5).
+  // ESCORT_SERIAL_ONLY
   void OpenWindow(Cycles now) {
     window_start_ = now;
     window_count_.store(0, std::memory_order_relaxed);
@@ -49,6 +51,7 @@ class RateMeter {
   }
 
   // Closes the window and returns events/second over it.
+  // ESCORT_SERIAL_ONLY
   double CloseWindow(Cycles now) {
     window_open_.store(false, std::memory_order_relaxed);
     double secs = SecondsFromCycles(now - window_start_);
@@ -81,6 +84,7 @@ class RateMeter {
 // a max), while OpenWindow/Close and the accessors are serial-point-only.
 class ThroughputMeter {
  public:
+  // ESCORT_SHARD_SAFE
   void Record(Cycles now, uint64_t bytes) {
     total_bytes_.fetch_add(bytes, std::memory_order_relaxed);
     if (window_open_.load(std::memory_order_relaxed)) {
@@ -92,12 +96,14 @@ class ThroughputMeter {
     }
   }
 
+  // ESCORT_SERIAL_ONLY
   void OpenWindow(Cycles now) {
     window_start_ = now;
     window_bytes_.store(0, std::memory_order_relaxed);
     window_open_.store(true, std::memory_order_relaxed);
   }
 
+  // ESCORT_SERIAL_ONLY
   double CloseWindowBytesPerSec(Cycles now) {
     window_open_.store(false, std::memory_order_relaxed);
     double secs = SecondsFromCycles(now - window_start_);
@@ -123,8 +129,11 @@ class ThroughputMeter {
 // floating-point-order dependent, so there is no commutative contract to
 // convert to. Every Add() site must run on stream 0 or at a serial point
 // (today: the kernel's runaway/fault handlers and end-of-run harvests).
+// EA002 (tools/analyze/escort_analyzer.py) proves Add() is unreachable
+// from shard-worker call paths.
 class Samples {
  public:
+  // ESCORT_SERIAL_ONLY
   void Add(double v) { values_.push_back(v); }
   size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }

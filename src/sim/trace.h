@@ -91,25 +91,36 @@ class Tracer {
   static std::string Str(const std::string& s);
   static std::string Num(uint64_t v);
 
+  // Emission is serial-point-only (see the determinism contract above):
+  // the event buffer is a single unsynchronized vector, so every emitter
+  // must run on stream 0 or at a ShardedEventQueue serial point. EA002
+  // proves these are unreachable from shard-worker call paths.
+
   // Duration span on `track` (ph "B"). Spans on one track must nest.
+  // ESCORT_SERIAL_ONLY
   void BeginSpan(Cycles ts, const std::string& track, const std::string& name,
                  const char* category, Args args = {});
   // Closes the innermost open span on `track` (ph "E"). Ignored if the
   // track has no open span (e.g. the span began before tracing attached).
+  // ESCORT_SERIAL_ONLY
   void EndSpan(Cycles ts, const std::string& track);
   // Instant event (ph "I").
+  // ESCORT_SERIAL_ONLY
   void Instant(Cycles ts, const std::string& track, const std::string& name,
                const char* category, Args args = {});
   // Counter sample (ph "C"): `series` maps series name -> value.
+  // ESCORT_SERIAL_ONLY
   void Counter(Cycles ts, const std::string& name, Args series);
 
   // Closes every still-open span at `ts` so the output always balances.
+  // ESCORT_SERIAL_ONLY
   void Finalize(Cycles ts);
 
   // --- Flight recorder -------------------------------------------------
   // Serializes the ring (most recent events, oldest first) plus `reason`
   // and writes it to ResolvedFlightPath(). Keeps the dump in memory for
   // tests. Best effort on I/O failure.
+  // ESCORT_SERIAL_ONLY
   void DumpFlight(const std::string& reason, Cycles ts);
   uint64_t flight_dumps() const { return flight_dumps_; }
   const std::string& last_flight_dump() const { return last_flight_dump_; }

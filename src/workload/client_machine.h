@@ -25,6 +25,14 @@ namespace escort {
 
 class ClientMachine;
 
+// Runs on per-client-machine streams, i.e. on shard workers under
+// --shards > 1: methods of this class must not call ESCORT_SERIAL_ONLY
+// APIs (EA002) — only ESCORT_SHARD_SAFE meters and PostSequenced.
+// ESCORT_SHARD_CONTEXT
+// ESCORT_KERNEL_LIFETIME
+// Reclaimed when the connection closes (ClientMachine erases the conns_
+// entry); deferred closures must capture the local port key and look the
+// peer up again at fire time.
 class TcpPeer {
  public:
   struct Callbacks {
@@ -99,6 +107,7 @@ class TcpPeer {
   Callbacks cbs_;
 };
 
+// ESCORT_SHARD_CONTEXT
 class ClientMachine : public NetEndpoint {
  public:
   ClientMachine(EventQueue* eq, SharedLink* link, MacAddr mac, Ip4Addr ip, NetworkModel model,

@@ -154,9 +154,9 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer
 
 // One ledger-family sample: cycle balances per account label (from the
 // kernel snapshot, a sorted map) plus live pages/threads/IOBuffer locks
-// aggregated per label. account_labels() is keyed by pointer, so the
-// aggregation goes through a string-keyed map to keep emission order
-// independent of the address-space layout.
+// aggregated per label. account_labels() iterates in owner-id (creation)
+// order; the aggregation still goes through a string-keyed map so series
+// emission is sorted by label.
 void SampleLedger(Tracer* tracer, Kernel& kernel, Cycles now) {
   CycleLedger snapshot = kernel.Snapshot();
   for (const auto& [label, cycles] : snapshot.totals()) {
@@ -169,9 +169,9 @@ void SampleLedger(Tracer* tracer, Kernel& kernel, Cycles now) {
     uint64_t iobuffer_locks = 0;
   };
   std::map<std::string, Balances> balances;
-  for (const auto& [owner, label] : kernel.account_labels()) {
-    Balances& b = balances[label];
-    const ResourceUsage& u = owner->usage();
+  for (const auto& [id, rec] : kernel.account_labels()) {
+    Balances& b = balances[rec.label];
+    const ResourceUsage& u = rec.owner->usage();
     b.pages += u.pages;
     b.threads += u.threads;
     b.iobuffer_locks += u.iobuffer_locks;
@@ -277,9 +277,9 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
       }
     }
     tracer->Finalize(window_end);
-    // Detach before teardown: ~PathManager kills surviving paths in
-    // pointer order (address-space dependent), which must not reach the
-    // deterministic trace stream.
+    // Detach before teardown: the trace is finalized; teardown-time
+    // pathKill events (for paths surviving the window) are bookkeeping,
+    // not part of the deterministic trace stream.
     if (tb->server != nullptr) {
       tb->server->kernel().set_tracer(nullptr);
     }

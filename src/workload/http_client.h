@@ -17,6 +17,10 @@
 
 namespace escort {
 
+// The workload drivers run on their machine's stream — a shard-worker
+// context under --shards > 1. EA002: no ESCORT_SERIAL_ONLY calls here;
+// completions go through ESCORT_SHARD_SAFE meters only.
+// ESCORT_SHARD_CONTEXT
 class HttpClient {
  public:
   HttpClient(ClientMachine* machine, Ip4Addr server, std::string target);
@@ -54,6 +58,7 @@ class HttpClient {
   Cycles last_completion_ = 0;
 };
 
+// ESCORT_SHARD_CONTEXT
 class CgiAttacker {
  public:
   CgiAttacker(ClientMachine* machine, Ip4Addr server, Cycles period = CyclesFromSeconds(1.0));
@@ -73,6 +78,7 @@ class CgiAttacker {
   uint64_t attacks_ = 0;
 };
 
+// ESCORT_SHARD_CONTEXT
 class SynAttacker {
  public:
   SynAttacker(EventQueue* eq, SharedLink* link, MacAddr mac, Ip4Addr src_ip, Ip4Addr server_ip,
@@ -99,6 +105,7 @@ class SynAttacker {
   uint32_t next_seq_ = 7;
 };
 
+// ESCORT_SHARD_CONTEXT
 class QosReceiver {
  public:
   QosReceiver(ClientMachine* machine, Ip4Addr server);

@@ -47,7 +47,8 @@ class SharedLink {
   // send runs as a sequenced transaction (EventQueue::PostSequenced):
   // inline on a serial queue, deposited and drained in deterministic key
   // order on a sharded one. Either way arbitration order and results are
-  // identical.
+  // identical. Safe to call from any stream (EA002 barrier).
+  // ESCORT_SHARD_SAFE
   void Send(const MacAddr& src, std::vector<uint8_t> frame);
 
   // Lower bound on the wire time of any frame (the 84-byte minimum wire

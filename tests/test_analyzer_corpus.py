@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""ctest wrapper for the escort_analyzer corpus expectations.
+
+Asserts three things, in increasing order of reach:
+  1. the analyzer's own corpus self-test passes (exact rule/line agreement
+     with the `// EXPECT: EA00x` markers, zero spurious findings),
+  2. an independent re-derivation of the corpus expectations from the
+     marker comments matches the findings the analyzer prints, so the
+     self-test harness itself is cross-checked,
+  3. the shipped src/ tree analyzes clean (no unsuppressed findings).
+
+Runs the deterministic fallback engine explicitly so the result does not
+depend on whether libclang happens to be installed.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+ANALYZER = os.path.join(REPO, "tools", "analyze", "escort_analyzer.py")
+CORPUS = os.path.join(REPO, "tools", "analyze", "corpus")
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*((?:EA\d{3}[ \t]*)+)")
+FINDING_RE = re.compile(r"^(.+?):(\d+): (EA\d{3}): ")
+
+
+def run_analyzer(*args):
+    proc = subprocess.run(
+        [sys.executable, ANALYZER, "--engine", "fallback", *args],
+        capture_output=True, text=True, cwd=REPO)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+class AnalyzerCorpusTest(unittest.TestCase):
+    def test_self_test_passes(self):
+        rc, out, err = run_analyzer("--self-test")
+        self.assertEqual(rc, 0, f"self-test failed:\n{out}\n{err}")
+        self.assertIn("PASS", out)
+
+    def test_corpus_findings_match_expect_markers(self):
+        corpus_files = sorted(
+            f for f in os.listdir(CORPUS) if f.endswith(".cc"))
+        self.assertGreaterEqual(len(corpus_files), 6,
+                                "corpus lost files: " + ", ".join(corpus_files))
+        expected = set()
+        for name in corpus_files:
+            with open(os.path.join(CORPUS, name), encoding="utf-8") as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    m = EXPECT_RE.search(line)
+                    if m is not None:
+                        for rule in m.group(1).split():
+                            expected.add((name, lineno, rule))
+        # Every rule must be exercised by at least one corpus expectation.
+        for rule in ("EA001", "EA002", "EA003", "EA004", "EA005"):
+            self.assertIn(rule, {r for _, _, r in expected},
+                          f"corpus no longer covers {rule}")
+
+        rc, out, err = run_analyzer(
+            "--root", CORPUS, "-q",
+            *[os.path.join(CORPUS, n) for n in corpus_files])
+        self.assertEqual(rc, 1, "corpus must produce findings:\n" + out + err)
+        got = set()
+        for line in out.splitlines():
+            m = FINDING_RE.match(line)
+            if m is not None:
+                got.add((os.path.basename(m.group(1)), int(m.group(2)),
+                         m.group(3)))
+        self.assertEqual(
+            expected, got,
+            "marker/finding mismatch:\n  missing: "
+            f"{sorted(expected - got)}\n  spurious: {sorted(got - expected)}")
+
+    def test_clean_corpus_file_is_silent(self):
+        clean = os.path.join(CORPUS, "clean.cc")
+        rc, out, err = run_analyzer("--root", CORPUS, "-q", clean)
+        self.assertEqual(rc, 0,
+                         f"clean.cc produced findings:\n{out}\n{err}")
+
+    def test_src_tree_has_no_unsuppressed_findings(self):
+        rc, out, err = run_analyzer()
+        self.assertEqual(
+            rc, 0,
+            "src/ must analyze clean (suppressions need NOLINT-EA00x with a "
+            f"reason):\n{out}\n{err}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

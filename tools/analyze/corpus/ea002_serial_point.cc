@@ -1,0 +1,91 @@
+// escort_analyzer self-test corpus: EA002 serial-point discipline.
+//
+// Methods of ESCORT_SHARD_CONTEXT classes run on shard-worker streams when
+// --shards > 1; no call path from them may reach an ESCORT_SERIAL_ONLY
+// method. ESCORT_SHARD_SAFE methods are traversal barriers, and the body of
+// a lambda passed to PostSequenced runs at a serial point, so it is excised.
+#include <cstdint>
+#include <functional>
+#include <string>
+
+class SpanTracer {
+ public:
+  // ESCORT_SERIAL_ONLY
+  void Instant(const std::string& name, uint64_t at);
+  // ESCORT_SERIAL_ONLY
+  void Counter(const std::string& name, uint64_t at, double value);
+};
+
+class SampleVec {
+ public:
+  // ESCORT_SERIAL_ONLY
+  void Add(double v);
+};
+
+class WindowMeter {
+ public:
+  // ESCORT_SHARD_SAFE
+  void Record(uint64_t n);
+  // ESCORT_SERIAL_ONLY
+  void OpenWindow(uint64_t at);
+};
+
+class Sequencer {
+ public:
+  // ESCORT_DEFERRED_API
+  void PostSequenced(std::function<void()> fn);
+};
+
+class SimCell {
+ public:
+  SpanTracer* tracer();
+};
+
+// ESCORT_SHARD_CONTEXT
+class ShardClient {
+ public:
+  void DirectViolation(uint64_t now) {
+    tracer_->Instant("client", now);  // EXPECT: EA002
+  }
+
+  void TransitiveViolation(double v) {
+    RecordSample(v);  // EXPECT: EA002
+  }
+
+  void ChainedViolation(uint64_t now) {
+    cell_->tracer()->Counter("load", now, 1.0);  // EXPECT: EA002
+  }
+
+  // Relaxed-commutative meter: shard-safe barrier, no finding.
+  void GoodMeter(uint64_t n) {
+    meter_->Record(n);
+  }
+
+  // The deposit closure runs at a serial point; its body is excised.
+  void GoodDeposit(Sequencer* seq, uint64_t now) {
+    seq->PostSequenced([this, now] { tracer_->Instant("deposited", now); });
+  }
+
+ private:
+  void RecordSample(double v) { samples_->Add(v); }  // EXPECT: EA002
+
+  SpanTracer* tracer_ = nullptr;
+  SampleVec* samples_ = nullptr;
+  WindowMeter* meter_ = nullptr;
+  SimCell* cell_ = nullptr;
+};
+
+// Not shard-context: serial-side code may call serial-only APIs freely.
+class SerialHarness {
+ public:
+  void Fine(uint64_t now) {
+    tracer_->Instant("harness", now);
+    samples_->Add(1.0);
+    meter_->OpenWindow(now);
+  }
+
+ private:
+  SpanTracer* tracer_ = nullptr;
+  SampleVec* samples_ = nullptr;
+  WindowMeter* meter_ = nullptr;
+};

@@ -1,0 +1,43 @@
+// escort_analyzer self-test corpus: EA004 atomic memory-order contract.
+//
+// Outside the sharded-queue internals, atomics exist only for
+// relaxed-commutative meters; defaulted (seq_cst) operations, operator
+// forms, and acquire/release orders are contract violations.
+#include <atomic>
+#include <cstdint>
+
+class CommutativeMeter {
+ public:
+  void GoodRecord(uint64_t n) {
+    ops_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t GoodPeek() const {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+  void DefaultedAdd(uint64_t n) {
+    bytes_.fetch_add(n);  // EXPECT: EA004
+  }
+
+  uint64_t AcquireLoad() const {
+    return ops_.load(std::memory_order_acquire);  // EXPECT: EA004
+  }
+
+  void OperatorIncrement() {
+    ops_++;  // EXPECT: EA004
+  }
+
+  void OperatorCompound(uint64_t n) {
+    bytes_ -= n;  // EXPECT: EA004
+  }
+
+  void SuppressedWithReason() {
+    done_.store(true, std::memory_order_release);  // NOLINT-EA004(fixture models the documented drain handshake)
+  }
+
+ private:
+  std::atomic<uint64_t> ops_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<bool> done_{false};
+};

@@ -1,0 +1,78 @@
+// escort_analyzer self-test corpus: EA005 determinism.
+//
+// Iteration order over pointer-keyed or unordered containers follows the
+// allocator/hash, not the program; float accumulation inside per-shard
+// loops makes the rounding depend on the shard count. Both break the
+// bit-identical-at-any-shard-count guarantee.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+class FlowState {
+ public:
+  uint64_t id() const;
+};
+
+class FlowRegistry {
+ public:
+  void IterateByAddress() {
+    for (const auto& entry : flows_) {  // EXPECT: EA005
+      Use(entry.first);
+    }
+  }
+
+  void DrainByAddress() {
+    while (!flows_.empty()) {
+      Retire(flows_.begin()->first);  // EXPECT: EA005
+    }
+  }
+
+  void IterateByHash() {
+    for (const auto& entry : cache_) {  // EXPECT: EA005
+      Touch(entry.second);
+    }
+  }
+
+  // Id-keyed map: creation-order deterministic, clean.
+  void GoodIterateById() {
+    for (const auto& entry : by_id_) {
+      Touch(entry.second->id());
+    }
+  }
+
+  double ShardFloatAccumulate(int shards) {
+    double total = 0.0;
+    for (int shard = 0; shard < shards; ++shard) {
+      total += weights_[shard];  // EXPECT: EA005
+    }
+    return total;
+  }
+
+  // Integer accumulation commutes exactly: clean.
+  uint64_t GoodShardIntAccumulate(int shards) {
+    uint64_t total = 0;
+    for (int shard = 0; shard < shards; ++shard) {
+      total += counts_[shard];
+    }
+    return total;
+  }
+
+  void SuppressedWithReason() {
+    for (const auto& entry : flows_) {  // NOLINT-EA005(diagnostic dump only; output never feeds simulation state)
+      Use(entry.first);
+    }
+  }
+
+ private:
+  void Use(const FlowState* flow);
+  void Touch(uint64_t v);
+  void Retire(const FlowState* flow);
+
+  std::map<const FlowState*, uint64_t> flows_;
+  std::unordered_map<std::string, uint64_t> cache_;
+  std::map<uint64_t, FlowState*> by_id_;
+  std::vector<double> weights_;
+  std::vector<uint64_t> counts_;
+};

@@ -1,0 +1,1411 @@
+#!/usr/bin/env python3
+"""escort_analyzer: AST-level contract checking for the Escort tree.
+
+escort_lint (EL001-EL011) enforces token-level invariants; this tool checks
+the contracts that need *structure* — scopes, capture lists, call graphs,
+control flow. Contracts are declared in the source with marker comments on
+the line(s) directly above a declaration:
+
+  // ESCORT_KERNEL_LIFETIME   class/struct whose instances are reclaimed by
+                              pathKill/owner teardown at arbitrary times; raw
+                              pointers to them must not be captured into
+                              deferred closures.
+  // ESCORT_DEFERRED_API      function whose callable argument runs after the
+                              current event (ScheduleAt, Thread::Push, ...).
+  // ESCORT_SERIAL_ONLY       method that must only execute on stream 0 or at
+                              a ShardedEventQueue serial point (unsynchronized
+                              trace buffer, sample vectors, window toggles).
+  // ESCORT_SHARD_SAFE        method that is safe from any stream (relaxed
+                              commutative meters, PostSequenced deposit); an
+                              EA002 traversal barrier.
+  // ESCORT_SHARD_CONTEXT     class whose methods run on per-client-machine
+                              streams, i.e. on shard workers when --shards>1.
+
+Rules (continuing escort_lint's ELxxx numbering in a new EAxxx series):
+
+  EA001  deferred-capture safety: a lambda literal passed to an
+         ESCORT_DEFERRED_API must not capture `this` of a kernel-lifetime
+         class, a pointer/reference to a kernel-lifetime object, or use a
+         capture-default ([=] / [&]). Capture a value key (ConnKey, owner
+         id, stage index) and revalidate at fire time — the PR 3 TCP
+         retransmit bug and the SCSI completion bug were both this.
+  EA002  serial-point discipline: no call path from a method of an
+         ESCORT_SHARD_CONTEXT class may reach an ESCORT_SERIAL_ONLY method.
+         ESCORT_SHARD_SAFE methods are barriers; the body of a lambda passed
+         to PostSequenced runs at a serial point and is excised from the
+         shard-context traversal.
+  EA003  charge/release flow pairing: a resource handle acquired from
+         AllocPage / AllocIoBuffer / LockIoBuffer must, on every exit path
+         of the acquiring function, be released (FreePage / UnlockIoBuffer),
+         transferred (passed to a call, stored into a field or container,
+         returned), or provably null.
+  EA004  atomic memory-order contract: outside the sharded-queue internals
+         (src/sim/parallel.cc, src/sim/event_queue.cc and their headers),
+         every atomic operation must spell out std::memory_order_relaxed —
+         the documented commutative-meter pattern. Defaulted (seq_cst) and
+         acquire/release orders are flagged.
+  EA005  determinism: no iteration over pointer-keyed std::map/std::set
+         (or any unordered container), and no float accumulation inside
+         per-shard loops (sum order would vary with the shard count).
+
+Suppression: `// NOLINT-EA00x(reason)` on the flagged line, or alone on the
+line above, suppresses that rule there. The reason is mandatory; an empty
+reason is itself reported (EA000).
+
+Engines: with a working libclang (clang.cindex importable and the C API
+library loadable) type facts come from the real AST; otherwise a pure-Python
+C++ micro-parser supplies them. Either way the rule logic is identical and
+the tool prints which engine ran — the fallback is a first-class, fully
+self-tested engine, not a degraded mode, so CI gates on it deterministically.
+
+Usage:
+  escort_analyzer.py -p BUILD_DIR            # compile_commands.json driven
+  escort_analyzer.py --self-test             # corpus expectations
+  escort_analyzer.py --report-serial -p DIR  # EA002 reachability proof
+
+Exit status: 0 clean (or self-test passed), 1 findings, 2 usage/setup error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+RULES = ("EA001", "EA002", "EA003", "EA004", "EA005")
+
+MARKERS = (
+    "ESCORT_KERNEL_LIFETIME",
+    "ESCORT_DEFERRED_API",
+    "ESCORT_SERIAL_ONLY",
+    "ESCORT_SHARD_SAFE",
+    "ESCORT_SHARD_CONTEXT",
+)
+
+# EA004: the queue/pool internals legitimately use acquire/release fences.
+ATOMIC_ALLOWLIST = (
+    "src/sim/parallel.cc",
+    "src/sim/parallel.h",
+    "src/sim/event_queue.cc",
+    "src/sim/event_queue.h",
+)
+
+# EA003 acquire -> (handle source, releases). "Transfer" covers
+# PageAllocator::Transfer; any other escape is recognized structurally.
+CHARGE_PAIRS = {
+    "AllocPage": ("FreePage", "Transfer"),
+    "AllocIoBuffer": ("UnlockIoBuffer",),
+    "LockIoBuffer": ("UnlockIoBuffer",),
+}
+
+CONTROL_KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "return", "break",
+    "continue", "goto", "sizeof", "new", "delete", "throw", "catch", "try",
+    "static_assert", "alignas", "alignof", "decltype", "using", "typedef",
+    "namespace", "template", "typename", "public", "private", "protected",
+    "friend", "class", "struct", "enum", "union", "operator", "default",
+}
+
+TYPE_NOT_KEYWORDS = CONTROL_KEYWORDS | {"const", "constexpr", "mutable",
+                                        "static", "inline", "virtual",
+                                        "explicit", "volatile", "register"}
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.suppressed = False
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                prev = out[-1] if out else ""
+                if prev.isalnum() or prev == "_":
+                    out.append(" ")  # digit separator (50'000)
+                    i += 1
+                    continue
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            out.append(c if c == "\n" else " ")
+            if c == "\n":
+                state = "code"
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        else:  # string | char
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else "\n")
+        i += 1
+    return "".join(out)
+
+
+def match_brace(code: str, open_idx: int, open_ch: str = "{", close_ch: str = "}") -> int:
+    """Index of the brace closing code[open_idx], or -1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        c = code[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return -1
+
+
+def line_of(code: str, offset: int) -> int:
+    return code.count("\n", 0, offset) + 1
+
+
+# ---------------------------------------------------------------------------
+# Model: what the rules consume. Both engines fill these structures.
+# ---------------------------------------------------------------------------
+
+class ClassInfo:
+    def __init__(self, name, path, line):
+        self.name = name
+        self.path = path
+        self.line = line
+        self.bases = []          # base class names
+        self.members = {}        # var name -> (type, ptrness)
+        self.methods = set()     # method names declared in the class body
+        self.span = (0, 0)       # offset span of the body in the file
+
+
+class FuncDef:
+    def __init__(self, path, cls, name, line):
+        self.path = path
+        self.cls = cls           # enclosing/qualifying class name or None
+        self.name = name
+        self.line = line
+        self.params = {}         # name -> (type, ptrness)
+        self.locals = []         # (offset_in_body, name, type, ptrness)
+        self.body = ""           # masked body text (between braces)
+        self.body_off = 0        # file offset of the opening brace + 1
+
+    @property
+    def key(self):
+        return (self.cls or "", self.name)
+
+
+class Model:
+    def __init__(self):
+        self.files = {}              # relpath -> (raw, masked)
+        self.classes = {}            # name -> ClassInfo
+        self.functions = []          # FuncDef, definition order
+        self.kernel_lifetime = set()     # class names
+        self.shard_context = set()       # class names
+        self.serial_only = set()         # (class, method)
+        self.shard_safe = set()          # (class, method)
+        self.deferred_apis = set()       # method names
+        self.nolint = {}             # (relpath, line) -> set of rules
+        self.findings = []
+
+    def add(self, path, line, rule, message):
+        self.findings.append(Finding(path, line, rule, message))
+
+    def func_at(self, path, offset):
+        """Innermost function definition containing a file offset."""
+        best = None
+        for f in self.functions:
+            if f.path != path:
+                continue
+            if f.body_off <= offset < f.body_off + len(f.body):
+                if best is None or f.body_off > best.body_off:
+                    best = f
+        return best
+
+    def class_of(self, name):
+        return self.classes.get(name)
+
+    def is_kernel_lifetime(self, type_name):
+        """Transitive through known bases (Path : Owner)."""
+        seen = set()
+        stack = [type_name]
+        while stack:
+            t = stack.pop()
+            if t in seen:
+                continue
+            seen.add(t)
+            if t in self.kernel_lifetime:
+                return True
+            ci = self.classes.get(t)
+            if ci is not None:
+                stack.extend(ci.bases)
+        return False
+
+    def in_serial_only(self, cls, method):
+        """(cls, method) with base-class lookup."""
+        seen = set()
+        stack = [cls]
+        while stack:
+            c = stack.pop()
+            if c in seen:
+                continue
+            seen.add(c)
+            if (c, method) in self.serial_only:
+                return c
+            ci = self.classes.get(c)
+            if ci is not None:
+                stack.extend(ci.bases)
+        return None
+
+    def in_shard_safe(self, cls, method):
+        seen = set()
+        stack = [cls]
+        while stack:
+            c = stack.pop()
+            if c in seen:
+                continue
+            seen.add(c)
+            if (c, method) in self.shard_safe:
+                return True
+            ci = self.classes.get(c)
+            if ci is not None:
+                stack.extend(ci.bases)
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Text engine: the pure-Python C++ micro-parser.
+# ---------------------------------------------------------------------------
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(:\s*[^{;]+)?\{")
+
+MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+|static\s+|const\s+|constexpr\s+)*"
+    r"((?:std::)?[A-Za-z_][\w:]*(?:<[^;]*>)?)\s*([*&]*)\s*"
+    r"([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;")
+
+FUNC_RE = re.compile(
+    r"(?:^|[;{}\n])[ \t]*(?:template\s*<[^>]*>\s*)?"
+    r"(?:inline\s+|static\s+|virtual\s+|constexpr\s+|explicit\s+)*"
+    r"(?:[A-Za-z_][\w:<>,*&\s]*?[\s*&])??"
+    r"((?:[A-Za-z_]\w*::)*)([A-Za-z_~]\w*)\s*\(([^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)\s*"
+    r"(?:const\s*)?(?:noexcept\s*)?(?:override\s*)?(?:final\s*)?(?::[^{;]*?)?\{",
+    re.S)
+
+PARAM_RE = re.compile(
+    r"((?:const\s+)?(?:std::)?[A-Za-z_][\w:]*(?:<[^<>]*(?:<[^<>]*>[^<>]*)*>)?)"
+    r"\s*((?:\s*(?:const|[*&]))*)\s*([A-Za-z_]\w*)\s*(?:=[^,]*)?$")
+
+LOCAL_RE = re.compile(
+    r"^\s*(?:const\s+|constexpr\s+|static\s+)*"
+    r"((?:std::)?[A-Za-z_][\w:]*(?:<[^;=]*>)?)\s*([*&]*)\s*"
+    r"([A-Za-z_]\w*)\s*(?:=[^;]*|\{[^;]*\})?;")
+
+COND_DECL_RE = re.compile(
+    r"\b(?:if|while|for)\s*\(\s*((?:std::)?[A-Za-z_][\w:]*)\s*([*&])\s*"
+    r"([A-Za-z_]\w*)\s*[=:]")
+
+
+def normalize_type(t: str) -> str:
+    t = t.strip()
+    for prefix in ("const ", "std::"):
+        if t.startswith(prefix):
+            t = t[len(prefix):]
+    return t.split("<")[0].strip()
+
+
+def parse_params(args_text: str):
+    """name -> (type, ptrness) from a signature's argument text."""
+    params = {}
+    depth = 0
+    arg = ""
+    parts = []
+    for c in args_text:
+        if c in "<(":
+            depth += 1
+        elif c in ">)":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append(arg)
+            arg = ""
+        else:
+            arg += c
+    if arg.strip():
+        parts.append(arg)
+    for part in parts:
+        m = PARAM_RE.match(part.strip())
+        if m is None:
+            continue
+        typ, ptr, name = m.groups()
+        base = normalize_type(typ)
+        if base in TYPE_NOT_KEYWORDS:
+            continue
+        params[name] = (base, "*" in (ptr or "") or "&" in (ptr or ""))
+    return params
+
+
+class TextEngine:
+    """Builds the Model from masked source text alone."""
+
+    name = "fallback"
+
+    def build(self, model: Model):
+        for path, (raw, code) in sorted(model.files.items()):
+            self._scan_annotations(model, path, raw, code)
+        for path, (raw, code) in sorted(model.files.items()):
+            self._scan_classes(model, path, code)
+        for path, (raw, code) in sorted(model.files.items()):
+            self._scan_functions(model, path, code)
+        self._attach_annotations(model)
+
+    # -- annotations --------------------------------------------------------
+    def _scan_annotations(self, model, path, raw, code):
+        lines = raw.split("\n")
+        pending = []  # markers awaiting their declaration
+        for idx, line in enumerate(lines):
+            lineno = idx + 1
+            nol = re.search(r"//\s*NOLINT-(EA\d{3})\s*\(([^)]*)\)", line)
+            if nol is not None:
+                rule, reason = nol.group(1), nol.group(2).strip()
+                if not reason:
+                    model.add(path, lineno, "EA000",
+                              f"NOLINT-{rule} without a reason — say why")
+                stripped = line.strip()
+                target = lineno + 1 if stripped.startswith("//") else lineno
+                model.nolint.setdefault((path, target), set()).add(rule)
+                model.nolint.setdefault((path, lineno), set()).add(rule)
+            for marker in MARKERS:
+                if re.search(r"//.*\b" + marker + r"\b", line):
+                    pending.append((marker, lineno))
+            if pending and not line.strip().startswith("//") \
+                    and not re.search(r"//.*\bESCORT_\w+", line):
+                stripped_code = code.split("\n")[idx].strip()
+                if stripped_code:
+                    self._bind_annotation(model, path, code, idx, pending)
+                    pending = []
+
+    def _bind_annotation(self, model, path, code, line_idx, pending):
+        """Attach pending markers to the declaration starting at line_idx."""
+        lines = code.split("\n")
+        decl = lines[line_idx]
+        # Gather continuation lines until we see { ; or ( — enough to name it.
+        probe = decl
+        j = line_idx
+        while "(" not in probe and "{" not in probe and ";" not in probe \
+                and j + 1 < len(lines) and j - line_idx < 4:
+            j += 1
+            probe += " " + lines[j]
+        cm = re.search(r"\b(?:class|struct)\s+([A-Za-z_]\w*)", probe)
+        fm = re.search(r"\b([A-Za-z_~]\w*)\s*\(", probe)
+        for marker, _ in pending:
+            if marker in ("ESCORT_KERNEL_LIFETIME", "ESCORT_SHARD_CONTEXT"):
+                if cm is not None:
+                    target = model.kernel_lifetime \
+                        if marker == "ESCORT_KERNEL_LIFETIME" else model.shard_context
+                    target.add(cm.group(1))
+            elif marker == "ESCORT_DEFERRED_API":
+                if fm is not None:
+                    model.deferred_apis.add(fm.group(1))
+            else:  # SERIAL_ONLY / SHARD_SAFE — method; class resolved later
+                if fm is not None:
+                    key = ("?", fm.group(1), path, line_idx + 1)
+                    target = model.serial_only \
+                        if marker == "ESCORT_SERIAL_ONLY" else model.shard_safe
+                    target.add(key)
+
+    def _attach_annotations(self, model):
+        """Resolve ('?', method, path, line) entries to their enclosing class."""
+        for attr in ("serial_only", "shard_safe"):
+            resolved = set()
+            for entry in getattr(model, attr):
+                if len(entry) == 2:
+                    resolved.add(entry)
+                    continue
+                _, method, path, lineno = entry
+                cls = self._class_at_line(model, path, lineno)
+                resolved.add((cls or "", method))
+            setattr(model, attr, resolved)
+
+    def _class_at_line(self, model, path, lineno):
+        raw, code = model.files[path]
+        offset = 0
+        for _ in range(lineno - 1):
+            offset = code.find("\n", offset) + 1
+        best = None
+        for ci in model.classes.values():
+            if ci.path != path:
+                continue
+            lo, hi = ci.span
+            if lo <= offset <= hi:
+                if best is None or lo > best.span[0]:
+                    best = ci
+        return best.name if best else None
+
+    # -- classes ------------------------------------------------------------
+    def _scan_classes(self, model, path, code):
+        for m in CLASS_RE.finditer(code):
+            name = m.group(1)
+            brace = code.index("{", m.start())
+            close = match_brace(code, brace)
+            if close < 0:
+                continue
+            ci = model.classes.get(name)
+            if ci is None:
+                ci = ClassInfo(name, path, line_of(code, m.start()))
+                model.classes[name] = ci
+            ci.span = (brace, close)
+            bases = m.group(2)
+            if bases:
+                for b in bases.lstrip(":").split(","):
+                    b = b.strip()
+                    b = re.sub(r"^(public|private|protected|virtual)\s+", "", b)
+                    b = b.split("<")[0].strip().split("::")[-1]
+                    if b:
+                        ci.bases.append(b)
+            body = code[brace + 1:close]
+            # Only depth-0 statements of the class body (skip nested bodies).
+            ci_depth = 0
+            stmt = ""
+
+            def flush(stmt, with_member):
+                stmt = re.sub(r"^\s*(?:public|private|protected)\s*:", "",
+                              stmt).strip()
+                if not stmt:
+                    return
+                if with_member:
+                    mm = MEMBER_RE.match(stmt)
+                    if mm is not None:
+                        typ = normalize_type(mm.group(1))
+                        if typ not in TYPE_NOT_KEYWORDS:
+                            ci.members[mm.group(3)] = (typ, bool(mm.group(2)))
+                fm = re.search(r"\b([A-Za-z_~]\w*)\s*\(", stmt)
+                if fm is not None:
+                    ci.methods.add(fm.group(1))
+
+            for c in body:
+                if c == "{":
+                    if ci_depth == 0:
+                        flush(stmt, False)  # inline method signature
+                        stmt = ""
+                    ci_depth += 1
+                    continue
+                if c == "}":
+                    ci_depth -= 1
+                    stmt = ""
+                    continue
+                if ci_depth == 0:
+                    stmt += c
+                    if c == ";":
+                        flush(stmt, True)
+                        stmt = ""
+
+    # -- functions ----------------------------------------------------------
+    def _scan_functions(self, model, path, code):
+        for m in FUNC_RE.finditer(code):
+            qual, name, args = m.group(1), m.group(2), m.group(3)
+            if name in CONTROL_KEYWORDS:
+                continue
+            brace = m.end() - 1
+            close = match_brace(code, brace)
+            if close < 0:
+                continue
+            cls = qual.rstrip(":").split("::")[-1] if qual else None
+            if cls is None:
+                # Inline method? attach the innermost class whose span covers us.
+                for ci in model.classes.values():
+                    if ci.path != path:
+                        continue
+                    lo, hi = ci.span
+                    if lo < m.start() < hi:
+                        if cls is None or lo > model.classes[cls].span[0]:
+                            cls = ci.name
+            f = FuncDef(path, cls, name, line_of(code, m.start(2)))
+            f.params = parse_params(args)
+            f.body = code[brace + 1:close]
+            f.body_off = brace + 1
+            self._scan_locals(f)
+            model.functions.append(f)
+            if cls is not None and cls in model.classes:
+                model.classes[cls].methods.add(name)
+
+    def _scan_locals(self, f):
+        offset = 0
+        for stmt_line in f.body.split("\n"):
+            m = LOCAL_RE.match(stmt_line)
+            if m is not None:
+                typ = normalize_type(m.group(1))
+                if typ not in TYPE_NOT_KEYWORDS:
+                    f.locals.append((offset, m.group(3), typ, bool(m.group(2))))
+            for cm in COND_DECL_RE.finditer(stmt_line):
+                typ = normalize_type(cm.group(1))
+                if typ not in TYPE_NOT_KEYWORDS:
+                    f.locals.append((offset, cm.group(3), typ, True))
+            offset += len(stmt_line) + 1
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang engine: replaces the regex type facts with AST facts.
+# ---------------------------------------------------------------------------
+
+class ClangEngine(TextEngine):
+    """TextEngine whose type resolution is refined by clang.cindex.
+
+    The structural scan (annotations, call sites, lambdas, control flow) is
+    shared with the text engine; what libclang contributes is authoritative
+    declared types for parameters, locals and fields, plus the class
+    hierarchy — exactly the facts the regex parser approximates.
+    """
+
+    name = "libclang"
+
+    def __init__(self, compile_commands):
+        self.compile_commands = compile_commands
+        import clang.cindex as cindex  # raises ImportError when absent
+        self.cindex = cindex
+        self.index = cindex.Index.create()  # raises if the C API is missing
+
+    def build(self, model: Model):
+        super().build(model)
+        try:
+            self._refine_types(model)
+        except Exception as e:  # pragma: no cover - depends on local clang
+            sys.stderr.write(
+                f"escort-analyzer: NOTICE: libclang refinement failed ({e}); "
+                "continuing with text-engine facts\n")
+
+    def _refine_types(self, model):  # pragma: no cover - needs libclang
+        ck = self.cindex.CursorKind
+        by_file = {}
+        for entry in self.compile_commands:
+            fn = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+            args = [a for a in entry.get("arguments", entry.get("command", "").split())
+                    if a not in ("-c", "-o")][1:]
+            args = [a for a in args if not a.endswith((".cc", ".o"))]
+            tu = self.index.parse(fn, args=args)
+            for cur in tu.cursor.walk_preorder():
+                if cur.location.file is None:
+                    continue
+                f = os.path.relpath(str(cur.location.file), os.getcwd())
+                if f not in model.files:
+                    continue
+                if cur.kind in (ck.VAR_DECL, ck.PARM_DECL, ck.FIELD_DECL):
+                    t = cur.type.spelling
+                    base = normalize_type(t.replace("*", "").replace("&", ""))
+                    ptr = "*" in t or "&" in t
+                    by_file.setdefault(f, {})[cur.spelling] = (base, ptr)
+                elif cur.kind == ck.CXX_BASE_SPECIFIER:
+                    parent = cur.semantic_parent
+                    if parent is not None and parent.spelling in model.classes:
+                        b = normalize_type(cur.type.spelling).split("::")[-1]
+                        if b not in model.classes[parent.spelling].bases:
+                            model.classes[parent.spelling].bases.append(b)
+        # AST facts override regex guesses wherever they disagree.
+        for f in model.functions:
+            table = by_file.get(f.path)
+            if not table:
+                continue
+            for name, fact in table.items():
+                if name in f.params:
+                    f.params[name] = fact
+            f.locals = [(off, n, *(table.get(n, (t, p)))) for off, n, t, p in f.locals]
+
+
+# ---------------------------------------------------------------------------
+# Scope resolution shared by the rules.
+# ---------------------------------------------------------------------------
+
+def resolve_var(model, func, name, at_offset=None):
+    """(type, is_ptr) for `name` visible in `func` at body offset, or None."""
+    if func is None:
+        return None
+    best = None
+    for off, n, typ, ptr in func.locals:
+        if n != name:
+            continue
+        if at_offset is not None and off > at_offset:
+            continue
+        if best is None or off >= best[0]:
+            best = (off, typ, ptr)
+    if best is not None:
+        return (best[1], best[2])
+    if name in func.params:
+        return func.params[name]
+    cls = func.cls
+    seen = set()
+    while cls and cls not in seen:
+        seen.add(cls)
+        ci = model.classes.get(cls)
+        if ci is None:
+            break
+        if name in ci.members:
+            return ci.members[name]
+        cls = ci.bases[0] if ci.bases else None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# EA001: deferred-capture safety.
+# ---------------------------------------------------------------------------
+
+def split_top_level(text, sep=","):
+    parts, depth, cur, prev = [], 0, "", ""
+    for c in text:
+        if c in "([{<":
+            depth += 1
+        elif c == ">" and prev == "-":
+            pass  # `->` is not a closing angle bracket
+        elif c in ")]}>":
+            depth -= 1
+        prev = c
+        if c == sep and depth == 0:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += c
+    parts.append(cur)
+    return parts
+
+
+def find_lambdas_in_args(code, open_paren):
+    """Offsets of '[' starting lambda literals that are arguments of the
+    call whose '(' is at open_paren. Nested calls' own lambdas are found by
+    their own call-site scan, but a lambda inside *this* argument list at
+    any paren depth still belongs to a callable being built for this call,
+    so every argument-position '[' in the span is returned."""
+    close = match_brace(code, open_paren, "(", ")")
+    if close < 0:
+        return []
+    out = []
+    i = open_paren + 1
+    while i < close:
+        c = code[i]
+        if c == "[":
+            j = i - 1
+            while j > open_paren and code[j].isspace():
+                j -= 1
+            if code[j] in "(,":
+                out.append(i)
+            # skip the capture list either way (avoid [] inside it)
+            end = match_brace(code, i, "[", "]")
+            i = (end if end > 0 else i) + 1
+            continue
+        i += 1
+    return out
+
+
+def check_ea001(model):
+    if not model.deferred_apis:
+        return
+    call_re = re.compile(
+        r"\b(" + "|".join(sorted(model.deferred_apis)) + r")\s*\(")
+    for path, (raw, code) in sorted(model.files.items()):
+        for cm in call_re.finditer(code):
+            api = cm.group(1)
+            open_paren = cm.end() - 1
+            for lb in find_lambdas_in_args(code, open_paren):
+                rb = match_brace(code, lb, "[", "]")
+                if rb < 0:
+                    continue
+                caps = code[lb + 1:rb]
+                lineno = line_of(code, lb)
+                func = model.func_at(path, lb)
+                for cap in split_top_level(caps):
+                    cap = cap.strip()
+                    if not cap:
+                        continue
+                    bad = classify_capture(model, func, cap, lb)
+                    if bad is not None:
+                        model.add(path, lineno, "EA001",
+                                  f"deferred closure passed to {api}() {bad}; "
+                                  "capture a value key (owner id / ConnKey / "
+                                  "index) and revalidate at fire time")
+
+
+def classify_capture(model, func, cap, at_offset):
+    """Reason string if the capture violates EA001, else None."""
+    if cap in ("=", "&"):
+        return f"uses capture-default [{cap}] (explicit captures required)"
+    if cap in ("this", "*this"):
+        cls = func.cls if func is not None else None
+        if cls is not None and model.is_kernel_lifetime(cls):
+            return f"captures `this` of kernel-lifetime class {cls}"
+        return None
+    m = re.match(r"^&\s*([A-Za-z_]\w*)$", cap)
+    if m is not None:
+        name = m.group(1)
+        fact = resolve_var(model, func, name,
+                           at_offset - (func.body_off if func else 0))
+        if fact is not None and model.is_kernel_lifetime(fact[0]):
+            return f"captures `&{name}` referencing kernel-lifetime {fact[0]}"
+        return None
+    m = re.match(r"^([A-Za-z_]\w*)\s*=\s*(.+)$", cap, re.S)
+    if m is not None:
+        init = m.group(2).strip()
+        im = re.match(r"^(?:std::move\(\s*)?([A-Za-z_]\w*)\s*\)?$", init)
+        if im is None:
+            return None  # computed initializer (ids, keys) — fine
+        name = im.group(1)
+    else:
+        if not re.match(r"^[A-Za-z_]\w*$", cap):
+            return None
+        name = cap
+    fact = resolve_var(model, func, name,
+                       at_offset - (func.body_off if func else 0))
+    if fact is not None and fact[1] and model.is_kernel_lifetime(fact[0]):
+        return f"captures raw `{fact[0]}*` `{name}`"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# EA002: serial-point discipline.
+# ---------------------------------------------------------------------------
+
+CALL_SITE_RE = re.compile(
+    r"(?:\b([A-Za-z_]\w*)\s*(->|\.)\s*)?([A-Za-z_]\w*)\s*\(")
+
+
+def excise_postsequenced(code, body, body_off):
+    """Blank the argument span of PostSequenced( calls inside `body` —
+    those lambdas run at a serial point, not in shard context."""
+    out = body
+    for m in re.finditer(r"\bPostSequenced\s*\(", body):
+        op = m.end() - 1
+        close = match_brace(body, op, "(", ")")
+        if close > 0:
+            out = out[:op + 1] + re.sub(r"\S", " ", out[op + 1:close]) + out[close:]
+    return out
+
+
+def body_calls(model, func):
+    """Yield (line, receiver_cls_or_None, method) for calls in func's body."""
+    raw, code = model.files[func.path]
+    body = excise_postsequenced(code, func.body, func.body_off)
+    for m in CALL_SITE_RE.finditer(body):
+        recv, _, method = m.group(1), m.group(2), m.group(3)
+        if method in CONTROL_KEYWORDS or method in TYPE_NOT_KEYWORDS:
+            continue
+        lineno = line_of(code, func.body_off + m.start())
+        recv_cls = None
+        if m.group(2) is not None and recv is not None:
+            fact = resolve_var(model, func, recv, m.start())
+            if fact is not None:
+                recv_cls = fact[0]
+        elif m.group(2) is None:
+            # Unqualified: a method of the enclosing class (or its bases)?
+            cls = func.cls
+            seen = set()
+            while cls and cls not in seen:
+                seen.add(cls)
+                ci = model.classes.get(cls)
+                if ci is None:
+                    break
+                if method in ci.methods:
+                    recv_cls = cls
+                    break
+                cls = ci.bases[0] if ci.bases else None
+        yield (lineno, recv_cls, method, recv_cls is None)
+
+
+def serial_only_unique_names(model):
+    """Serial-only method names that no other indexed class declares —
+    safe to match even when the receiver's type cannot be resolved."""
+    names = {}
+    for ci in model.classes.values():
+        for meth in ci.methods:
+            names.setdefault(meth, set()).add(ci.name)
+    unique = set()
+    for cls, meth in model.serial_only:
+        owners = names.get(meth, set())
+        if owners <= {cls} or not owners:
+            unique.add(meth)
+    return unique
+
+
+def check_ea002(model, report=False):
+    defs = {}
+    for f in model.functions:
+        defs.setdefault(f.key, f)
+    unique_serial = serial_only_unique_names(model)
+    reachable = {}   # (cls, meth) serial target -> first chain found
+
+    def walk(func, chain, visited, anchor=None):
+        hits = []
+        for lineno, recv_cls, method, unresolved in body_calls(model, func):
+            target_cls = None
+            if recv_cls is not None:
+                target_cls = model.in_serial_only(recv_cls, method)
+            elif unresolved and method in unique_serial:
+                target_cls = next(c for c, mth in model.serial_only if mth == method)
+            if target_cls is not None:
+                hits.append((anchor or lineno, target_cls, method, list(chain)))
+                continue
+            if recv_cls is not None:
+                if model.in_shard_safe(recv_cls, method):
+                    continue
+                callee = defs.get((recv_cls, method))
+                if callee is not None and callee.key not in visited:
+                    visited.add(callee.key)
+                    hits.extend(walk(callee, chain + [f"{recv_cls}::{method}"],
+                                     visited, anchor or lineno))
+        return hits
+
+    roots = [f for f in model.functions if f.cls in model.shard_context]
+    for root in roots:
+        visited = {root.key}
+        for lineno, tcls, meth, chain in walk(root, [f"{root.cls}::{root.name}"],
+                                              visited):
+            via = " -> ".join(chain)
+            model.add(root.path, lineno, "EA002",
+                      f"serial-only {tcls}::{meth}() reachable from "
+                      f"shard context via {via}")
+            reachable.setdefault((tcls, meth), via)
+
+    if report:
+        print("EA002 serial-point reachability proof "
+              f"({len(roots)} shard-context root methods):")
+        for cls, meth in sorted(model.serial_only):
+            label = f"{cls}::{meth}" if cls else meth
+            if (cls, meth) in reachable:
+                print(f"  REACHABLE   {label}  via {reachable[(cls, meth)]}")
+            else:
+                print(f"  unreachable {label}")
+
+
+# ---------------------------------------------------------------------------
+# EA003: charge/release flow pairing.
+# ---------------------------------------------------------------------------
+
+class Stmt:
+    def __init__(self, kind, text, line, then=None, els=None):
+        self.kind = kind      # plain | if | loop | block
+        self.text = text      # statement or control-header text
+        self.line = line
+        self.then = then or []
+        self.els = els
+
+
+def parse_stmts(code, body, body_off):
+    """Flat-ish statement tree for one function body. Splits only at paren
+    depth 0, so for(;;) headers and lambda-literal arguments stay inside one
+    statement."""
+    stmts = []
+    i, n = 0, len(body)
+    start = 0
+    pdepth = 0
+    while i < n:
+        c = body[i]
+        if c == "(":
+            pdepth += 1
+        elif c == ")":
+            pdepth = max(0, pdepth - 1)
+        elif pdepth > 0:
+            pass
+        elif c == ";":
+            seg = body[start:i]
+            text = seg.strip()
+            if text:
+                lead = len(seg) - len(seg.lstrip())
+                stmts.append(Stmt("plain", text,
+                                  line_of(code, body_off + start + lead)))
+            start = i + 1
+        elif c == "{":
+            seg = body[start:i]
+            header = seg.strip()
+            close = match_brace(body, i)
+            if close < 0:
+                break
+            inner = parse_stmts(code, body[i + 1:close], body_off + i + 1)
+            hline = line_of(code, body_off + start + len(seg) - len(seg.lstrip()))
+            if re.match(r"^(else\s+if|if)\b", header):
+                stmts.append(Stmt("if", header, hline, then=inner))
+            elif re.match(r"^(for|while|do|switch)\b", header):
+                stmts.append(Stmt("loop", header, hline, then=inner))
+            elif header.startswith("else"):
+                if stmts and stmts[-1].kind == "if":
+                    stmts[-1].els = inner
+                else:
+                    stmts.append(Stmt("block", header, hline, then=inner))
+            else:
+                stmts.append(Stmt("block", header, hline, then=inner))
+            i = close
+            start = i + 1
+        i += 1
+    seg = body[start:]
+    tail = seg.strip()
+    if tail:
+        stmts.append(Stmt("plain", tail,
+                          line_of(code, body_off + start +
+                                  len(seg) - len(seg.lstrip()))))
+    return stmts
+
+
+def stmt_guard(text, handle):
+    """'null' / 'nonnull' if the if-header tests the handle, else None."""
+    if re.search(r"\b" + handle + r"\s*==\s*nullptr", text) or \
+            re.search(r"!\s*" + handle + r"\b", text):
+        return "null"
+    if re.search(r"\b" + handle + r"\s*!=\s*nullptr", text) or \
+            re.search(r"\(\s*" + handle + r"\s*\)", text):
+        return "nonnull"
+    return None
+
+
+def stmt_discharges(text, handle, releases):
+    """True if the statement releases or transfers the handle."""
+    for rel in releases:
+        if re.search(r"\b" + rel + r"\s*\([^;]*\b" + handle + r"\b", text):
+            return True
+    if re.search(r"\breturn\s+(?:std::move\(\s*)?" + handle + r"\b", text):
+        return True
+    if re.search(r"\bstd::move\(\s*" + handle + r"\s*\)", text):
+        return True
+    # Stored: assigned into a field/container/deref (escapes the function).
+    if re.search(r"[\w\])\]]\s*(?:\[[^\]]*\]\s*)?=\s*" + handle + r"\s*(?:[;,)]|$)",
+                 text):
+        return True
+    # Passed to any call as an argument (ownership handed over).
+    if re.search(r"\w\s*\([^;]*[(,]\s*" + handle + r"\s*[,)]", text) or \
+            re.search(r"\w\s*\(\s*" + handle + r"\s*[,)]", text):
+        return True
+    return False
+
+
+def exits_without(seq, handle, releases):
+    """Line number of an exit path that drops the handle, or None.
+
+    seq is the continuation: every statement that may run after the charge.
+    """
+    if not seq:
+        return 0  # fell off the end of the function holding the handle
+    s, rest = seq[0], seq[1:]
+    if s.kind == "plain":
+        if stmt_discharges(s.text, handle, releases):
+            return None
+        if re.match(r"^return\b", s.text):
+            return s.line
+        return exits_without(rest, handle, releases)
+    if s.kind == "if":
+        guard = stmt_guard(s.text, handle)
+        if guard == "null":
+            # Then-branch runs with no resource; else/fallthrough holds it.
+            branch = s.els if s.els is not None else []
+            return exits_without(branch + rest, handle, releases)
+        if guard == "nonnull":
+            # Else/fallthrough is the null case — exempt.
+            return exits_without(s.then + rest, handle, releases)
+        leak = exits_without(s.then + rest, handle, releases)
+        if leak is not None:
+            return leak
+        return exits_without((s.els or []) + rest, handle, releases)
+    if s.kind in ("loop", "block"):
+        if s.kind == "loop":
+            # Zero-iteration path first; then one pass through the body.
+            leak = exits_without(rest, handle, releases)
+            if leak is not None and not any(
+                    stmt_discharges(t.text, handle, releases)
+                    for t in s.then):
+                return leak
+            return exits_without(s.then + rest, handle, releases)
+        return exits_without(s.then + rest, handle, releases)
+    return exits_without(rest, handle, releases)
+
+
+def check_ea003(model):
+    charge_re = re.compile(
+        r"(?:([A-Za-z_]\w*)\s*=\s*[^;=]*?)?\b(" +
+        "|".join(CHARGE_PAIRS) + r")\s*\(\s*([^,();]*)")
+    for f in model.functions:
+        raw, code = model.files[f.path]
+        tree = parse_stmts(code, f.body, f.body_off)
+
+        def flatten(seq, trail):
+            for idx, s in enumerate(seq):
+                yield (s, seq[idx + 1:], trail)
+                if s.kind in ("if", "loop", "block"):
+                    yield from flatten(s.then, seq[idx + 1:] + trail)
+                    if s.els:
+                        yield from flatten(s.els, seq[idx + 1:] + trail)
+
+        for s, rest, trail in flatten(tree, []):
+            if s.kind != "plain":
+                continue
+            for m in charge_re.finditer(s.text):
+                assigned, api, first_arg = m.group(1), m.group(2), m.group(3)
+                if api == "LockIoBuffer":
+                    handle = first_arg.strip()
+                    if not re.match(r"^[A-Za-z_]\w*$", handle):
+                        continue  # locking a field-held buffer: retained state
+                else:
+                    if assigned is None:
+                        continue  # result unused — the decl site, not a call
+                    handle = assigned
+                # Skip declarations in headers (pure signatures have no body
+                # here by construction) and the kernel wrappers themselves.
+                if f.name == api:
+                    continue
+                releases = CHARGE_PAIRS[api]
+                leak = exits_without(rest + trail, handle, releases)
+                if stmt_discharges(s.text[m.end():], handle, releases):
+                    leak = None
+                if leak is not None:
+                    where = f"line {leak}" if leak else "function end"
+                    model.add(f.path, s.line, "EA003",
+                              f"{api}() handle `{handle}` not released "
+                              f"({'/'.join(releases)}) or transferred on the "
+                              f"exit path reaching {where}")
+
+
+# ---------------------------------------------------------------------------
+# EA004: atomic memory-order contract.
+# ---------------------------------------------------------------------------
+
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic<[^;>]*>\s*([A-Za-z_]\w*)")
+ATOMIC_OP_RE = re.compile(
+    r"\b([A-Za-z_]\w*)\s*\.\s*"
+    r"(load|store|exchange|fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+    r"compare_exchange_weak|compare_exchange_strong)\s*\(")
+BAD_ORDER_RE = re.compile(
+    r"\bstd::memory_order_(seq_cst|acquire|release|acq_rel|consume)\b")
+
+
+def check_ea004(model):
+    # Atomics are usually declared in a header and used in the matching .cc,
+    # so membership is checked against the union across all indexed files.
+    atomic_names = set()
+    for path, (raw, code) in model.files.items():
+        for m in ATOMIC_DECL_RE.finditer(code):
+            atomic_names.add(m.group(1))
+    for path, (raw, code) in sorted(model.files.items()):
+        if path in ATOMIC_ALLOWLIST:
+            continue
+        for m in BAD_ORDER_RE.finditer(code):
+            model.add(path, line_of(code, m.start()), "EA004",
+                      f"std::memory_order_{m.group(1)} outside the queue "
+                      "internals — meters are relaxed-commutative only")
+        for m in ATOMIC_OP_RE.finditer(code):
+            var, op = m.group(1), m.group(2)
+            if var not in atomic_names:
+                continue
+            close = match_brace(code, m.end() - 1, "(", ")")
+            args = code[m.end():close] if close > 0 else ""
+            if "memory_order_relaxed" in args:
+                continue
+            if BAD_ORDER_RE.search(args):
+                continue  # already flagged above
+            model.add(path, line_of(code, m.start()), "EA004",
+                      f"{var}.{op}() defaults to seq_cst — spell out "
+                      "std::memory_order_relaxed (commutative-meter contract)")
+        for name in atomic_names:
+            for m in re.finditer(r"(\+\+|--)\s*" + name + r"\b|\b" + name +
+                                 r"\s*(\+\+|--|\+=|-=|\|=|&=)", code):
+                model.add(path, line_of(code, m.start()), "EA004",
+                          f"operator form on atomic `{name}` is seq_cst — "
+                          "use fetch_add/fetch_sub with "
+                          "std::memory_order_relaxed")
+
+
+# ---------------------------------------------------------------------------
+# EA005: determinism.
+# ---------------------------------------------------------------------------
+
+CONTAINER_DECL_RE = re.compile(
+    r"\bstd::(map|set|unordered_map|unordered_set|multimap|multiset)\s*<"
+    r"([^;{}()=]*)>\s*([A-Za-z_]\w*)")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*[^:;()]*:\s*([A-Za-z_]\w*(?:\(\))?)\s*\)")
+SHARD_LOOP_RE = re.compile(r"\bfor\s*\([^)]*shard[^)]*\)", re.I)
+FLOAT_ACCUM_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\+=")
+
+
+def container_key_is_pointer(args):
+    key = split_top_level(args)[0].strip()
+    return key.endswith("*")
+
+
+def check_ea005(model):
+    containers = {}  # (path, name) -> (kind, ptr_key)
+    for path, (raw, code) in model.files.items():
+        for m in CONTAINER_DECL_RE.finditer(code):
+            kind, args, name = m.groups()
+            containers[(path, name)] = (kind, container_key_is_pointer(args))
+
+    def lookup(path, func, name):
+        hit = containers.get((path, name))
+        if hit is not None:
+            return hit
+        # Member declared in a header: search every indexed file.
+        for (p, n), v in containers.items():
+            if n == name:
+                return v
+        return None
+
+    for f in model.functions:
+        raw, code = model.files[f.path]
+        for m in RANGE_FOR_RE.finditer(f.body):
+            base = m.group(1).replace("()", "")
+            info = lookup(f.path, f, base)
+            if info is None:
+                continue
+            kind, ptr_key = info
+            lineno = line_of(code, f.body_off + m.start())
+            if kind.startswith("unordered"):
+                model.add(f.path, lineno, "EA005",
+                          f"iteration over std::{kind} `{base}` — order is "
+                          "implementation-defined")
+            elif ptr_key:
+                model.add(f.path, lineno, "EA005",
+                          f"iteration over pointer-keyed std::{kind} `{base}` "
+                          "— order follows the allocator, not the program; "
+                          "key by owner id instead")
+        # The while (!m.empty()) Kill(m.begin()->first) teardown pattern.
+        for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\.\s*begin\s*\(\)", f.body):
+            info = lookup(f.path, f, m.group(1))
+            if info is not None and info[1]:
+                model.add(f.path, line_of(code, f.body_off + m.start()),
+                          "EA005",
+                          f"begin() on pointer-keyed std::{info[0]} "
+                          f"`{m.group(1)}` selects by address order")
+        for lm in SHARD_LOOP_RE.finditer(f.body):
+            close = lm.end() - 1
+            brace = f.body.find("{", close)
+            if brace < 0:
+                continue
+            bclose = match_brace(f.body, brace)
+            if bclose < 0:
+                continue
+            loop_body = f.body[brace:bclose]
+            for am in FLOAT_ACCUM_RE.finditer(loop_body):
+                fact = resolve_var(model, f, am.group(1), brace)
+                if fact is not None and fact[0] in ("double", "float"):
+                    model.add(f.path,
+                              line_of(code, f.body_off + brace + am.start()),
+                              "EA005",
+                              f"float accumulation into `{am.group(1)}` "
+                              "inside a per-shard loop — the sum order (and "
+                              "rounding) varies with the shard count; "
+                              "accumulate integers or fixed order")
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def load_compile_commands(p):
+    path = p
+    if os.path.isdir(p):
+        path = os.path.join(p, "compile_commands.json")
+    if not os.path.isfile(path):
+        return None, path
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh), path
+
+
+def collect_files(root, compile_commands, explicit):
+    """relpath -> absolute path for every file to index."""
+    files = {}
+    if explicit:
+        for f in explicit:
+            files[os.path.relpath(f, root)] = os.path.abspath(f)
+        return files
+    tus = set()
+    if compile_commands:
+        for entry in compile_commands:
+            fn = os.path.normpath(os.path.join(entry["directory"], entry["file"]))
+            rel = os.path.relpath(fn, root)
+            if rel.startswith("src" + os.sep):
+                tus.add(rel)
+    for pattern in ("src/**/*.h", "src/**/*.cc"):
+        for f in glob.glob(os.path.join(root, pattern), recursive=True):
+            tus.add(os.path.relpath(f, root))
+    for rel in sorted(tus):
+        files[rel] = os.path.join(root, rel)
+    return files
+
+
+def make_engine(requested, compile_commands):
+    """(engine, notice). Tries libclang for 'auto'/'libclang'."""
+    if requested in ("auto", "libclang"):
+        try:
+            return ClangEngine(compile_commands or []), None
+        except Exception as e:
+            notice = (f"libclang engine unavailable ({e.__class__.__name__}: {e}); "
+                      "using the pure-Python fallback parser")
+            if requested == "libclang":
+                return None, notice
+            return TextEngine(), notice
+    return TextEngine(), None
+
+
+def analyze(root, files, engine, report_serial=False):
+    model = Model()
+    for rel, absf in sorted(files.items()):
+        try:
+            with open(absf, encoding="utf-8", errors="replace") as fh:
+                raw = fh.read()
+        except OSError as e:
+            sys.stderr.write(f"escort-analyzer: cannot read {rel}: {e}\n")
+            continue
+        model.files[rel] = (raw, strip_comments_and_strings(raw))
+    engine.build(model)
+    check_ea001(model)
+    check_ea002(model, report=report_serial)
+    check_ea003(model)
+    check_ea004(model)
+    check_ea005(model)
+    # Dedup (several detectors can anchor the same line) then suppress.
+    seen = set()
+    unique = []
+    for f in model.findings:
+        k = (f.path, f.line, f.rule, f.message)
+        if k in seen:
+            continue
+        seen.add(k)
+        if f.rule in model.nolint.get((f.path, f.line), set()):
+            f.suppressed = True
+        unique.append(f)
+    model.findings = unique
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Self-test: the corpus files carry `// EXPECT: EA00x` markers on the exact
+# lines the analyzer must flag; everything else must stay silent.
+# ---------------------------------------------------------------------------
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*((?:EA\d{3}[ \t]*)+)")
+
+
+def run_self_test(corpus_dir, engine):
+    files = {}
+    for f in sorted(glob.glob(os.path.join(corpus_dir, "*.cc"))):
+        files[os.path.relpath(f, corpus_dir)] = f
+    if not files:
+        print(f"escort-analyzer: self-test: no corpus files in {corpus_dir}")
+        return 2
+    expected = set()
+    for rel, absf in files.items():
+        with open(absf, encoding="utf-8") as fh:
+            for idx, line in enumerate(fh):
+                m = EXPECT_RE.search(line)
+                if m is not None:
+                    for rule in m.group(1).split():
+                        expected.add((rel, idx + 1, rule))
+    model = analyze(corpus_dir, files, engine)
+    got = {(f.path, f.line, f.rule) for f in model.findings
+           if not f.suppressed and f.rule != "EA000"}
+    missing = expected - got
+    surprise = got - expected
+    ok = not missing and not surprise
+    for rel, line, rule in sorted(missing):
+        print(f"SELF-TEST MISSING  {rel}:{line}: expected {rule}, not reported")
+    for rel, line, rule in sorted(surprise):
+        msg = next((f.message for f in model.findings
+                    if (f.path, f.line, f.rule) == (rel, line, rule)), "")
+        print(f"SELF-TEST SPURIOUS {rel}:{line}: {rule}: {msg}")
+    n = len(expected)
+    print(f"escort-analyzer self-test ({engine.name} engine): "
+          f"{'PASS' if ok else 'FAIL'} "
+          f"({n} expected findings, {len(got)} produced)")
+    return 0 if ok else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-p", "--build", default=None,
+                        help="build dir (or file) holding compile_commands.json")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: derived from this file)")
+    parser.add_argument("--engine", choices=("auto", "libclang", "fallback"),
+                        default="auto")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the corpus expectations and exit")
+    parser.add_argument("--corpus", default=None,
+                        help="corpus dir for --self-test "
+                             "(default: tools/analyze/corpus)")
+    parser.add_argument("--report-serial", action="store_true",
+                        help="print the EA002 reachability proof")
+    parser.add_argument("-q", "--quiet", action="store_true")
+    parser.add_argument("files", nargs="*",
+                        help="analyze only these files (corpus/test use)")
+    args = parser.parse_args()
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = args.root or os.path.dirname(os.path.dirname(here))
+
+    compile_commands = None
+    if args.build:
+        compile_commands, cc_path = load_compile_commands(args.build)
+        if compile_commands is None:
+            sys.stderr.write(
+                f"escort-analyzer: no compile_commands.json at {cc_path} "
+                "(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON); "
+                "falling back to a source glob\n")
+
+    engine, notice = make_engine(args.engine, compile_commands)
+    if notice:
+        print(f"escort-analyzer: NOTICE: {notice}")
+    if engine is None:
+        return 2
+
+    if args.self_test:
+        corpus = args.corpus or os.path.join(here, "corpus")
+        return run_self_test(corpus, engine)
+
+    files = collect_files(root, compile_commands, args.files)
+    model = analyze(root, files, engine, report_serial=args.report_serial)
+
+    active = [f for f in model.findings if not f.suppressed]
+    suppressed = [f for f in model.findings if f.suppressed]
+    for f in sorted(active, key=lambda f: (f.path, f.line, f.rule)):
+        print(f)
+    if not args.quiet:
+        print(f"escort-analyzer: engine={engine.name} files={len(files)} "
+              f"findings={len(active)} suppressed={len(suppressed)}")
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

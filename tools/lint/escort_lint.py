@@ -11,8 +11,11 @@ so this tool checks them statically:
          `#pragma once` (the tree uses path-derived guards).
   EL003  simulation determinism: no ambient randomness or wall-clock time
          in src/ — rand(), srand(), std::random_device, std::mt19937,
-         time(), clock(), gettimeofday(), chrono clocks. All randomness
-         flows through src/sim/rng.h, all time through src/sim/event_queue.h.
+         time(), clock(), gettimeofday(), chrono clocks, including clock
+         access laundered through a type alias (`using Clock =
+         std::chrono::steady_clock;` in one file, `Clock::now()` in
+         another — aliases are resolved tree-wide). All randomness flows
+         through src/sim/rng.h, all time through src/sim/event_queue.h.
   EL004  no std::unordered_map / std::unordered_set in src/: iteration
          order is implementation-defined and anything feeding the event
          queue must be deterministic.
@@ -216,6 +219,37 @@ NONDET_PATTERNS = (
 
 # src/sim/rng.* implements the deterministic generator itself.
 NONDET_ALLOWLIST = ("src/sim/rng.h", "src/sim/rng.cc")
+
+CLOCK_ALIAS_USING_RE = re.compile(
+    r"\busing\s+([A-Za-z_]\w*)\s*=\s*[^;]*\b(?:system_clock|steady_clock|high_resolution_clock)\b")
+CLOCK_ALIAS_TYPEDEF_RE = re.compile(
+    r"\btypedef\s+[^;]*\b(?:system_clock|steady_clock|high_resolution_clock)\b[^;]*?([A-Za-z_]\w*)\s*;")
+
+
+def check_clock_aliases(files: dict, violations: list) -> None:
+    """EL003 second pass: wall-clock access laundered through a type alias.
+
+    The alias declaration itself carries a clock token and is flagged by
+    NONDET_PATTERNS where it stands, but a use site in another file
+    (`Clock::now()`) has no token of its own — so aliases are collected
+    tree-wide first and their qualified uses flagged per file.
+    """
+    aliases = set()
+    for _relpath, code in files.items():
+        for m in CLOCK_ALIAS_USING_RE.finditer(code):
+            aliases.add(m.group(1))
+        for m in CLOCK_ALIAS_TYPEDEF_RE.finditer(code):
+            aliases.add(m.group(1))
+    if not aliases:
+        return
+    use_re = re.compile(r"\b(" + "|".join(sorted(aliases)) + r")\s*::\s*\w+")
+    for relpath, code in files.items():
+        if not relpath.startswith("src/") or relpath in NONDET_ALLOWLIST:
+            continue
+        for m in use_re.finditer(code):
+            violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL003",
+                                        f"'{m.group(1)}' aliases a wall-clock chrono clock; "
+                                        "simulated time comes from EventQueue::now()"))
 
 
 def check_determinism(relpath: str, code: str, violations: list) -> None:
@@ -473,6 +507,7 @@ def lint_tree(root: str) -> list:
                 check_kernel_only_bookkeeping(relpath, code, violations)
                 check_thread_hygiene(relpath, code, violations)
                 check_diagnostics(relpath, code, violations)
+    check_clock_aliases(files, violations)
     check_pairing_and_completeness(root, files, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
@@ -487,6 +522,12 @@ SELF_TEST_CASES = [
      "#endif  // SRC_USING_NS_H_\n"),
     ("EL003", "src/nondet.cc", "int jitter() { return rand() % 7; }\n"),
     ("EL003", "src/wallclock.cc", "long t() { return time(nullptr); }\n"),
+    ("EL003", "src/alias_clock.cc",
+     "#include <chrono>\nusing Clock = std::chrono::steady_clock;\n"
+     "long t() { return Clock::now().time_since_epoch().count(); }\n"),
+    ("EL003", "src/typedef_clock.cc",
+     "#include <chrono>\ntypedef std::chrono::high_resolution_clock HrClock;\n"
+     "long t() { return HrClock::now().time_since_epoch().count(); }\n"),
     ("EL004", "src/unordered.cc",
      "#include <unordered_map>\nstd::unordered_map<int, int> table;\n"),
     ("EL005", "src/naked_new.cc", "int* leak() { return new int(7); }\n"),
@@ -606,6 +647,31 @@ def run_self_test() -> int:
         if clean:
             failures.append("clean fixture produced violations: " +
                             "; ".join(str(v) for v in clean))
+
+        # Cross-file alias laundering: the decl is in a header, the use in a
+        # .cc with no clock token of its own — only the tree-wide alias pass
+        # can flag the use site.
+        alias_root = os.path.join(tmp, "clock_alias_fixture")
+        alias_fixture = [
+            ("src/sim_tick.h",
+             "#ifndef SRC_SIM_TICK_H_\n#define SRC_SIM_TICK_H_\n"
+             "#include <chrono>\n"
+             "using SimTick = std::chrono::steady_clock;\n"
+             "#endif  // SRC_SIM_TICK_H_\n"),
+            ("src/sim_tick_use.cc",
+             "#include \"src/sim_tick.h\"\n"
+             "long Stamp() { return SimTick::now().time_since_epoch().count(); }\n"),
+        ]
+        for relpath, content in alias_fixture:
+            full = os.path.join(alias_root, relpath)
+            os.makedirs(os.path.dirname(full), exist_ok=True)
+            with open(full, "w", encoding="utf-8") as f:
+                f.write(content)
+        produced = lint_tree(alias_root)
+        expect("EL003", produced, "clock-alias fixture")
+        if not any(v.rule == "EL003" and v.path == "src/sim_tick_use.cc" for v in produced):
+            failures.append("clock-alias fixture: cross-file use site "
+                            "src/sim_tick_use.cc not flagged by EL003")
 
         fixture_root = os.path.join(tmp, "kernel_fixture")
         for relpath, content in SELF_TEST_KERNEL_FIXTURE:

@@ -1,0 +1,152 @@
+// Micro-benchmarks (google-benchmark) over the sharded event queue's
+// scheduling hot path — the PR-7 perf trajectory at its smallest scale.
+// Three traffic shapes, each swept over shard count x adaptive lookahead:
+//
+//  * ping-pong: two streams exchanging sequenced messages at exactly the
+//    lookahead latency — the worst case for windowing (every window holds
+//    one event per side) and the case adaptive horizons help least,
+//  * fan-out: a hub stream broadcasting to many workers each round trip —
+//    mailbox drain and cross-shard insert throughput,
+//  * timer storm: independent self-rescheduling timers with no cross-
+//    stream traffic at all — the best case for adaptive horizons, which
+//    collapse the lockstep t_min+L windows into one window per shard
+//    batch.
+//
+// Wall-clock events/sec here measure the simulator itself (host-machine
+// dependent); the committed trajectory gate works on ratios instead —
+// see tools/check_perf_regression.py and bench/snapshots/.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace escort {
+namespace {
+
+constexpr Cycles kLookahead = 100;
+
+// One simulated ping-pong match: `hops` sequenced round trips between two
+// streams, each delivery landing exactly one lookahead later.
+uint64_t RunPingPong(int shards, bool adaptive, int hops) {
+  ShardedEventQueue eq(shards, kLookahead, adaptive);
+  EventQueue::StreamId a = eq.NewStream(1);
+  EventQueue::StreamId b = eq.NewStream(2);
+  int remaining = hops;
+  std::function<void(EventQueue::StreamId, EventQueue::StreamId)> volley =
+      [&](EventQueue::StreamId from, EventQueue::StreamId to) {
+        if (remaining-- <= 0) {
+          return;
+        }
+        eq.PostSequenced([&eq, &volley, from, to](Cycles send_time) {
+          eq.ScheduleAtFrom(to, send_time + kLookahead,
+                            [&volley, from, to] { volley(to, from); });
+        });
+      };
+  {
+    EventQueue::StreamScope scope(&eq, a);
+    eq.ScheduleAt(1, [&] { volley(a, b); });
+  }
+  eq.RunToCompletion();
+  return eq.fired_count();
+}
+
+// One fan-out round: the hub posts a sequenced broadcast to every worker
+// stream, each worker replies, and the hub re-arms until `rounds` is spent.
+uint64_t RunFanOut(int shards, bool adaptive, int workers, int rounds) {
+  ShardedEventQueue eq(shards, kLookahead, adaptive);
+  EventQueue::StreamId hub = eq.NewStream(1);
+  std::vector<EventQueue::StreamId> crew;
+  crew.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    crew.push_back(eq.NewStream(1 + i % (shards > 1 ? shards - 1 : 1)));
+  }
+  int remaining = rounds;
+  std::function<void()> broadcast = [&] {
+    if (remaining-- <= 0) {
+      return;
+    }
+    for (EventQueue::StreamId w : crew) {
+      eq.PostSequenced([&eq, w](Cycles send_time) {
+        eq.ScheduleAtFrom(w, send_time + kLookahead, [] {});
+      });
+    }
+    eq.PostSequenced([&eq, &broadcast, hub](Cycles send_time) {
+      eq.ScheduleAtFrom(hub, send_time + kLookahead, [&broadcast] { broadcast(); });
+    });
+  };
+  {
+    EventQueue::StreamScope scope(&eq, hub);
+    eq.ScheduleAt(1, [&] { broadcast(); });
+  }
+  eq.RunToCompletion();
+  return eq.fired_count();
+}
+
+// Independent periodic timers, no cross-stream traffic: pure per-shard
+// work where a conservative scheduler still pays one barrier per t_min+L.
+uint64_t RunTimerStorm(int shards, bool adaptive, int timers, Cycles horizon) {
+  ShardedEventQueue eq(shards, kLookahead, adaptive);
+  std::vector<std::function<void()>> ticks(static_cast<size_t>(timers));
+  for (int i = 0; i < timers; ++i) {
+    EventQueue::StreamId s = eq.NewStream(1 + i % (shards > 1 ? shards - 1 : 1));
+    // Coprime-ish periods so shards stay out of phase.
+    Cycles period = static_cast<Cycles>(37 + 13 * (i % 7));
+    ticks[static_cast<size_t>(i)] = [&eq, i, period, &ticks, horizon] {
+      Cycles next = eq.now() + period;
+      if (next < horizon) {
+        eq.ScheduleAt(next, [&ticks, i] { ticks[static_cast<size_t>(i)](); });
+      }
+    };
+    EventQueue::StreamScope scope(&eq, s);
+    eq.ScheduleAt(static_cast<Cycles>(1 + i), [&ticks, i] { ticks[static_cast<size_t>(i)](); });
+  }
+  eq.RunUntil(horizon);
+  return eq.fired_count();
+}
+
+void BM_PingPong(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const bool adaptive = state.range(1) != 0;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    events += RunPingPong(shards, adaptive, 2000);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_PingPong)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"shards", "adaptive"});
+
+void BM_FanOut(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const bool adaptive = state.range(1) != 0;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    events += RunFanOut(shards, adaptive, 16, 200);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_FanOut)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"shards", "adaptive"});
+
+void BM_TimerStorm(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  const bool adaptive = state.range(1) != 0;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    events += RunTimerStorm(shards, adaptive, 16, 200000);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+}
+BENCHMARK(BM_TimerStorm)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}})
+    ->ArgNames({"shards", "adaptive"});
+
+}  // namespace
+}  // namespace escort
+
+BENCHMARK_MAIN();

@@ -3,14 +3,31 @@
 namespace escort {
 
 uint32_t ChecksumPartial(const uint8_t* data, size_t len, uint32_t acc) {
+  // Four independent word accumulators break the loop-carried dependency
+  // (ones'-complement partial sums are associative). The 64-bit partial
+  // sums cannot overflow for any realistic frame, and the final fold back
+  // to 32 bits keeps the return value identical to a straight 32-bit sum
+  // whenever that sum does not wrap — which it never does below ~128 KiB
+  // of payload.
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
   size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    s0 += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+    s1 += (static_cast<uint32_t>(data[i + 2]) << 8) | data[i + 3];
+    s2 += (static_cast<uint32_t>(data[i + 4]) << 8) | data[i + 5];
+    s3 += (static_cast<uint32_t>(data[i + 6]) << 8) | data[i + 7];
+  }
+  uint64_t sum = acc + s0 + s1 + s2 + s3;
   for (; i + 1 < len; i += 2) {
-    acc += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
   }
   if (i < len) {
-    acc += static_cast<uint32_t>(data[i]) << 8;
+    sum += static_cast<uint32_t>(data[i]) << 8;
   }
-  return acc;
+  while (sum >> 32) {
+    sum = (sum & 0xffffffff) + (sum >> 32);
+  }
+  return static_cast<uint32_t>(sum);
 }
 
 uint16_t InternetChecksum(const uint8_t* data, size_t len, uint32_t initial) {

@@ -21,11 +21,31 @@ uint64_t RoundUpToPages(uint64_t bytes) {
 // --- IoBuffer -----------------------------------------------------------------
 
 MapPerm IoBuffer::PermFor(PdId pd) const {
-  auto it = mappings_.find(pd);
-  if (it == mappings_.end()) {
-    return MapPerm::kNone;
+  for (const auto& [mapped, perm] : mappings_) {
+    if (mapped == pd) {
+      return perm;
+    }
   }
-  return it->second;
+  return MapPerm::kNone;
+}
+
+void IoBuffer::SetMapping(PdId pd, MapPerm perm) {
+  for (auto& [mapped, existing] : mappings_) {
+    if (mapped == pd) {
+      existing = perm;
+      return;
+    }
+  }
+  mappings_.emplace_back(pd, perm);
+}
+
+void IoBuffer::AddMappingIfAbsent(PdId pd, MapPerm perm) {
+  for (const auto& [mapped, existing] : mappings_) {
+    if (mapped == pd) {
+      return;
+    }
+  }
+  mappings_.emplace_back(pd, perm);
 }
 
 bool IoBuffer::Write(PdId pd, uint64_t offset, const void* src, uint64_t len) {
@@ -56,8 +76,10 @@ IoBufferManager::~IoBufferManager() {
   for (IoBuffer* buf : live_) {
     delete buf;
   }
-  for (IoBuffer* buf : cache_) {
-    delete buf;
+  for (auto& [size, bucket] : cache_) {
+    for (IoBuffer* buf : bucket) {
+      delete buf;
+    }
   }
 }
 
@@ -93,43 +115,45 @@ IoBuffer* IoBufferManager::Alloc(Owner* owner, uint64_t size, PdId current_pd,
   // Buffer-cache lookup: a cached buffer of the right size whose read
   // mappings already cover the requested domains needs only the current
   // domain's mapping upgraded to read/write — no cleaning required.
-  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
-    IoBuffer* buf = *it;
-    if (buf->size() != rounded) {
-      continue;
-    }
-    bool covers = true;
-    for (PdId pd : read_domains) {
-      if (!buf->CanRead(pd) && pd != current_pd) {
-        covers = false;
-        break;
+  auto bucket_it = cache_.find(rounded);
+  if (bucket_it != cache_.end()) {
+    std::list<IoBuffer*>& bucket = bucket_it->second;
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      IoBuffer* buf = *it;
+      bool covers = true;
+      for (PdId pd : read_domains) {
+        if (!buf->CanRead(pd) && pd != current_pd) {
+          covers = false;
+          break;
+        }
       }
+      if (!covers) {
+        continue;
+      }
+      bucket.erase(it);
+      --cached_count_;
+      buf->in_cache_ = false;
+      buf->SetMapping(current_pd, MapPerm::kReadWrite);
+      buf->writer_pd_ = current_pd;
+      buf->link_ = live_.insert(live_.end(), buf);
+      AddHolder(buf, owner);
+      ++cache_hit_count_;
+      if (cache_hit != nullptr) {
+        *cache_hit = true;
+      }
+      return buf;
     }
-    if (!covers) {
-      continue;
-    }
-    cache_.erase(it);
-    buf->in_cache_ = false;
-    buf->mappings_[current_pd] = MapPerm::kReadWrite;
-    buf->writer_pd_ = current_pd;
-    live_.push_back(buf);
-    AddHolder(buf, owner);
-    ++cache_hit_count_;
-    if (cache_hit != nullptr) {
-      *cache_hit = true;
-    }
-    return buf;
   }
 
   auto* buf = new IoBuffer(next_id_++, rounded);
-  buf->mappings_[current_pd] = MapPerm::kReadWrite;
+  buf->SetMapping(current_pd, MapPerm::kReadWrite);
   buf->writer_pd_ = current_pd;
   for (PdId pd : read_domains) {
     if (pd != current_pd) {
-      buf->mappings_.emplace(pd, MapPerm::kRead);
+      buf->AddMappingIfAbsent(pd, MapPerm::kRead);
     }
   }
-  live_.push_back(buf);
+  buf->link_ = live_.insert(live_.end(), buf);
   AddHolder(buf, owner);
   if (cache_hit != nullptr) {
     *cache_hit = false;
@@ -165,7 +189,7 @@ void IoBufferManager::Unlock(IoBuffer* buf, Owner* locker) {
 void IoBufferManager::Associate(IoBuffer* buf, Owner* second_owner,
                                 const std::vector<PdId>& read_domains) {
   for (PdId pd : read_domains) {
-    buf->mappings_.try_emplace(pd, MapPerm::kRead);
+    buf->AddMappingIfAbsent(pd, MapPerm::kRead);
   }
   // Association includes locking for — and fully charging — the second
   // owner, so the buffer survives the original owner dropping its lock.
@@ -188,9 +212,8 @@ uint64_t IoBufferManager::ReleaseAllFor(Owner* owner) {
 void IoBufferManager::MoveToCache(IoBuffer* buf) {
   // All write mappings are removed when the buffer is cached; read mappings
   // are kept so a future allocation in the same domains is a cheap hit.
-  auto it = std::find(live_.begin(), live_.end(), buf);
-  if (it != live_.end()) {
-    live_.erase(it);
+  if (!buf->in_cache_) {
+    live_.erase(buf->link_);
   }
   for (auto& [pd, perm] : buf->mappings_) {
     if (perm == MapPerm::kReadWrite) {
@@ -199,7 +222,9 @@ void IoBufferManager::MoveToCache(IoBuffer* buf) {
   }
   buf->writer_pd_ = IoBuffer::kNoWriter;
   buf->in_cache_ = true;
-  cache_.push_back(buf);
+  std::list<IoBuffer*>& bucket = cache_[buf->size()];
+  buf->link_ = bucket.insert(bucket.end(), buf);
+  ++cached_count_;
 }
 
 uint64_t IoBufferManager::total_lock_count() const {
@@ -215,8 +240,10 @@ uint64_t IoBufferManager::total_fault_count() const {
   for (const IoBuffer* buf : live_) {
     total += buf->fault_count();
   }
-  for (const IoBuffer* buf : cache_) {
-    total += buf->fault_count();
+  for (const auto& [size, bucket] : cache_) {
+    for (const IoBuffer* buf : bucket) {
+      total += buf->fault_count();
+    }
   }
   return total;
 }

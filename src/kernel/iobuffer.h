@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "src/kernel/owner.h"
@@ -86,13 +87,25 @@ class IoBuffer {
 
   IoBuffer(uint64_t id, uint64_t size) : id_(id), data_(size, 0) {}
 
+  // Permission upsert helpers over the flat mappings_ vector.
+  void SetMapping(PdId pd, MapPerm perm);
+  void AddMappingIfAbsent(PdId pd, MapPerm perm);
+
   uint64_t id_;
   PdId writer_pd_ = kNoWriter;
   int lock_count_ = 0;
   std::map<Owner*, Holder> holders_;
-  std::map<PdId, MapPerm> mappings_;
+  // Flat vector, not a map: a buffer maps into the handful of domains along
+  // one path, and PermFor sits on the data-access fast path (every
+  // permission-checked Read/Write), where a linear scan of 2-4 entries
+  // beats tree traversal.
+  std::vector<std::pair<PdId, MapPerm>> mappings_;
   std::vector<uint8_t> data_;
   bool in_cache_ = false;
+  // Position in the manager's live list (valid while !in_cache_) or in its
+  // size bucket (valid while in_cache_): makes live->cache and cache->live
+  // transitions O(1) instead of a list scan per transition.
+  std::list<IoBuffer*>::iterator link_;
   mutable uint64_t fault_count_ = 0;
 };
 
@@ -132,7 +145,7 @@ class IoBufferManager {
   uint64_t ReleaseAllFor(Owner* owner);
 
   uint64_t live_buffers() const { return live_.size(); }
-  uint64_t cached_buffers() const { return cache_.size(); }
+  uint64_t cached_buffers() const { return cached_count_; }
   // Outstanding locks across all live buffers (cached buffers hold none);
   // cross-checked by the auditor against the per-owner lock counters.
   uint64_t total_lock_count() const;
@@ -147,7 +160,13 @@ class IoBufferManager {
 
   uint64_t next_id_ = 1;
   std::list<IoBuffer*> live_;
-  std::list<IoBuffer*> cache_;
+  // Buffer cache, bucketed by (page-rounded) size. Each bucket keeps
+  // insertion order, so a lookup sees the same candidate sequence as a
+  // scan of one flat insertion-ordered list filtered by size — the
+  // bucketing changes lookup cost (no walk over other sizes), never which
+  // buffer a hit returns.
+  std::map<uint64_t, std::list<IoBuffer*>> cache_;
+  uint64_t cached_count_ = 0;
   uint64_t alloc_count_ = 0;
   uint64_t cache_hit_count_ = 0;
 };

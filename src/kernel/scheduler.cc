@@ -64,20 +64,36 @@ void ProportionalShareScheduler::Enqueue(Thread* t) {
     s.pass_initialized = true;
   }
   ready_.push_back(t);
+  ++live_;
+}
+
+void ProportionalShareScheduler::CollectTombstones() {
+  while (!ready_.empty() && ready_.front() == nullptr) {
+    ready_.pop_front();
+  }
+  if (ready_.size() > 2 * live_) {
+    ready_.erase(std::remove(ready_.begin(), ready_.end(), nullptr), ready_.end());
+  }
 }
 
 Thread* ProportionalShareScheduler::Dequeue() {
-  if (ready_.empty()) {
-    return nullptr;
-  }
-  auto best = ready_.begin();
-  for (auto it = std::next(ready_.begin()); it != ready_.end(); ++it) {
-    if ((*it)->owner()->sched().pass < (*best)->owner()->sched().pass) {
+  auto best = ready_.end();
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (*it == nullptr) {
+      continue;
+    }
+    if (best == ready_.end() ||
+        (*it)->owner()->sched().pass < (*best)->owner()->sched().pass) {
       best = it;
     }
   }
+  if (best == ready_.end()) {
+    return nullptr;
+  }
   Thread* t = *best;
-  ready_.erase(best);
+  *best = nullptr;
+  --live_;
+  CollectTombstones();
   // The global virtual time is the *minimum* pass in the system (the pass
   // of the owner just selected). Arriving owners join at this time: they
   // cannot hoard credit from a sleep, and a high-ticket owner that blocks
@@ -86,7 +102,14 @@ Thread* ProportionalShareScheduler::Dequeue() {
   return t;
 }
 
-void ProportionalShareScheduler::Remove(Thread* t) { EraseFrom(ready_, t); }
+void ProportionalShareScheduler::Remove(Thread* t) {
+  auto it = std::find(ready_.begin(), ready_.end(), t);
+  if (it != ready_.end()) {
+    *it = nullptr;
+    --live_;
+    CollectTombstones();
+  }
+}
 
 void ProportionalShareScheduler::AccountRun(Thread* t, Cycles used) {
   SchedState& s = t->owner()->sched();
@@ -96,7 +119,7 @@ void ProportionalShareScheduler::AccountRun(Thread* t, Cycles used) {
   s.pass += used * kStrideScale / tickets;
 }
 
-bool ProportionalShareScheduler::Empty() const { return ready_.empty(); }
+bool ProportionalShareScheduler::Empty() const { return live_ == 0; }
 
 // --- EdfScheduler -------------------------------------------------------------
 

@@ -71,7 +71,15 @@ class ProportionalShareScheduler : public Scheduler {
  private:
   static constexpr uint64_t kStrideScale = 1 << 20;
 
+  // Dequeue picks the minimum-pass thread, ties broken by queue position
+  // — so removal must not disturb the order of the survivors. A removed
+  // thread leaves a null tombstone instead of shifting the deque;
+  // tombstones are popped eagerly at the front and compacted when they
+  // outnumber live entries.
+  void CollectTombstones();
+
   std::deque<Thread*> ready_;
+  size_t live_ = 0;
   uint64_t global_pass_ = 0;
 };
 

@@ -1,7 +1,9 @@
 #include "src/sim/event_queue.h"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "src/sim/parallel.h"
@@ -102,7 +104,8 @@ constexpr uint64_t kLocalIdMask = (uint64_t{1} << 56) - 1;
 
 }  // namespace
 
-ShardedEventQueue::ShardedEventQueue(int shards, Cycles lookahead) : lookahead_(lookahead) {
+ShardedEventQueue::ShardedEventQueue(int shards, Cycles lookahead, bool adaptive)
+    : lookahead_(lookahead), adaptive_(adaptive) {
   if (shards < 1) {
     shards = 1;
   }
@@ -111,8 +114,13 @@ ShardedEventQueue::ShardedEventQueue(int shards, Cycles lookahead) : lookahead_(
   }
   shards_.resize(static_cast<size_t>(shards));
   streams_.push_back(Stream{0, 0});  // stream 0: server / kernel / main context
+  earliest_.reserve(shards_.size());
+  horizons_.reserve(shards_.size());
+  active_.reserve(shards_.size());
   if (shards > 1) {
-    pool_ = std::make_unique<ThreadPool>(shards);
+    // The gang's body is bound exactly once: window dispatches carry only a
+    // shard index through an atomic slot, never a fresh closure.
+    gang_ = std::make_unique<ShardGang>(shards - 1, [this](size_t s) { RunShardWindow(s); });
   }
 }
 
@@ -153,7 +161,28 @@ EventQueue::StreamId ShardedEventQueue::SwapCurrentStream(StreamId stream) {
 
 EventQueue::EventId ShardedEventQueue::Insert(size_t shard, Key key, StreamId exec,
                                               Callback fn) {
+  if (inline_window_shard_ >= 0 && shard != static_cast<size_t>(inline_window_shard_)) {
+    // Cross-shard insert while a window runs inline: the running shard must
+    // not advance to the new event's time or any later wire transaction it
+    // posts would overtake the insert's own. A no-op under the default
+    // conservative horizon (deliveries land at >= horizon); only adaptive
+    // windows can be shrunk by it.
+    Shard& running = shards_[static_cast<size_t>(inline_window_shard_)];
+    if (key.when < running.window_cap) {
+      running.window_cap = key.when;
+    }
+  }
+  if (draining_ && key.when < drain_floor_) {
+    // A transaction body just scheduled a pending event below the release
+    // floor: later-keyed transactions must wait for it (see
+    // DrainTransactions).
+    drain_floor_ = key.when;
+  }
   Shard& sh = shards_[shard];
+  // Tripwire for the window-cap proofs: an insert below the target
+  // shard's executed position would run in its past and silently break
+  // the shard-count-independent total order.
+  assert(key.when >= sh.clock && "insert below target shard's clock");
   uint64_t local = sh.ledger.Append();
   EventId id = (static_cast<EventId>(shard) << kShardShift) | local;
   sh.heap.push(Event{key, id, exec, std::move(fn)});
@@ -245,8 +274,7 @@ bool ShardedEventQueue::GlobalPeek(size_t* shard, Key* key) const {
 
 void ShardedEventQueue::ExecuteTop(size_t s) {
   Shard& sh = shards_[s];
-  Event ev = std::move(const_cast<Event&>(sh.heap.top()));
-  sh.heap.pop();
+  Event ev = sh.heap.pop();
   sh.ledger.Mark(ev.id & kLocalIdMask);
   --sh.live;
   ++sh.fired;
@@ -257,10 +285,18 @@ void ShardedEventQueue::ExecuteTop(size_t s) {
   tls_exec = saved;
 }
 
-void ShardedEventQueue::RunShardWindow(size_t s, Cycles horizon) {
+void ShardedEventQueue::RunShardWindow(size_t s) {
+  Shard& sh = shards_[s];
   Key k;
-  while (PeekShard(s, &k) && k.when < horizon) {
+  uint64_t fired_before = sh.fired;
+  // window_cap can shrink while the loop runs (a posted send self-caps, an
+  // inline cross-shard insert caps the running shard) — re-read every
+  // iteration.
+  while (PeekShard(s, &k) && k.when < sh.window_horizon && k.when < sh.window_cap) {
     ExecuteTop(s);
+  }
+  if (sh.fired != fired_before) {
+    ++sh.windows_active;
   }
 }
 
@@ -272,23 +308,55 @@ void ShardedEventQueue::RunTxn(Txn& txn) {
 }
 
 void ShardedEventQueue::DrainTransactions() {
-  while (!txns_.empty()) {
-    std::vector<Txn> batch;
-    batch.swap(txns_);
-    txns_drained_ += batch.size();
-    if (batch.size() > max_mailbox_depth_) {
-      max_mailbox_depth_ = batch.size();
+  {
+    std::lock_guard<std::mutex> lock(txn_mu_);
+    if (!txns_.empty()) {
+      if (txns_.size() > max_mailbox_depth_) {
+        max_mailbox_depth_ = txns_.size();
+      }
+      held_txns_.insert(held_txns_.end(), std::make_move_iterator(txns_.begin()),
+                        std::make_move_iterator(txns_.end()));
+      txns_.clear();
+      // Key order == the order the bodies run inline in a serial execution
+      // (seqs are allocated in send order, monotonic per stream).
+      std::stable_sort(held_txns_.begin(), held_txns_.end(), [](const Txn& a, const Txn& b) {
+        if (a.when != b.when) return a.when < b.when;
+        if (a.stream != b.stream) return a.stream < b.stream;
+        return a.seq < b.seq;
+      });
     }
-    // Key order == the order the bodies run inline in a serial execution
-    // (seqs are allocated in send order, monotonic per stream).
-    std::stable_sort(batch.begin(), batch.end(), [](const Txn& a, const Txn& b) {
-      if (a.when != b.when) return a.when < b.when;
-      if (a.stream != b.stream) return a.stream < b.stream;
-      return a.seq < b.seq;
-    });
-    for (Txn& t : batch) {
-      RunTxn(t);
+  }
+  if (held_txns_.empty()) {
+    return;
+  }
+  // Release floor: a transaction at time w may run only once no shard has a
+  // pending event with when <= w — such an event could still post an
+  // earlier-keyed transaction, and the global order must match the serial
+  // one. A conservative window executes everything below t_min + lookahead,
+  // so its boundary always releases the whole buffer (legacy behavior);
+  // only adaptive windows, whose shards stop at staggered points, hold
+  // transactions back. The floor shrinks while bodies run: a released body
+  // inserts future events (deliveries at >= w + lookahead) that newly
+  // bound the transactions behind it (see Insert).
+  Cycles floor = kNoEvent;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Key k;
+    if (PeekShard(s, &k) && k.when < floor) {
+      floor = k.when;
     }
+  }
+  drain_floor_ = floor;
+  draining_ = true;
+  size_t released = 0;
+  while (released < held_txns_.size() && held_txns_[released].when < drain_floor_) {
+    RunTxn(held_txns_[released]);
+    ++released;
+  }
+  draining_ = false;
+  txns_drained_ += released;
+  if (released > 0) {
+    held_txns_.erase(held_txns_.begin(),
+                     held_txns_.begin() + static_cast<ptrdiff_t>(released));
   }
 }
 
@@ -299,7 +367,25 @@ void ShardedEventQueue::PostSequenced(SequencedFn fn) {
   // Exactly one sequence number per transaction, consumed at post time, so
   // the transaction's key does not depend on when the body runs.
   uint64_t seq = streams_[stream].next_seq++;
-  if (in_parallel_window_) {
+  if (in_parallel_window_ || inline_window_shard_ >= 0) {
+    // Self-cap: the deposited body runs at a window boundary and may
+    // insert back onto this shard at >= when + lookahead (the minimum
+    // delivery latency), so this shard must not run past that point.
+    // Other shards are already bounded by their horizons (<= when +
+    // lookahead) in this window, and by the held-transaction cap
+    // afterwards (see RunUntil). A no-op for the default conservative
+    // horizon; only adaptive windows can be shrunk by it. The cap covers
+    // the posting shard even when the frame's destination lives
+    // elsewhere: consequences of the send (a reply, a timer the receiver
+    // arms) can reach back here two hops later, and nothing else bounds
+    // this shard until the delivery is actually inserted.
+    int own = streams_[stream].shard;
+    Cycles step = lookahead_ > 0 ? lookahead_ : 1;
+    Cycles cap = when > kNoEvent - step ? kNoEvent : when + step;
+    Shard& own_shard = shards_[static_cast<size_t>(own)];
+    if (cap < own_shard.window_cap) {
+      own_shard.window_cap = cap;
+    }
     std::lock_guard<std::mutex> lock(txn_mu_);
     txns_.push_back(Txn{when, stream, seq, std::move(fn)});
     return;
@@ -325,51 +411,130 @@ bool ShardedEventQueue::Step() {
   return true;
 }
 
+void ShardedEventQueue::ComputeHorizons(const std::vector<Cycles>& earliest, Cycles lookahead,
+                                        Cycles deadline, bool adaptive,
+                                        std::vector<Cycles>* horizons) {
+  Cycles step = lookahead > 0 ? lookahead : 1;
+  size_t n = earliest.size();
+  horizons->assign(n, 0);
+  // Windows execute events with when < H, so H may reach deadline + 1.
+  Cycles cap = deadline >= kNoEvent - 1 ? kNoEvent : deadline + 1;
+  Cycles t_min = kNoEvent;
+  for (Cycles e : earliest) {
+    if (e < t_min) {
+      t_min = e;
+    }
+  }
+  if (t_min == kNoEvent) {
+    return;  // all shards empty: no window to bound
+  }
+  if (!adaptive) {
+    // Classic conservative window: every shard shares H = T + lookahead.
+    Cycles h = t_min > kNoEvent - step ? kNoEvent : t_min + step;
+    if (h > cap) {
+      h = cap;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      (*horizons)[i] = h;
+    }
+    return;
+  }
+  // Adaptive: shard r may run until the earliest instant any *other*
+  // shard's pending work could land a cross-shard effect on it (a send
+  // posted at t delivers at >= t + lookahead). Empty shards are excluded —
+  // they gain events only from running shards, which self-cap at insert or
+  // post time (see Insert/PostSequenced). O(n^2) over <= 64 shards.
+  for (size_t r = 0; r < n; ++r) {
+    Cycles h = cap;
+    for (size_t s = 0; s < n; ++s) {
+      if (s == r || earliest[s] == kNoEvent) {
+        continue;
+      }
+      Cycles hs = earliest[s] > kNoEvent - step ? kNoEvent : earliest[s] + step;
+      if (hs < h) {
+        h = hs;
+      }
+    }
+    (*horizons)[r] = h;
+  }
+}
+
 void ShardedEventQueue::RunUntil(Cycles deadline) {
-  constexpr Cycles kMaxCycles = ~static_cast<Cycles>(0);
-  std::vector<size_t> active;
   for (;;) {
     DrainTransactions();
-    size_t s;
-    Key k;
-    if (!GlobalPeek(&s, &k) || k.when > deadline) {
+    // One pass collects each shard's earliest pending time (compacting
+    // cancelled heads as a side effect) and the global minimum.
+    earliest_.assign(shards_.size(), kNoEvent);
+    Cycles t_min = kNoEvent;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Key key;
+      if (PeekShard(i, &key)) {
+        earliest_[i] = key.when;
+        if (key.when < t_min) {
+          t_min = key.when;
+        }
+      }
+    }
+    if (t_min == kNoEvent || t_min > deadline) {
       break;
     }
     ++windows_run_;
-    // Conservative window [T, H): T is the global minimum event time, H is
-    // T + lookahead (capped at the deadline). Cross-stream effects posted
-    // inside the window land at >= T + lookahead >= H, so shards cannot
-    // miss each other's messages.
-    Cycles step = lookahead_ > 0 ? lookahead_ : 1;
-    Cycles horizon = k.when > kMaxCycles - step ? kMaxCycles : k.when + step;
-    if (deadline != kMaxCycles && horizon > deadline + 1) {
-      horizon = deadline + 1;
-    }
-    window_cycles_ += horizon - k.when;
-    active.clear();
-    for (size_t i = 0; i < shards_.size(); ++i) {
-      Key key;
-      if (PeekShard(i, &key) && key.when < horizon) {
-        active.push_back(i);
-        ++shards_[i].windows_active;
-      }
-    }
-    if (pool_ != nullptr && active.size() > 1) {
-      ++parallel_windows_;
-      in_parallel_window_ = true;
-      std::vector<JobOutcome> outcomes =
-          pool_->RunIndexed(active.size(), [this, &active, horizon](size_t i) {
-            RunShardWindow(active[i], horizon);
-          });
-      in_parallel_window_ = false;
-      for (const JobOutcome& o : outcomes) {
-        if (!o.ok) {
-          throw std::runtime_error("sharded event queue worker failed: " + o.error);
+    // Conservative window: shard r runs events with when < min(H_r, cap_r).
+    // Non-adaptive, every H_r is T + lookahead: cross-stream effects posted
+    // inside the window land at >= T + lookahead, so shards cannot miss
+    // each other's messages. Adaptive H_r extends to the earliest instant
+    // another shard's pending work could reach r; caps shrink at runtime
+    // when this shard's own sends bound it (see DESIGN.md §6.8).
+    ComputeHorizons(earliest_, lookahead_, deadline, adaptive_, &horizons_);
+    if (!held_txns_.empty()) {
+      // A held transaction at time w will, once released, insert events
+      // at >= w + lookahead — and its consequences can propagate to any
+      // shard from there — so no shard may run past w + lookahead until
+      // it is released. (Conservative boundaries release every
+      // transaction, so the buffer is only ever non-empty here under
+      // adaptive horizons.) held_txns_ is sorted ascending: the oldest
+      // transaction gives the binding cap.
+      Cycles step = lookahead_ > 0 ? lookahead_ : 1;
+      Cycles w = held_txns_.front().when;
+      Cycles held_cap = w > kNoEvent - step ? kNoEvent : w + step;
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        if (horizons_[i] > held_cap) {
+          horizons_[i] = held_cap;
         }
       }
+    }
+    active_.clear();
+    Cycles h_max = t_min;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (earliest_[i] == kNoEvent || earliest_[i] >= horizons_[i]) {
+        continue;
+      }
+      active_.push_back(i);
+      Shard& sh = shards_[i];
+      ++sh.windows_woken;
+      sh.window_horizon = horizons_[i];
+      sh.window_cap = kNoEvent;
+      if (horizons_[i] > h_max) {
+        h_max = horizons_[i];
+      }
+    }
+    window_cycles_ += h_max - t_min;
+    if (gang_ != nullptr && active_.size() > 1) {
+      ++parallel_windows_;
+      in_parallel_window_ = true;
+      std::string error = gang_->Run(active_);
+      in_parallel_window_ = false;
+      if (!error.empty()) {
+        throw std::runtime_error("sharded event queue worker failed: " + error);
+      }
     } else {
-      for (size_t i : active) {
-        RunShardWindow(i, horizon);
+      // At most one shard can be active here (multi-shard queues always
+      // have a gang), so inline cross-shard inserts are safe and captured
+      // by inline_window_shard_.
+      for (size_t i : active_) {
+        inline_window_shard_ = static_cast<int>(i);
+        RunShardWindow(i);
+        inline_window_shard_ = -1;
       }
     }
   }
@@ -421,6 +586,7 @@ ShardProfile ShardedEventQueue::Profile() const {
   for (const Shard& sh : shards_) {
     ShardProfile::PerShard entry;
     entry.events_fired = sh.fired;
+    entry.windows_woken = sh.windows_woken;
     entry.windows_active = sh.windows_active;
     p.per_shard.push_back(entry);
   }

@@ -28,6 +28,7 @@
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -40,7 +41,7 @@
 
 namespace escort {
 
-class ThreadPool;
+class ShardGang;
 
 // Tracks which event ids have been consumed (fired or cancelled). Ids are
 // dense and monotonically increasing, so instead of one bit per event ever
@@ -188,10 +189,12 @@ class EventQueue {
   // Posts a sequenced transaction: a body that reads/writes state shared
   // between streams (the wire medium). On the serial queue it runs inline.
   // On a sharded queue it consumes exactly one sequence number from the
-  // posting stream at call time; during parallel windows the body is
-  // deposited in a mailbox and drained at the next window boundary in
+  // posting stream at call time; during windows (parallel or inline) the
+  // body is deposited in a mailbox and drained at a window boundary in
   // deterministic (time, stream, seq) order — identical to the order the
-  // bodies run inline in a serial execution. The body runs at a serial
+  // bodies run inline in a serial execution. A body is held past the next
+  // boundary if any shard still has a pending event at or before its post
+  // time (only possible under adaptive horizons). The body runs at a serial
   // point (EA002 treats it as serial context), but it is still deferred:
   // the EA001 capture contract applies.
   // ESCORT_DEFERRED_API
@@ -253,8 +256,17 @@ class EventQueue {
 struct ShardProfile {
   struct PerShard {
     uint64_t events_fired = 0;
-    // Windows in which this shard had at least one runnable event. The
-    // complement (windows_run - windows_active) is idle time.
+    // Windows in which the scheduler dispatched this shard (it had a
+    // runnable event below its horizon, so a worker was woken or the shard
+    // ran inline). The complement (windows_run - windows_woken) is time the
+    // shard stayed parked, which costs nothing under the gang scheduler.
+    uint64_t windows_woken = 0;
+    // Windows in which this shard actually fired at least one event. A
+    // woken-but-inactive window is a wasted wakeup: the shard was
+    // dispatched but its cap closed before the first event. The wasted
+    // fraction 1 - windows_active / windows_woken is the bench
+    // `idle_fraction`; participation over the whole run is recoverable as
+    // windows_active / windows_run.
     uint64_t windows_active = 0;
   };
 
@@ -280,11 +292,34 @@ class ShardedEventQueue : public EventQueue {
   // length in cycles: the minimum latency of any cross-stream interaction
   // (for the testbed: the shortest possible link delivery, see
   // SharedLink::MinDeliveryLatency). 0 degenerates to serial execution.
-  explicit ShardedEventQueue(int shards, Cycles lookahead = 0);
+  // `adaptive` enables per-shard adaptive horizons (see ComputeHorizons);
+  // results are bit-identical either way — only window count changes.
+  explicit ShardedEventQueue(int shards, Cycles lookahead = 0, bool adaptive = false);
   ~ShardedEventQueue() override;
 
   int shard_count() const { return static_cast<int>(shards_.size()); }
   Cycles lookahead() const { return lookahead_; }
+  bool adaptive_lookahead() const { return adaptive_; }
+  void set_adaptive_lookahead(bool on) { adaptive_ = on; }
+
+  // Sentinel for "shard has no pending event" in ComputeHorizons input.
+  static constexpr Cycles kNoEvent = ~static_cast<Cycles>(0);
+
+  // Window horizon computation, exposed for unit tests (pure function).
+  //
+  // `earliest[s]` is shard s's earliest pending event time (kNoEvent when
+  // empty). Non-adaptive: every shard gets the classic conservative window
+  // H = T + lookahead, T = min earliest. Adaptive: shard r's horizon is
+  //   H_r = min over s != r, s non-empty, of (earliest[s] + lookahead)
+  // i.e. the earliest instant any *other* shard's pending work could make
+  // a cross-shard effect land (a send posted at time t delivers at
+  // >= t + lookahead). Empty shards are excluded: cross-shard inserts
+  // happen only from running shards, and those cap the running window at
+  // insert time (see DESIGN.md §6.8 for the correctness argument). With no
+  // other non-empty shard, H_r runs to the deadline. All horizons are
+  // capped at deadline + 1 (windows execute events with when < H).
+  static void ComputeHorizons(const std::vector<Cycles>& earliest, Cycles lookahead,
+                              Cycles deadline, bool adaptive, std::vector<Cycles>* horizons);
 
   Cycles now() const override;
   const Cycles& now_ref() const override;
@@ -345,13 +380,49 @@ class ShardedEventQueue : public EventQueue {
     bool operator>(const Event& o) const { return key > o.key; }
   };
 
+  // Min-heap over Key with a pre-reserved backing vector: shard heaps churn
+  // tens of thousands of push/pop pairs per cell, and std::priority_queue
+  // neither reserves nor lets an event be moved out of the top slot.
+  class EventHeap {
+   public:
+    EventHeap() { events_.reserve(kReserve); }
+    bool empty() const { return events_.empty(); }
+    const Event& top() const { return events_.front(); }
+    void push(Event ev) {
+      events_.push_back(std::move(ev));
+      std::push_heap(events_.begin(), events_.end(), Later());
+    }
+    // Removes and returns the minimum-key event.
+    Event pop() {
+      std::pop_heap(events_.begin(), events_.end(), Later());
+      Event ev = std::move(events_.back());
+      events_.pop_back();
+      return ev;
+    }
+
+   private:
+    struct Later {
+      bool operator()(const Event& a, const Event& b) const { return a.key > b.key; }
+    };
+    static constexpr size_t kReserve = 256;
+    std::vector<Event> events_;
+  };
+
   struct Shard {
-    mutable std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+    mutable EventHeap heap;
     mutable ConsumedLedger ledger;
     Cycles clock = 0;
     size_t live = 0;
     uint64_t fired = 0;
-    uint64_t windows_active = 0;  // windows with a runnable event here
+    uint64_t windows_woken = 0;   // windows this shard was dispatched in
+    uint64_t windows_active = 0;  // windows this shard fired >= 1 event in
+    // Current window bounds. `window_horizon` is fixed at the window's
+    // serial point; `window_cap` shrinks at runtime when this shard's own
+    // activity bounds how far it may safely run (a posted send, or a
+    // cross-shard insert observed while running inline). Both are written
+    // only at serial points or by the thread running this shard.
+    Cycles window_horizon = 0;
+    Cycles window_cap = 0;
   };
 
   struct Stream {
@@ -374,8 +445,9 @@ class ShardedEventQueue : public EventQueue {
   EventId Insert(size_t shard, Key key, StreamId exec, Callback fn);
   // Pops and runs the head of shard `s` (caller guarantees it exists).
   void ExecuteTop(size_t s);
-  // Runs every event of shard `s` with key.when < horizon.
-  void RunShardWindow(size_t s, Cycles horizon);
+  // Runs every event of shard `s` with key.when < min(window_horizon,
+  // window_cap) — the bounds set up by RunUntil for the current window.
+  void RunShardWindow(size_t s);
   // Runs deposited transactions in deterministic key order (serial points
   // only — never while workers run).
   void DrainTransactions();
@@ -386,10 +458,30 @@ class ShardedEventQueue : public EventQueue {
   StreamId main_stream_ = 0;  // ambient stream outside event execution
   Cycles now_floor_ = 0;      // committed global time (main-context now())
   Cycles lookahead_ = 0;
+  bool adaptive_ = false;
   std::vector<Txn> txns_;
   std::mutex txn_mu_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ShardGang> gang_;
   bool in_parallel_window_ = false;
+  // Shard whose window is currently running inline on this thread (-1
+  // outside inline windows). Lets Insert() spot a cross-shard insert and
+  // cap the running window so the target's new event is never overtaken.
+  int inline_window_shard_ = -1;
+  // Scratch buffers reused across windows (hot path: no per-window
+  // allocation).
+  std::vector<Cycles> earliest_;
+  std::vector<Cycles> horizons_;
+  std::vector<size_t> active_;
+  // Sorted transactions awaiting release. A drain runs only the prefix
+  // whose `when` precedes every pending event (the release floor) — under
+  // adaptive horizons a shard that stopped early may still post
+  // earlier-keyed transactions in a later window. Conservative boundaries
+  // always release everything.
+  std::vector<Txn> held_txns_;
+  // Set while DrainTransactions runs released bodies; Insert() lowers
+  // drain_floor_ when a body schedules an event below it.
+  bool draining_ = false;
+  Cycles drain_floor_ = 0;
   uint64_t windows_run_ = 0;
   uint64_t parallel_windows_ = 0;
   Cycles window_cycles_ = 0;       // sum of window lengths (horizon - T)

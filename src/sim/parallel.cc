@@ -1,5 +1,7 @@
 #include "src/sim/parallel.h"
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -111,6 +113,171 @@ std::vector<JobOutcome> ParallelFor(int jobs, size_t count,
                                     const std::function<void(size_t)>& fn) {
   ThreadPool pool(jobs);
   return pool.RunIndexed(count, fn);
+}
+
+// ---- ShardGang -------------------------------------------------------------
+
+namespace {
+
+// Spin budget before a waiter parks on its condvar. On a single-core host
+// spinning only steals cycles from the thread being waited on, so the
+// budget collapses to a single probe there.
+int SpinLimit() { return HardwareConcurrency() > 1 ? 2048 : 1; }
+
+}  // namespace
+
+struct ShardGang::Impl {
+  // One slot per worker. `gen` is the handoff: the dispatcher writes `arg`
+  // and `error` first, then publishes with a release increment; the worker
+  // acquires it, runs, and counts down `remaining`.
+  struct Slot {
+    std::atomic<uint64_t> gen{0};
+    size_t arg = 0;
+    std::string error;
+    // Keep neighbouring slots off one cache line: gen is hammered by the
+    // spin loops of two threads.
+    char pad[64];
+  };
+
+  Body body;
+  int spin_limit = 1;
+  std::vector<std::unique_ptr<Slot>> slots;
+  std::atomic<size_t> remaining{0};
+  std::atomic<bool> stopping{false};
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers park here between windows
+  std::condition_variable done_cv;  // the dispatcher parks here at the barrier
+  std::vector<std::thread> workers;
+
+  static void RunBody(const Body& body, size_t arg, std::string* error) {
+    try {
+      body(arg);
+    } catch (const std::exception& e) {
+      *error = e.what();
+      if (error->empty()) {
+        *error = "unknown error";
+      }
+    } catch (...) {
+      *error = "non-standard exception";
+    }
+  }
+
+  void WorkerLoop(Slot* slot) {
+    uint64_t seen = 0;
+    int spins = 0;
+    for (;;) {
+      uint64_t gen = slot->gen.load(std::memory_order_acquire);
+      if (gen == seen) {
+        if (stopping.load(std::memory_order_acquire)) {
+          return;
+        }
+        if (++spins < spin_limit) {
+          continue;
+        }
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] {
+          return slot->gen.load(std::memory_order_acquire) != seen ||
+                 stopping.load(std::memory_order_acquire);
+        });
+        spins = 0;
+        continue;
+      }
+      spins = 0;
+      seen = gen;
+      RunBody(body, slot->arg, &slot->error);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Pair with the dispatcher's predicate re-check under the mutex so
+        // the final count-down can never slip between its check and wait.
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+ShardGang::ShardGang(int workers, Body body) : impl_(std::make_unique<Impl>()) {
+  if (workers < 1) {
+    workers = 1;
+  }
+  impl_->body = std::move(body);
+  impl_->spin_limit = SpinLimit();
+  impl_->slots.reserve(static_cast<size_t>(workers));
+  impl_->workers.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    impl_->slots.push_back(std::make_unique<Impl::Slot>());
+    Impl::Slot* slot = impl_->slots.back().get();
+    impl_->workers.emplace_back([this, slot] { impl_->WorkerLoop(slot); });
+  }
+}
+
+ShardGang::~ShardGang() {
+  impl_->stopping.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) {
+    t.join();
+  }
+}
+
+int ShardGang::worker_count() const { return static_cast<int>(impl_->workers.size()); }
+
+std::string ShardGang::Run(const std::vector<size_t>& args) {
+  if (args.empty()) {
+    return std::string();
+  }
+  size_t dispatched = args.size() - 1;
+  if (dispatched > impl_->slots.size()) {
+    return "shard gang dispatched " + std::to_string(args.size()) + " jobs with only " +
+           std::to_string(impl_->slots.size()) + " workers";
+  }
+  impl_->remaining.store(dispatched, std::memory_order_relaxed);
+  for (size_t i = 0; i < dispatched; ++i) {
+    Impl::Slot* slot = impl_->slots[i].get();
+    slot->arg = args[i + 1];
+    slot->error.clear();
+    slot->gen.fetch_add(1, std::memory_order_release);
+  }
+  if (dispatched > 0) {
+    // Empty critical section: a worker between its predicate check and
+    // wait() holds the mutex, so acquiring it here orders this notify
+    // after that worker is actually parked.
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+    }
+    impl_->work_cv.notify_all();
+  }
+  std::string caller_error;
+  Impl::RunBody(impl_->body, args[0], &caller_error);
+  int spins = 0;
+  while (impl_->remaining.load(std::memory_order_acquire) != 0) {
+    if (++spins < impl_->spin_limit) {
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] {
+      return impl_->remaining.load(std::memory_order_acquire) == 0;
+    });
+    break;
+  }
+  std::string errors = caller_error;
+  for (size_t i = 0; i < dispatched; ++i) {
+    const std::string& e = impl_->slots[i]->error;
+    if (!e.empty()) {
+      if (!errors.empty()) {
+        errors += "; ";
+      }
+      errors += e;
+    }
+  }
+  return errors;
+}
+
+double MonotonicMillis() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace escort

@@ -64,6 +64,51 @@ class ThreadPool {
 std::vector<JobOutcome> ParallelFor(int jobs, size_t count,
                                     const std::function<void(size_t)>& fn);
 
+// Persistent gang of workers for the sharded event queue's window loop.
+//
+// Unlike ThreadPool::RunIndexed — which binds a fresh std::function and
+// walks a mutex/condvar handshake per batch — the gang binds its body
+// exactly once at construction and hands each dispatch over through a
+// per-worker atomic generation slot. Workers spin briefly on the slot
+// before parking on a condvar, so back-to-back windows (the hot case:
+// tens of thousands per cell) skip the scheduler entirely on multicore
+// hosts. On a single-core host the spin collapses to one probe.
+//
+// Run() dispatches args[1..count) to workers and executes args[0] on the
+// calling thread, then blocks until every slot finishes. Dispatches are
+// sequential (one caller), matching the queue's serial-point discipline.
+class ShardGang {
+ public:
+  using Body = std::function<void(size_t)>;
+
+  // `workers` persistent threads (clamped to >= 1). `body` is the one
+  // function every dispatch runs; it must be safe to call concurrently
+  // with distinct arguments.
+  ShardGang(int workers, Body body);
+  ~ShardGang();
+
+  ShardGang(const ShardGang&) = delete;
+  ShardGang& operator=(const ShardGang&) = delete;
+
+  int worker_count() const;
+
+  // Runs body over every element of `args` (args[0] on the caller,
+  // args[1..] on workers; args.size() - 1 must not exceed worker_count()).
+  // Returns "" when every slot succeeded, else the joined error messages —
+  // a throwing body never deadlocks or tears down the gang.
+  std::string Run(const std::vector<size_t>& args);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Milliseconds on the host's monotonic clock, for wall-clock perf
+// measurement only (the bench JSON `perf` block). Simulated time always
+// comes from EventQueue::now(); nothing in simulation logic may branch on
+// this value — it exists so sweeps can report events/sec.
+double MonotonicMillis();
+
 }  // namespace escort
 
 #endif  // SRC_SIM_PARALLEL_H_

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/kernel/audit.h"
+#include "src/sim/parallel.h"
 
 namespace escort {
 
@@ -37,8 +38,8 @@ struct Testbed {
   // independent of the shard partition). The lookahead window is the
   // minimum link delivery latency: the only cross-stream interaction is
   // the wire.
-  explicit Testbed(int shards)
-      : eq(shards, SharedLink::MinDeliveryLatency(NetworkModel::Calibrated())) {}
+  Testbed(int shards, bool adaptive)
+      : eq(shards, SharedLink::MinDeliveryLatency(NetworkModel::Calibrated()), adaptive) {}
 
   ShardedEventQueue eq;
   std::unique_ptr<SharedLink> link;
@@ -57,7 +58,7 @@ struct Testbed {
 };
 
 std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer = nullptr) {
-  auto tb = std::make_unique<Testbed>(spec.shards);
+  auto tb = std::make_unique<Testbed>(spec.shards, spec.adaptive_lookahead);
   tb->link = std::make_unique<SharedLink>(&tb->eq, NetworkModel::Calibrated());
 
   if (spec.linux_server) {
@@ -80,13 +81,18 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer
   }
 
   // Every machine (client, attacker, QoS endpoint) is its own event
-  // stream, round-robined over shards 1..N-1 (the server/kernel stay on
-  // shard 0). Stream ids depend only on construction order — never on the
-  // shard count — which is what keeps results bit-identical at any N.
+  // stream, homed per the placement map over shards 1..N-1 (the server/
+  // kernel stay on shard 0). Stream ids depend only on construction order
+  // — never on the shard count or the map — which is what keeps results
+  // bit-identical at any N and under any placement.
+  std::vector<int> placement = spec.placement_map;
+  if (placement.empty()) {
+    placement = ComputePlacement(spec);
+  }
   int next_actor = 0;
   auto actor_stream = [&]() -> EventQueue::StreamId {
-    int n = tb->eq.shard_count();
-    int shard = n <= 1 ? 0 : 1 + (next_actor++ % (n - 1));
+    size_t idx = static_cast<size_t>(next_actor++);
+    int shard = idx < placement.size() ? placement[idx] : 0;
     return tb->eq.NewStream(shard);
   };
 
@@ -223,6 +229,7 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
     ScheduleLedgerSampler(&eq, &tb->server->kernel(), tracer, 0, interval, run_end);
   }
 
+  double sim_start_ms = MonotonicMillis();
   eq.RunUntil(CyclesFromSeconds(warmup_s));
 
   Cycles window_start = eq.now();
@@ -236,8 +243,10 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
 
   eq.RunUntil(window_start + CyclesFromSeconds(window_s));
   Cycles window_end = eq.now();
+  double sim_wall_ms = MonotonicMillis() - sim_start_ms;
 
   ExperimentResult r;
+  r.sim_wall_ms = sim_wall_ms;
   r.conns_per_sec = tb->completions.CloseWindow(window_end);
   r.completions_total = tb->completions.total();
   r.window_cycles = window_end - window_start;
@@ -273,6 +282,7 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
       for (size_t i = 0; i < p.per_shard.size(); ++i) {
         tracer->Counter(window_end, "shard/" + std::to_string(i),
                         {{"events_fired", Tracer::Num(p.per_shard[i].events_fired)},
+                         {"windows_woken", Tracer::Num(p.per_shard[i].windows_woken)},
                          {"windows_active", Tracer::Num(p.per_shard[i].windows_active)}});
       }
     }

@@ -13,6 +13,7 @@
 #include "src/server/monolithic_server.h"
 #include "src/server/web_server.h"
 #include "src/workload/http_client.h"
+#include "src/workload/placement.h"
 
 namespace escort {
 
@@ -25,6 +26,20 @@ struct ExperimentSpec {
   double syn_attack_rate = 0.0;            // SYNs/s from the untrusted subnet
   int cgi_attackers = 0;                   // one attack/s each
   int shards = 1;                          // event-queue shards (bit-identical at any N)
+  // Adaptive per-shard lookahead horizons (ShardedEventQueue): collapses
+  // the window count; results stay bit-identical either way.
+  bool adaptive_lookahead = false;
+  // Stream→shard placement for the actor machines (src/workload/
+  // placement.h). Results are bit-identical for any map; only shard load
+  // balance changes.
+  PlacementMode placement = PlacementMode::kRoundRobin;
+  // Resolved actor→shard map. Empty: computed from the spec by
+  // BuildTestbed. The sweep runner resolves it up front so the bench JSON
+  // records the exact map used.
+  std::vector<int> placement_map;
+  // Prior run's per-shard events_fired (profile placement mode); attached
+  // by the sweep runner from --placement profile=PATH.
+  std::vector<uint64_t> profile_shard_events;
   double warmup_s = 0.6;
   double window_s = 2.0;
   WebServerOptions server_options;         // config/scheduler filled in by Run
@@ -55,6 +70,11 @@ struct ExperimentResult {
   // feeds the bench JSON `shard_utilization` block. Inherently depends on
   // the shard partition, so it is excluded from cross-shard equality.
   ShardProfile shard_profile;
+  // Wall-clock spent inside the event-queue run (warmup + window), which
+  // is what the bench JSON `perf` block rates: testbed construction and
+  // teardown are setup cost, not scheduler throughput. Machine-dependent
+  // by nature — excluded from cross-shard equality like shard_profile.
+  double sim_wall_ms = 0.0;
 };
 
 // Scale factors from the environment (ESCORT_WARMUP_S / ESCORT_WINDOW_S),

@@ -1,0 +1,223 @@
+#include "src/workload/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/workload/experiment.h"
+
+namespace escort {
+
+namespace {
+
+// Rough bytes-per-request of the fetched document, parsed from the doc
+// path ("/doc1b" → 1, "/doc1k" → 1024, "/doc10k" → 10240). Unknown names
+// fall back to 1K — placement only needs relative magnitudes.
+uint64_t DocBytes(const std::string& doc) {
+  size_t pos = doc.find_first_of("0123456789");
+  if (pos == std::string::npos) {
+    return 1024;
+  }
+  uint64_t n = 0;
+  while (pos < doc.size() && doc[pos] >= '0' && doc[pos] <= '9') {
+    n = n * 10 + static_cast<uint64_t>(doc[pos] - '0');
+    ++pos;
+  }
+  if (pos < doc.size() && (doc[pos] == 'k' || doc[pos] == 'K')) {
+    n *= 1024;
+  }
+  return n == 0 ? 1024 : n;
+}
+
+// Weights from a prior round-robin run's per-shard events_fired: the prior
+// run homed actor i on shard 1 + i % (P-1), so shard q's fired count is
+// split evenly over the actors that lived there. Empty result = no usable
+// profile (caller falls back to spec weights).
+std::vector<uint64_t> ProfileWeights(const ExperimentSpec& spec, int actors) {
+  const std::vector<uint64_t>& prior = spec.profile_shard_events;
+  if (prior.size() < 2 || actors <= 0) {
+    return {};
+  }
+  int lanes = static_cast<int>(prior.size()) - 1;
+  std::vector<uint64_t> residents(static_cast<size_t>(lanes), 0);
+  for (int i = 0; i < actors; ++i) {
+    ++residents[static_cast<size_t>(i % lanes)];
+  }
+  std::vector<uint64_t> weights(static_cast<size_t>(actors), 1);
+  for (int i = 0; i < actors; ++i) {
+    size_t q = static_cast<size_t>(i % lanes);
+    uint64_t share = residents[q] > 0 ? prior[q + 1] / residents[q] : 0;
+    // Scale up so integer division keeps some resolution, floor at 1 so
+    // idle actors still spread instead of stacking on one shard.
+    weights[static_cast<size_t>(i)] = share * 16 + 1;
+  }
+  return weights;
+}
+
+}  // namespace
+
+const char* PlacementModeName(PlacementMode mode) {
+  switch (mode) {
+    case PlacementMode::kRoundRobin:
+      return "rr";
+    case PlacementMode::kWeighted:
+      return "weighted";
+    case PlacementMode::kProfile:
+      return "profile";
+  }
+  return "rr";
+}
+
+bool ParsePlacementMode(const std::string& name, PlacementMode* mode) {
+  if (name == "rr") {
+    *mode = PlacementMode::kRoundRobin;
+    return true;
+  }
+  if (name == "weighted") {
+    *mode = PlacementMode::kWeighted;
+    return true;
+  }
+  if (name == "profile") {
+    *mode = PlacementMode::kProfile;
+    return true;
+  }
+  return false;
+}
+
+int ActorCount(const ExperimentSpec& spec) {
+  int n = spec.clients + spec.cgi_attackers;
+  if (spec.qos_stream) {
+    ++n;
+  }
+  if (spec.syn_attack_rate > 0) {
+    ++n;
+  }
+  return n;
+}
+
+std::vector<uint64_t> ActorWeights(const ExperimentSpec& spec) {
+  std::vector<uint64_t> weights;
+  weights.reserve(static_cast<size_t>(ActorCount(spec)));
+  // Clients: a base of connection churn plus wire events proportional to
+  // the document size (one TCP segment per ~256 bytes of payload).
+  uint64_t client_weight = 64 + DocBytes(spec.doc) / 256;
+  for (int i = 0; i < spec.clients; ++i) {
+    weights.push_back(client_weight);
+  }
+  // CGI attackers fire one slow request per second — light on the wire.
+  for (int i = 0; i < spec.cgi_attackers; ++i) {
+    weights.push_back(24);
+  }
+  // The QoS stream is a steady bulk flow: heavier than any single client.
+  if (spec.qos_stream) {
+    weights.push_back(96);
+  }
+  // A SYN flood's event count scales directly with its rate.
+  if (spec.syn_attack_rate > 0) {
+    uint64_t w = static_cast<uint64_t>(spec.syn_attack_rate / 25.0);
+    weights.push_back(w < 1 ? 1 : w);
+  }
+  return weights;
+}
+
+std::vector<int> ComputePlacement(const ExperimentSpec& spec) {
+  int shards = spec.shards;
+  if (shards < 1) {
+    shards = 1;
+  }
+  if (shards > 64) {
+    shards = 64;
+  }
+  int actors = ActorCount(spec);
+  std::vector<int> map(static_cast<size_t>(actors), 0);
+  int lanes = shards - 1;  // shard 0 is reserved for the server/kernel
+  if (lanes <= 0 || actors == 0) {
+    return map;
+  }
+  if (spec.placement == PlacementMode::kRoundRobin) {
+    for (int i = 0; i < actors; ++i) {
+      map[static_cast<size_t>(i)] = 1 + i % lanes;
+    }
+    return map;
+  }
+  std::vector<uint64_t> weights;
+  if (spec.placement == PlacementMode::kProfile) {
+    weights = ProfileWeights(spec, actors);
+  }
+  if (weights.empty()) {
+    weights = ActorWeights(spec);
+  }
+  // LPT greedy bin packing: heaviest actor first onto the least-loaded
+  // lane. stable_sort + lowest-lane tie-break keep the map a pure function
+  // of the weights.
+  std::vector<int> order(static_cast<size_t>(actors));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&weights](int a, int b) {
+    return weights[static_cast<size_t>(a)] > weights[static_cast<size_t>(b)];
+  });
+  std::vector<uint64_t> load(static_cast<size_t>(lanes), 0);
+  for (int i : order) {
+    size_t lane = 0;
+    for (size_t l = 1; l < load.size(); ++l) {
+      if (load[l] < load[lane]) {
+        lane = l;
+      }
+    }
+    map[static_cast<size_t>(i)] = 1 + static_cast<int>(lane);
+    load[lane] += weights[static_cast<size_t>(i)];
+  }
+  return map;
+}
+
+std::map<std::string, std::vector<uint64_t>> ParseProfileShardEvents(const std::string& json) {
+  // Minimal scan of our own serializer's output (Sweep::ToJson): each cell
+  // object carries "id": "..." followed later by "per_shard": [{...,
+  // "events_fired": N, ...}, ...]. Keys are emitted with exactly one
+  // colon-space, which is all this scanner relies on.
+  std::map<std::string, std::vector<uint64_t>> out;
+  size_t pos = 0;
+  for (;;) {
+    size_t id_key = json.find("\"id\": \"", pos);
+    if (id_key == std::string::npos) {
+      break;
+    }
+    size_t id_start = id_key + 7;
+    size_t id_end = json.find('"', id_start);
+    if (id_end == std::string::npos) {
+      break;
+    }
+    std::string id = json.substr(id_start, id_end - id_start);
+    size_t next_id = json.find("\"id\": \"", id_end);
+    size_t block = json.find("\"per_shard\": [", id_end);
+    if (block == std::string::npos || (next_id != std::string::npos && block > next_id)) {
+      pos = id_end;
+      continue;
+    }
+    size_t block_end = json.find(']', block);
+    if (block_end == std::string::npos) {
+      break;
+    }
+    std::vector<uint64_t> fired;
+    size_t cursor = block;
+    for (;;) {
+      size_t key = json.find("\"events_fired\": ", cursor);
+      if (key == std::string::npos || key > block_end) {
+        break;
+      }
+      uint64_t n = 0;
+      size_t digits = key + 16;
+      while (digits < json.size() && json[digits] >= '0' && json[digits] <= '9') {
+        n = n * 10 + static_cast<uint64_t>(json[digits] - '0');
+        ++digits;
+      }
+      fired.push_back(n);
+      cursor = digits;
+    }
+    if (!fired.empty()) {
+      out[id] = std::move(fired);
+    }
+    pos = block_end;
+  }
+  return out;
+}
+
+}  // namespace escort

@@ -1,0 +1,72 @@
+// Deterministic stream→shard placement for the experiment testbed.
+//
+// Every actor (client machine, CGI attacker, QoS endpoint, SYN attacker)
+// is one event stream; the server/kernel/link stay on shard 0 and actors
+// are spread over shards 1..N-1. Placement changes only which shard an
+// actor's stream is homed on — results are bit-identical for any map (the
+// queue's total event order is independent of the partition) — but it
+// decides how evenly event work spreads across the shards.
+//
+// Three modes, all pure functions of the experiment spec (plus, for
+// profile mode, a prior run's per-shard event counts), so any placement is
+// reproducible from the recorded bench JSON spec alone:
+//
+//  * round-robin — the historical default: actor i on shard 1 + i % (N-1).
+//  * weighted    — spec-derived per-actor weights (a 10K-byte client costs
+//                  more events than a CGI attacker) packed greedily,
+//                  heaviest first, onto the least-loaded shard (LPT).
+//  * profile     — weights taken from a prior round-robin run's
+//                  `shard_utilization` per-shard `events_fired`, then LPT.
+//                  Falls back to spec weights when no usable profile is
+//                  attached.
+
+#ifndef SRC_WORKLOAD_PLACEMENT_H_
+#define SRC_WORKLOAD_PLACEMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace escort {
+
+struct ExperimentSpec;
+
+enum class PlacementMode {
+  kRoundRobin,
+  kWeighted,
+  kProfile,
+};
+
+// Canonical flag spelling ("rr", "weighted", "profile").
+const char* PlacementModeName(PlacementMode mode);
+
+// Parses a canonical mode name. Returns false on anything else.
+bool ParsePlacementMode(const std::string& name, PlacementMode* mode);
+
+// Number of actor streams BuildTestbed will create for `spec`, in
+// construction order: clients, CGI attackers, QoS endpoint, SYN attacker.
+int ActorCount(const ExperimentSpec& spec);
+
+// Spec-derived relative weight per actor (same order as ActorCount).
+// Weights are integer event-rate estimates — a client fetching a larger
+// document ticks more wire/TCP events per request; the QoS stream is a
+// steady high-rate flow; a SYN flood scales with its rate. Every weight is
+// >= 1 so zero-weight actors still spread.
+std::vector<uint64_t> ActorWeights(const ExperimentSpec& spec);
+
+// Per-actor shard assignment for `spec` (same order as ActorCount); every
+// entry is in [0, spec.shards). Shard 0 is returned for every actor when
+// the spec has a single shard. Deterministic: depends only on the spec
+// (and spec.profile_shard_events in profile mode).
+std::vector<int> ComputePlacement(const ExperimentSpec& spec);
+
+// Extracts per-cell per-shard `events_fired` from a bench JSON document
+// (the output of Sweep::WriteJson): cell id → events_fired vector indexed
+// by shard. Returns an empty map when the text contains no usable
+// `per_shard` blocks. Pure text scan — no file or console I/O here.
+std::map<std::string, std::vector<uint64_t>> ParseProfileShardEvents(const std::string& json);
+
+}  // namespace escort
+
+#endif  // SRC_WORKLOAD_PLACEMENT_H_

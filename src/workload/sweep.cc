@@ -34,11 +34,18 @@ namespace {
     std::fprintf(stderr, "unknown argument: %s\n", bad);
   }
   std::fprintf(stderr,
-               "usage: %s [--quick] [--jobs N] [--shards N] [--json PATH] [--trace PATH]\n"
+               "usage: %s [--quick] [--jobs N] [--shards N] [--adaptive-lookahead]\n"
+               "       [--placement MODE] [--json PATH] [--trace PATH]\n"
                "  --quick      run the bench's reduced grid\n"
                "  --jobs N     worker threads (default: hardware concurrency)\n"
                "  --shards N   event-queue shards within each cell (default 1;\n"
                "               results are bit-identical at any N)\n"
+               "  --adaptive-lookahead\n"
+               "               per-shard adaptive window horizons (fewer\n"
+               "               barriers, bit-identical results)\n"
+               "  --placement MODE\n"
+               "               stream->shard placement: rr (default), weighted,\n"
+               "               or profile=PATH (a prior run's bench JSON)\n"
                "  --json PATH  also write machine-readable results to PATH\n"
                "  --trace PATH write a deterministic Chrome trace (Perfetto /\n"
                "               chrome://tracing) covering every cell\n",
@@ -123,6 +130,22 @@ void AppendKey(std::string* out, const char* key) {
   *out += ": ";
 }
 
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  out->clear();
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    out->append(buf, n);
+  }
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
 // Cell ids become part of flight-dump filenames; keep them path-safe.
 std::string PathSafe(const std::string& id) {
   std::string out = id;
@@ -152,6 +175,12 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       opts.shards = ParseShards(argv[0], argv[++i]);
     } else if (std::strncmp(a, "--shards=", 9) == 0) {
       opts.shards = ParseShards(argv[0], a + 9);
+    } else if (std::strcmp(a, "--adaptive-lookahead") == 0) {
+      opts.adaptive_lookahead = true;
+    } else if (std::strcmp(a, "--placement") == 0 && i + 1 < argc) {
+      opts.placement = argv[++i];
+    } else if (std::strncmp(a, "--placement=", 12) == 0) {
+      opts.placement = a + 12;
     } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
       opts.json_path = argv[++i];
     } else if (std::strncmp(a, "--json=", 7) == 0) {
@@ -188,6 +217,36 @@ SweepCell& Sweep::AddCustom(std::string id, const ExperimentSpec& spec, CellFn r
 
 void Sweep::Run(const SweepOptions& opts) {
   jobs_used_ = opts.jobs <= 0 ? HardwareConcurrency() : opts.jobs;
+  // --placement: resolve the mode (and load the profile feedback JSON)
+  // once for the whole sweep.
+  bool override_placement = !opts.placement.empty();
+  PlacementMode mode = PlacementMode::kRoundRobin;
+  std::map<std::string, std::vector<uint64_t>> profile;
+  if (override_placement) {
+    std::string name = opts.placement;
+    std::string profile_path;
+    size_t eq = name.find('=');
+    if (eq != std::string::npos) {
+      profile_path = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    if (!ParsePlacementMode(name, &mode)) {
+      Die("unknown --placement mode '" + opts.placement + "' (rr, weighted, profile=PATH)");
+    }
+    if (mode == PlacementMode::kProfile) {
+      if (profile_path.empty()) {
+        Die("--placement profile requires a prior bench JSON: profile=PATH");
+      }
+      std::string text;
+      if (!ReadFileToString(profile_path, &text)) {
+        Die("cannot read placement profile " + profile_path);
+      }
+      profile = ParseProfileShardEvents(text);
+      if (profile.empty()) {
+        Die("no per_shard events_fired data in placement profile " + profile_path);
+      }
+    }
+  }
   // Resolve the env overrides once, up front, so every cell runs — and is
   // recorded in the JSON — with the warmup/window actually used.
   for (SweepCell& cell : cells_) {
@@ -196,6 +255,21 @@ void Sweep::Run(const SweepOptions& opts) {
     if (opts.shards > 0) {
       cell.spec.shards = opts.shards;
     }
+    if (opts.adaptive_lookahead) {
+      cell.spec.adaptive_lookahead = true;
+    }
+    if (override_placement) {
+      cell.spec.placement = mode;
+      if (mode == PlacementMode::kProfile) {
+        auto it = profile.find(cell.id);
+        if (it != profile.end()) {
+          cell.spec.profile_shard_events = it->second;
+        }
+      }
+    }
+    // Record the exact actor→shard map the testbed will use, so any run is
+    // reproducible from its JSON spec alone.
+    cell.spec.placement_map = ComputePlacement(cell.spec);
   }
   // Tracing: each cell gets its own sink (cells run concurrently), and the
   // per-cell buffers are merged in grid order afterwards — one trace
@@ -216,10 +290,21 @@ void Sweep::Run(const SweepOptions& opts) {
   std::vector<JobOutcome> outcomes =
       ParallelFor(jobs_used_, cells_.size(), [this](size_t i) {
         const SweepCell& cell = cells_[i];
+        // Wall-clock per cell for the JSON `perf` block. Parallel cells
+        // share cores, so per-cell wall time is only comparable between
+        // runs at the same --jobs; the perf gate pins jobs for that reason.
+        double start_ms = MonotonicMillis();
         if (cell.run) {
           results_[i].metrics = cell.run(cell.spec);
         } else {
           results_[i].metrics.experiment = RunExperiment(cell.spec);
+        }
+        results_[i].wall_ms = MonotonicMillis() - start_ms;
+        // Prefer the experiment's own run-phase timing when it reports
+        // one: the perf block rates the scheduler, and the outer span
+        // includes testbed construction and teardown.
+        if (results_[i].metrics.experiment.sim_wall_ms > 0.0) {
+          results_[i].wall_ms = results_[i].metrics.experiment.sim_wall_ms;
         }
       });
   for (size_t i = 0; i < outcomes.size(); ++i) {
@@ -286,7 +371,7 @@ std::string Sweep::ToJson() const {
   out.reserve(4096 + 1024 * cells_.size());
   out += "{\n  ";
   AppendKey(&out, "schema_version");
-  out += "2,\n  ";
+  out += "3,\n  ";
   AppendKey(&out, "bench");
   AppendEscaped(&out, name_);
   out += ",\n  ";
@@ -348,6 +433,21 @@ std::string Sweep::ToJson() const {
     AppendKey(&out, "shards");
     AppendUint(&out, static_cast<uint64_t>(cell.spec.shards));
     out += ", ";
+    AppendKey(&out, "adaptive_lookahead");
+    out += cell.spec.adaptive_lookahead ? "true" : "false";
+    out += ", ";
+    AppendKey(&out, "placement");
+    AppendEscaped(&out, PlacementModeName(cell.spec.placement));
+    out += ", ";
+    AppendKey(&out, "placement_map");
+    out += "[";
+    for (size_t m = 0; m < cell.spec.placement_map.size(); ++m) {
+      if (m != 0) {
+        out += ", ";
+      }
+      AppendUint(&out, static_cast<uint64_t>(cell.spec.placement_map[m]));
+    }
+    out += "], ";
     AppendKey(&out, "warmup_s");
     AppendDouble(&out, cell.spec.warmup_s);
     out += ", ";
@@ -438,6 +538,22 @@ std::string Sweep::ToJson() const {
     AppendKey(&out, "max_mailbox_depth");
     AppendUint(&out, sp.max_mailbox_depth);
     out += ", ";
+    // Load balance in one number: max/mean of per-shard events_fired
+    // (1.0 = perfectly even; `shards` = everything on one shard).
+    uint64_t fired_total = 0;
+    uint64_t fired_max = 0;
+    for (const auto& per : sp.per_shard) {
+      fired_total += per.events_fired;
+      if (per.events_fired > fired_max) {
+        fired_max = per.events_fired;
+      }
+    }
+    AppendKey(&out, "imbalance");
+    AppendDouble(&out, fired_total > 0 && !sp.per_shard.empty()
+                           ? static_cast<double>(fired_max) * static_cast<double>(sp.per_shard.size()) /
+                                 static_cast<double>(fired_total)
+                           : 0.0);
+    out += ", ";
     AppendKey(&out, "per_shard");
     out += "[";
     for (size_t s = 0; s < sp.per_shard.size(); ++s) {
@@ -451,17 +567,45 @@ std::string Sweep::ToJson() const {
       AppendKey(&out, "events_fired");
       AppendUint(&out, sp.per_shard[s].events_fired);
       out += ", ";
+      AppendKey(&out, "windows_woken");
+      AppendUint(&out, sp.per_shard[s].windows_woken);
+      out += ", ";
       AppendKey(&out, "windows_active");
       AppendUint(&out, sp.per_shard[s].windows_active);
       out += ", ";
+      // Wasted-wakeup fraction: of the windows this shard was dispatched
+      // in, how many fired nothing. Parked windows cost nothing under the
+      // gang scheduler, so they are not idleness; participation over the
+      // whole run is still windows_active / windows_run.
       AppendKey(&out, "idle_fraction");
-      AppendDouble(&out, sp.windows_run > 0
+      AppendDouble(&out, sp.per_shard[s].windows_woken > 0
                              ? 1.0 - static_cast<double>(sp.per_shard[s].windows_active) /
-                                         static_cast<double>(sp.windows_run)
+                                         static_cast<double>(sp.per_shard[s].windows_woken)
                              : 0.0);
       out += "}";
     }
     out += "]},\n     ";
+    // Host wall-clock performance of the cell (schema v3). Machine- and
+    // load-dependent by nature: determinism-exempt like shard_utilization
+    // (check_bench_json.py strips both for --expect-equal), consumed by
+    // tools/check_perf_regression.py.
+    uint64_t perf_events = 0;
+    for (const auto& per : sp.per_shard) {
+      perf_events += per.events_fired;
+    }
+    AppendKey(&out, "perf");
+    out += "{";
+    AppendKey(&out, "wall_ms");
+    AppendDouble(&out, r.wall_ms);
+    out += ", ";
+    AppendKey(&out, "events_per_sec");
+    AppendDouble(&out, r.wall_ms > 0.0 ? static_cast<double>(perf_events) * 1000.0 / r.wall_ms
+                                       : 0.0);
+    out += ", ";
+    AppendKey(&out, "windows_per_sec");
+    AppendDouble(&out, r.wall_ms > 0.0 ? static_cast<double>(sp.windows_run) * 1000.0 / r.wall_ms
+                                       : 0.0);
+    out += "},\n     ";
     AppendKey(&out, "extra");
     out += "{";
     first = true;

@@ -19,6 +19,14 @@
 //   --shards N   event-queue shards *within* each cell (default 1;
 //                results are bit-identical at any N — see
 //                ShardedEventQueue). Recorded in the JSON spec.
+//   --adaptive-lookahead
+//                per-shard adaptive window horizons (fewer barriers, same
+//                results — see ShardedEventQueue::ComputeHorizons).
+//                Recorded in the JSON spec.
+//   --placement MODE
+//                stream→shard placement: rr (default), weighted, or
+//                profile=PATH (feed back a prior run's bench JSON). The
+//                resolved actor→shard map is recorded in the JSON spec.
 //   --json PATH  machine-readable BENCH_*.json output for the perf
 //                trajectory, alongside the human-readable tables
 //   --trace PATH deterministic Chrome trace-event JSON of every cell
@@ -62,19 +70,26 @@ struct CellResult {
   bool ok = false;
   std::string error;   // exception text when !ok
   CellMetrics metrics;
+  // Host wall-clock spent running this cell (the JSON `perf` block).
+  // Machine-dependent by nature — never part of determinism comparisons.
+  double wall_ms = 0.0;
 };
 
 struct SweepOptions {
   int jobs = 0;            // <= 0: hardware concurrency
   int shards = 0;          // <= 0: keep each spec's own value (default 1)
+  bool adaptive_lookahead = false;
+  // "" keeps each spec's own mode; else "rr", "weighted", or
+  // "profile=PATH" (PATH: a prior run's bench JSON to feed back).
+  std::string placement;
   std::string json_path;   // empty: no JSON emitted
   std::string trace_path;  // empty: no trace emitted
   bool quick = false;
 };
 
-// Parses the common bench flags (--jobs N, --shards N, --json PATH,
-// --trace PATH, --quick). Prints usage and exits with status 2 on an
-// unknown argument.
+// Parses the common bench flags (--jobs N, --shards N,
+// --adaptive-lookahead, --placement MODE, --json PATH, --trace PATH,
+// --quick). Prints usage and exits with status 2 on an unknown argument.
 SweepOptions ParseSweepArgs(int argc, char** argv);
 
 class Sweep {
@@ -108,7 +123,7 @@ class Sweep {
   const std::vector<CellResult>& results() const { return results_; }
   int failed_count() const;
 
-  // JSON serialization of the whole sweep (schema_version 2; the schema
+  // JSON serialization of the whole sweep (schema_version 3; the schema
   // is pinned by tests/test_bench_json.cc and tools/check_bench_json.py).
   std::string ToJson() const;
   bool WriteJson(const std::string& path) const;

@@ -232,11 +232,12 @@ class JsonParser {
 
 const std::vector<std::string> kTopKeys = {"schema_version", "bench", "jobs", "cells"};
 const std::vector<std::string> kCellKeys = {
-    "id",   "ok",      "error",  "tags",
-    "spec", "metrics", "ledger", "shard_utilization", "extra"};
+    "id",   "ok",      "error",  "tags",              "spec",
+    "metrics", "ledger", "shard_utilization", "perf", "extra"};
 const std::vector<std::string> kSpecKeys = {
     "linux_server", "config",        "clients",  "doc",      "qos_stream",
-    "syn_attack_rate", "cgi_attackers", "shards",   "warmup_s", "window_s"};
+    "syn_attack_rate", "cgi_attackers", "shards", "adaptive_lookahead",
+    "placement", "placement_map", "warmup_s", "window_s"};
 const std::vector<std::string> kMetricKeys = {
     "conns_per_sec",  "qos_bytes_per_sec", "completions_total",     "client_failures",
     "paths_killed",   "syns_dropped_at_demux", "syns_sent",         "runaway_detections",
@@ -244,9 +245,12 @@ const std::vector<std::string> kMetricKeys = {
     "ledger_total"};
 const std::vector<std::string> kUtilKeys = {
     "shards",       "lookahead_cycles",   "windows_run", "parallel_windows",
-    "mean_window_cycles", "txns_drained", "max_mailbox_depth", "per_shard"};
+    "mean_window_cycles", "txns_drained", "max_mailbox_depth", "imbalance",
+    "per_shard"};
 const std::vector<std::string> kPerShardKeys = {
-    "shard", "events_fired", "windows_active", "idle_fraction"};
+    "shard", "events_fired", "windows_woken", "windows_active", "idle_fraction"};
+const std::vector<std::string> kPerfKeys = {
+    "wall_ms", "events_per_sec", "windows_per_sec"};
 
 void ExpectExactKeys(const JsonValue& obj, const std::vector<std::string>& keys,
                      const std::string& what) {
@@ -294,7 +298,7 @@ TEST(BenchJson, SchemaIsPinned) {
   ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
 
   ExpectExactKeys(root, kTopKeys, "top-level");
-  EXPECT_EQ(root.At("schema_version").number, 2.0);
+  EXPECT_EQ(root.At("schema_version").number, 3.0);
   EXPECT_EQ(root.At("bench").str, "json_schema_probe");
   EXPECT_EQ(root.At("jobs").number, 2.0);
 
@@ -308,6 +312,7 @@ TEST(BenchJson, SchemaIsPinned) {
     ExpectExactKeys(cell.At("metrics"), kMetricKeys, "metrics of " + cell.At("id").str);
     ExpectExactKeys(cell.At("shard_utilization"), kUtilKeys,
                     "shard_utilization of " + cell.At("id").str);
+    ExpectExactKeys(cell.At("perf"), kPerfKeys, "perf of " + cell.At("id").str);
   }
 
   // Grid order is preserved in the JSON.
@@ -327,7 +332,17 @@ TEST(BenchJson, SchemaIsPinned) {
   EXPECT_EQ(exp.At("spec").At("config").str, "Accounting");
   EXPECT_EQ(exp.At("spec").At("clients").number, 2.0);
   EXPECT_EQ(exp.At("spec").At("shards").number, 1.0);
+  EXPECT_FALSE(exp.At("spec").At("adaptive_lookahead").boolean);
+  EXPECT_EQ(exp.At("spec").At("placement").str, "rr");
+  ASSERT_EQ(exp.At("spec").At("placement_map").kind, JsonValue::Kind::kArray);
+  // One placement entry per actor: 2 clients, no attackers, no qos machine.
+  EXPECT_EQ(exp.At("spec").At("placement_map").array.size(), 2u);
   EXPECT_EQ(exp.At("tags").At("variant").str, "acct");
+
+  // The perf block carries real wall-clock-derived throughput.
+  EXPECT_GT(exp.At("perf").At("wall_ms").number, 0.0);
+  EXPECT_GT(exp.At("perf").At("events_per_sec").number, 0.0);
+  EXPECT_GT(exp.At("perf").At("windows_per_sec").number, 0.0);
 
   // The experiment cell really ran a simulation, so its scheduling profile
   // is populated: one per_shard entry per shard, with real window counts.
@@ -374,8 +389,24 @@ TEST(BenchJson, WriteJsonMatchesToJson) {
   EXPECT_EQ(contents, sweep.ToJson());
 }
 
-// Serialization itself is deterministic: two identical runs produce
-// byte-identical JSON (the perf-trajectory differ relies on this).
+// Serialization is deterministic once the determinism-exempt perf blocks
+// (host wall-clock throughput) are stripped: two identical runs produce
+// byte-identical JSON otherwise (the perf-trajectory differ relies on
+// this; tools/check_bench_json.py --expect-equal strips the same blocks).
+std::string StripPerfBlocks(std::string json) {
+  const std::string needle = "\"perf\": {";
+  for (size_t at = json.find(needle); at != std::string::npos;
+       at = json.find(needle, at)) {
+    size_t close = json.find('}', at);  // the perf object nests nothing
+    if (close == std::string::npos) {
+      ADD_FAILURE() << "unterminated perf block";
+      return json;
+    }
+    json.erase(at, close + 1 - at);
+  }
+  return json;
+}
+
 TEST(BenchJson, SerializationIsDeterministic) {
   SweepOptions opts;
   opts.jobs = 2;
@@ -383,7 +414,7 @@ TEST(BenchJson, SerializationIsDeterministic) {
   Sweep b = BuildSweep();
   a.Run(opts);
   b.Run(opts);
-  EXPECT_EQ(a.ToJson(), b.ToJson());
+  EXPECT_EQ(StripPerfBlocks(a.ToJson()), StripPerfBlocks(b.ToJson()));
 }
 
 }  // namespace

@@ -1,0 +1,155 @@
+// Unit tests for the deterministic stream->shard placement layer
+// (src/workload/placement.h): mode parsing, actor enumeration, the legacy
+// round-robin map, LPT weighted packing, and the profile-feedback path
+// (parsing a prior run's bench JSON back into per-shard event counts).
+// Placement is a pure function of the spec — determinism here is what
+// lets a bench JSON spec reproduce its run exactly.
+
+#include "src/workload/placement.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/workload/experiment.h"
+
+namespace escort {
+namespace {
+
+ExperimentSpec SpecWith(int clients, int cgi, bool qos, double syn_rate,
+                        int shards, const std::string& doc = "/doc1k") {
+  ExperimentSpec spec;
+  spec.clients = clients;
+  spec.cgi_attackers = cgi;
+  spec.qos_stream = qos;
+  spec.syn_attack_rate = syn_rate;
+  spec.shards = shards;
+  spec.doc = doc;
+  return spec;
+}
+
+TEST(Placement, ModeNamesRoundTrip) {
+  for (PlacementMode mode : {PlacementMode::kRoundRobin, PlacementMode::kWeighted,
+                             PlacementMode::kProfile}) {
+    PlacementMode parsed = PlacementMode::kRoundRobin;
+    EXPECT_TRUE(ParsePlacementMode(PlacementModeName(mode), &parsed));
+    EXPECT_EQ(parsed, mode);
+  }
+  PlacementMode parsed = PlacementMode::kRoundRobin;
+  EXPECT_FALSE(ParsePlacementMode("balanced", &parsed));
+  EXPECT_FALSE(ParsePlacementMode("", &parsed));
+}
+
+TEST(Placement, ActorCountMatchesTestbedConstructionOrder) {
+  EXPECT_EQ(ActorCount(SpecWith(0, 0, false, 0.0, 1)), 0);
+  EXPECT_EQ(ActorCount(SpecWith(8, 0, false, 0.0, 1)), 8);
+  // clients + cgi attackers + qos machine + syn attacker.
+  EXPECT_EQ(ActorCount(SpecWith(4, 2, true, 800.0, 1)), 8);
+}
+
+TEST(Placement, WeightsFollowTheSpec) {
+  // Bigger documents make heavier clients (more wire events per fetch).
+  std::vector<uint64_t> small = ActorWeights(SpecWith(1, 0, false, 0.0, 4, "/doc1b"));
+  std::vector<uint64_t> large = ActorWeights(SpecWith(1, 0, false, 0.0, 4, "/doc10k"));
+  ASSERT_EQ(small.size(), 1u);
+  ASSERT_EQ(large.size(), 1u);
+  EXPECT_LT(small[0], large[0]);
+  // A SYN flood's weight scales with its rate and is listed last.
+  std::vector<uint64_t> slow = ActorWeights(SpecWith(0, 0, false, 100.0, 4));
+  std::vector<uint64_t> fast = ActorWeights(SpecWith(0, 0, false, 4000.0, 4));
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_LT(slow[0], fast[0]);
+}
+
+TEST(Placement, RoundRobinMatchesTheLegacyFormula) {
+  ExperimentSpec spec = SpecWith(7, 0, false, 0.0, 4);
+  std::vector<int> map = ComputePlacement(spec);
+  ASSERT_EQ(map.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    // Lanes 1..shards-1; shard 0 stays with the server/kernel.
+    EXPECT_EQ(map[static_cast<size_t>(i)], 1 + i % 3) << "actor " << i;
+  }
+}
+
+TEST(Placement, SingleShardMapsEveryActorToShardZero) {
+  for (PlacementMode mode : {PlacementMode::kRoundRobin, PlacementMode::kWeighted}) {
+    ExperimentSpec spec = SpecWith(5, 1, true, 0.0, 1);
+    spec.placement = mode;
+    std::vector<int> map = ComputePlacement(spec);
+    ASSERT_EQ(map.size(), 7u);
+    EXPECT_TRUE(std::all_of(map.begin(), map.end(), [](int s) { return s == 0; }));
+  }
+}
+
+TEST(Placement, WeightedPackingIsDeterministicAndBounded) {
+  ExperimentSpec spec = SpecWith(8, 2, true, 800.0, 4);
+  spec.placement = PlacementMode::kWeighted;
+  std::vector<int> map = ComputePlacement(spec);
+  ASSERT_EQ(map.size(), static_cast<size_t>(ActorCount(spec)));
+  // Same spec, same map — placement is a pure function.
+  EXPECT_EQ(map, ComputePlacement(spec));
+  // Every actor lands on a worker lane (never shard 0, never >= shards).
+  for (int shard : map) {
+    EXPECT_GE(shard, 1);
+    EXPECT_LT(shard, 4);
+  }
+  // LPT bound: no lane's load exceeds any other's by more than the
+  // heaviest single weight.
+  std::vector<uint64_t> weights = ActorWeights(spec);
+  std::vector<uint64_t> load(4, 0);
+  uint64_t heaviest = *std::max_element(weights.begin(), weights.end());
+  for (size_t i = 0; i < map.size(); ++i) {
+    load[static_cast<size_t>(map[i])] += weights[i];
+  }
+  uint64_t lo = *std::min_element(load.begin() + 1, load.end());
+  uint64_t hi = *std::max_element(load.begin() + 1, load.end());
+  EXPECT_LE(hi - lo, heaviest);
+}
+
+TEST(Placement, ProfileModeUsesPriorCountsAndFallsBackToSpecWeights) {
+  ExperimentSpec spec = SpecWith(6, 0, false, 0.0, 4);
+  spec.placement = PlacementMode::kProfile;
+  // Prior 4-shard rr run: lane 1 did most of the firing, so its former
+  // residents (actors 0 and 3) are the heaviest and must spread apart.
+  spec.profile_shard_events = {9000, 6000, 300, 300};
+  std::vector<int> with_profile = ComputePlacement(spec);
+  ASSERT_EQ(with_profile.size(), 6u);
+  EXPECT_EQ(with_profile, ComputePlacement(spec));  // deterministic
+  EXPECT_NE(with_profile[0], with_profile[3]);
+  // No usable profile (fewer than 2 shard entries): spec weights take
+  // over — for identical clients that degenerates to an even spread.
+  spec.profile_shard_events = {9000};
+  std::vector<int> fallback = ComputePlacement(spec);
+  std::vector<int> counts(4, 0);
+  for (int shard : fallback) {
+    ++counts[static_cast<size_t>(shard)];
+  }
+  EXPECT_EQ(counts, (std::vector<int>{0, 2, 2, 2}));
+}
+
+TEST(Placement, ParseProfileShardEventsReadsTheSerializerFormat) {
+  // The exact key shapes Sweep::ToJson emits, over two cells; the second
+  // cell has no per_shard block (a failed cell) and must be skipped.
+  const std::string json =
+      "{\n"
+      " \"cells\": [\n"
+      "  {\"id\": \"doc1b/acct/c8\",\n"
+      "   \"shard_utilization\": {\"windows_run\": 12, \"per_shard\": ["
+      "{\"shard\": 0, \"events_fired\": 4100, \"windows_active\": 9},"
+      " {\"shard\": 1, \"events_fired\": 900, \"windows_active\": 7}]}},\n"
+      "  {\"id\": \"doc1b/acct/failing\", \"error\": \"boom\"}\n"
+      " ]\n"
+      "}\n";
+  std::map<std::string, std::vector<uint64_t>> profile = ParseProfileShardEvents(json);
+  ASSERT_EQ(profile.size(), 1u);
+  ASSERT_TRUE(profile.count("doc1b/acct/c8"));
+  EXPECT_EQ(profile["doc1b/acct/c8"], (std::vector<uint64_t>{4100, 900}));
+  EXPECT_TRUE(ParseProfileShardEvents("").empty());
+  EXPECT_TRUE(ParseProfileShardEvents("{\"cells\": []}").empty());
+}
+
+}  // namespace
+}  // namespace escort

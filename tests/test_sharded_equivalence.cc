@@ -119,6 +119,77 @@ TEST(ShardedEquivalence, SweepShardsOverrideMatchesPerSpecShards) {
   ExpectIdentical(per_spec.Result(id), overridden.Result(id), id, 4);
 }
 
+// The full scheduling-mode cross product — {conservative, adaptive
+// lookahead} x {rr, weighted, profile placement} x shards {1, 2, 4, 8} —
+// must leave every result bit-identical to the plain single-queue run.
+// Adaptive horizons change which events share a window; placement changes
+// which shard owns each actor; neither may change the stream-keyed total
+// order. The two cells picked have the heaviest cross-stream traffic in
+// the grid (the SYN flood and the QoS bulk stream).
+TEST(ShardedEquivalence, SchedulingModesAreBitIdentical) {
+  std::vector<SweepCell> grid = BuildGrid();
+  std::vector<SweepCell> picked = {grid[2], grid[3]};  // acct/syn, acct/qos
+  for (SweepCell& cell : picked) {
+    cell.spec.warmup_s = 0.04;  // 24 sweeps: keep each window short
+    cell.spec.window_s = 0.15;
+  }
+  SweepOptions opts;
+  opts.jobs = 2;
+
+  Sweep baseline("modes_baseline");
+  for (const SweepCell& cell : picked) {
+    baseline.Add(cell.id, cell.spec);  // shards=1, adaptive off, rr
+  }
+  baseline.Run(opts);
+  ASSERT_EQ(baseline.failed_count(), 0);
+
+  // A synthetic prior profile (as if a 4-shard rr run fed back its
+  // per-shard events_fired); placement must be deterministic in it.
+  const std::vector<uint64_t> kPriorShardEvents = {5000, 900, 600, 300};
+  const PlacementMode kModes[] = {PlacementMode::kRoundRobin,
+                                  PlacementMode::kWeighted,
+                                  PlacementMode::kProfile};
+  uint64_t conservative_windows = 0;
+  uint64_t adaptive_windows = 0;
+  for (int shards : {1, 2, 4, 8}) {
+    for (bool adaptive : {false, true}) {
+      for (PlacementMode mode : kModes) {
+        std::string label = "modes_s" + std::to_string(shards) +
+                            (adaptive ? "_adaptive_" : "_conservative_") +
+                            PlacementModeName(mode);
+        Sweep run(label);
+        for (const SweepCell& cell : picked) {
+          ExperimentSpec spec = cell.spec;
+          spec.shards = shards;
+          spec.adaptive_lookahead = adaptive;
+          spec.placement = mode;
+          if (mode == PlacementMode::kProfile) {
+            spec.profile_shard_events = kPriorShardEvents;
+          }
+          run.Add(cell.id, spec);
+        }
+        run.Run(opts);
+        ASSERT_EQ(run.failed_count(), 0) << label;
+        // The resolved actor->shard map is recorded on the spec.
+        EXPECT_EQ(run.cells()[0].spec.placement_map.size(),
+                  static_cast<size_t>(ActorCount(run.cells()[0].spec)))
+            << label;
+        for (const SweepCell& cell : picked) {
+          ExpectIdentical(baseline.Result(cell.id), run.Result(cell.id),
+                          cell.id + " " + label, shards);
+        }
+        if (shards == 4 && mode == PlacementMode::kRoundRobin) {
+          uint64_t windows = run.Result(picked[0].id).shard_profile.windows_run;
+          (adaptive ? adaptive_windows : conservative_windows) = windows;
+        }
+      }
+    }
+  }
+  // Identical results, fewer barriers: the whole point of the adaptive
+  // horizons is that they collapse lockstep t_min+L windows.
+  EXPECT_LT(adaptive_windows, conservative_windows);
+}
+
 // Sharded runs are reproducible against themselves: two shards=4 runs of
 // the same cell are bit-identical (thread scheduling never leaks in).
 TEST(ShardedEquivalence, ShardedRunsAreReproducible) {

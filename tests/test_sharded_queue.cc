@@ -229,6 +229,9 @@ struct ScriptTrace {
   std::vector<int> txn_order;
   uint64_t fired = 0;
   Cycles final_now = 0;
+  // Scheduling effort, NOT part of the identity comparison: adaptive
+  // lookahead runs fewer windows by design while producing the same trace.
+  uint64_t windows = 0;
 
   bool operator==(const ScriptTrace& o) const {
     return per_stream == o.per_stream && txn_order == o.txn_order && fired == o.fired &&
@@ -236,8 +239,8 @@ struct ScriptTrace {
   }
 };
 
-ScriptTrace RunScript(int shards) {
-  ShardedEventQueue eq(shards, /*lookahead=*/50);
+ScriptTrace RunScript(int shards, bool adaptive = false) {
+  ShardedEventQueue eq(shards, /*lookahead=*/50, adaptive);
   constexpr int kStreams = 4;
   ScriptTrace tr;
   tr.per_stream.resize(kStreams);
@@ -268,6 +271,7 @@ ScriptTrace RunScript(int shards) {
   eq.RunUntil(500);
   tr.fired = eq.fired_count();
   tr.final_now = eq.now();
+  tr.windows = eq.windows_run();
   return tr;
 }
 
@@ -279,6 +283,85 @@ TEST(ShardedQueue, ScriptedWorkloadIsIdenticalAtEveryShardCount) {
     ScriptTrace t = RunScript(shards);
     EXPECT_TRUE(t == base) << "shards=" << shards;
   }
+}
+
+// Adaptive lookahead: the identical trace (per-stream orders, transaction
+// order, final clock) with strictly fewer scheduling windows — per-shard
+// horizons let a shard run past t_min + L when no other shard can touch it.
+TEST(ShardedQueue, AdaptiveLookaheadIsIdenticalWithFewerWindows) {
+  ScriptTrace base = RunScript(1);
+  for (int shards : {1, 2, 3, 4, 8}) {
+    ScriptTrace conservative = RunScript(shards, /*adaptive=*/false);
+    ScriptTrace adaptive = RunScript(shards, /*adaptive=*/true);
+    EXPECT_TRUE(adaptive == base) << "shards=" << shards;
+    EXPECT_LE(adaptive.windows, conservative.windows) << "shards=" << shards;
+  }
+}
+
+// Where the collapse is strict: shards whose work is separated in time.
+// A conservative scheduler grinds through a busy shard in t_min+L steps
+// even though the only other shard cannot interact until much later; the
+// adaptive horizon lets the busy shard run its whole phase in one window.
+TEST(ShardedQueue, AdaptiveHorizonsCollapsePhaseSeparatedWindows) {
+  auto run = [](bool adaptive) {
+    ShardedEventQueue eq(4, /*lookahead=*/50, adaptive);
+    EventQueue::StreamId early = eq.NewStream(1);
+    EventQueue::StreamId late = eq.NewStream(2);
+    int fired = 0;
+    std::function<void()> tick = [&] {
+      ++fired;
+      if (eq.now() < 400) {
+        eq.ScheduleAfter(7, [&tick] { tick(); });
+      }
+    };
+    {
+      EventQueue::StreamScope scope(&eq, early);
+      eq.ScheduleAt(1, [&tick] { tick(); });
+    }
+    {
+      EventQueue::StreamScope scope(&eq, late);
+      eq.ScheduleAt(10000, [&fired] { fired += 1000; });
+    }
+    eq.RunUntil(20000);
+    EXPECT_EQ(fired, 1058);  // 58 early ticks + the late event, any mode
+    return eq.windows_run();
+  };
+  uint64_t conservative = run(false);
+  uint64_t adaptive = run(true);
+  // Conservative: one window per t_min+L step across the early phase.
+  EXPECT_GE(conservative, 8u);
+  // Adaptive: one window for the whole early phase, one for the late event.
+  EXPECT_EQ(adaptive, 2u);
+}
+
+// The horizon computation itself, pinned as a pure function.
+TEST(ShardedQueue, ComputeHorizonsConservativeIsUniformTMinPlusLookahead) {
+  const Cycles kNone = ShardedEventQueue::kNoEvent;
+  std::vector<Cycles> horizons;
+  ShardedEventQueue::ComputeHorizons({100, 130, kNone}, 50, 1000, false, &horizons);
+  EXPECT_EQ(horizons, (std::vector<Cycles>{150, 150, 150}));
+  // The horizon is exclusive (events with when < H run), so it may reach
+  // deadline + 1 but no further.
+  ShardedEventQueue::ComputeHorizons({100, 130, kNone}, 50, 120, false, &horizons);
+  EXPECT_EQ(horizons, (std::vector<Cycles>{121, 121, 121}));
+}
+
+TEST(ShardedQueue, ComputeHorizonsAdaptiveBoundsEachShardByTheOthers) {
+  const Cycles kNone = ShardedEventQueue::kNoEvent;
+  std::vector<Cycles> horizons;
+  // Shard 0 is bounded by shard 1's earliest (130 + 50), shard 1 by shard
+  // 0's (100 + 50); the empty shard never constrains anyone.
+  ShardedEventQueue::ComputeHorizons({100, 130, kNone}, 50, 1000, true, &horizons);
+  ASSERT_EQ(horizons.size(), 3u);
+  EXPECT_EQ(horizons[0], 180u);
+  EXPECT_EQ(horizons[1], 150u);
+  // A shard alone with work runs straight to the deadline: no other shard
+  // can reach it, so its horizon is the cap, not t_min + L.
+  ShardedEventQueue::ComputeHorizons({200, kNone}, 50, 1000, true, &horizons);
+  EXPECT_EQ(horizons[0], 1001u);
+  // All empty: no window to bound.
+  ShardedEventQueue::ComputeHorizons({kNone, kNone}, 50, 1000, true, &horizons);
+  EXPECT_EQ(horizons, (std::vector<Cycles>{0, 0}));
 }
 
 }  // namespace

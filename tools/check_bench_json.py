@@ -8,22 +8,26 @@ tests/test_bench_json.cc pins at the C++ level, but from the outside —
 CI's bench smoke job runs it against freshly produced output.
 
 Checks per file:
-  * parses as JSON, schema_version == 2
+  * parses as JSON, schema_version == 3
   * top-level keys exactly {schema_version, bench, jobs, cells}
   * every cell carries exactly {id, ok, error, tags, spec, metrics,
-    ledger, shard_utilization, extra} with the pinned spec/metric/
-    shard_utilization key sets
+    ledger, shard_utilization, perf, extra} with the pinned spec/metric/
+    shard_utilization/perf key sets
   * cell ids are unique and non-empty; jobs >= 1
   * ok:true cells have empty error; ok:false cells have a message
   * all metric values are finite numbers
+  * shard_utilization.imbalance is consistent with per_shard events_fired
+  * spec.placement_map is a list of shard indices in [0, spec.shards)
 
 Usage:
   check_bench_json.py FILE [FILE...]
   check_bench_json.py --require-ok FILE   # additionally fail on any ok:false cell
   check_bench_json.py --expect-equal A B  # A and B must carry identical results
-                                          # (spec.shards, top-level jobs, and the
-                                          # per-cell shard_utilization profile
-                                          # ignored: the sharded-equivalence CI check)
+                                          # (top-level jobs, the scheduling spec
+                                          # knobs in SPEC_EXEMPT_KEYS, and the
+                                          # determinism-exempt blocks in
+                                          # DETERMINISM_EXEMPT_BLOCKS ignored:
+                                          # the sharded-equivalence CI check)
 
 Exit status: 0 all files valid, 1 validation failure, 2 usage/IO error.
 Stdlib only — no dependencies.
@@ -38,10 +42,11 @@ import sys
 
 TOP_KEYS = {"schema_version", "bench", "jobs", "cells"}
 CELL_KEYS = {"id", "ok", "error", "tags", "spec", "metrics", "ledger",
-             "shard_utilization", "extra"}
+             "shard_utilization", "perf", "extra"}
 SPEC_KEYS = {
     "linux_server", "config", "clients", "doc", "qos_stream",
-    "syn_attack_rate", "cgi_attackers", "shards", "warmup_s", "window_s",
+    "syn_attack_rate", "cgi_attackers", "shards", "adaptive_lookahead",
+    "placement", "placement_map", "warmup_s", "window_s",
 }
 METRIC_KEYS = {
     "conns_per_sec", "qos_bytes_per_sec", "completions_total", "client_failures",
@@ -51,9 +56,19 @@ METRIC_KEYS = {
 }
 UTIL_KEYS = {
     "shards", "lookahead_cycles", "windows_run", "parallel_windows",
-    "mean_window_cycles", "txns_drained", "max_mailbox_depth", "per_shard",
+    "mean_window_cycles", "txns_drained", "max_mailbox_depth", "imbalance",
+    "per_shard",
 }
-PER_SHARD_KEYS = {"shard", "events_fired", "windows_active", "idle_fraction"}
+PER_SHARD_KEYS = {"shard", "events_fired", "windows_woken", "windows_active", "idle_fraction"}
+PERF_KEYS = {"wall_ms", "events_per_sec", "windows_per_sec"}
+
+# The shared determinism-exempt lists: --expect-equal strips exactly these.
+# Keep in sync with the serializer comments in src/workload/sweep.cc —
+# anything machine-dependent (perf) or partition-dependent
+# (shard_utilization, the scheduling spec knobs) goes here, nothing else.
+DETERMINISM_EXEMPT_BLOCKS = ("shard_utilization", "perf")
+SPEC_EXEMPT_KEYS = ("shards", "adaptive_lookahead", "placement", "placement_map")
+PLACEMENT_MODES = ("rr", "weighted", "profile")
 
 
 def expect_keys(errors: list, got: dict, want: set, what: str) -> None:
@@ -77,8 +92,8 @@ def check_file(path: str, require_ok: bool) -> list:
     if not isinstance(root, dict):
         return [f"{path}: top level is not an object"]
     expect_keys(errors, root, TOP_KEYS, f"{path}: top level")
-    if root.get("schema_version") != 2:
-        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 2")
+    if root.get("schema_version") != 3:
+        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 3")
     if not isinstance(root.get("bench"), str) or not root.get("bench"):
         errors.append(f"{path}: 'bench' must be a non-empty string")
     jobs = root.get("jobs")
@@ -117,12 +132,29 @@ def check_file(path: str, require_ok: bool) -> list:
             if require_ok:
                 errors.append(f"{what}: cell failed ({err!r}) and --require-ok is set")
 
-        for sub, want in (("spec", SPEC_KEYS), ("metrics", METRIC_KEYS)):
+        for sub, want in (("spec", SPEC_KEYS), ("metrics", METRIC_KEYS),
+                          ("perf", PERF_KEYS)):
             obj = cell.get(sub)
             if not isinstance(obj, dict):
                 errors.append(f"{what}: '{sub}' must be an object")
                 continue
             expect_keys(errors, obj, want, f"{what}.{sub}")
+        spec = cell.get("spec")
+        if isinstance(spec, dict):
+            if spec.get("placement") not in PLACEMENT_MODES:
+                errors.append(f"{what}.spec.placement: {spec.get('placement')!r} "
+                              f"not one of {PLACEMENT_MODES}")
+            pmap = spec.get("placement_map")
+            shards = spec.get("shards")
+            if not isinstance(pmap, list):
+                errors.append(f"{what}.spec.placement_map: not an array")
+            else:
+                for j, entry in enumerate(pmap):
+                    if not isinstance(entry, int) or isinstance(entry, bool) or \
+                            entry < 0 or (isinstance(shards, int) and entry >= shards):
+                        errors.append(f"{what}.spec.placement_map[{j}]: "
+                                      f"{entry!r} is not a shard index in "
+                                      f"[0, {shards})")
         metrics = cell.get("metrics")
         if isinstance(metrics, dict):
             for key, value in metrics.items():
@@ -154,20 +186,38 @@ def check_file(path: str, require_ok: bool) -> list:
                         continue
                     expect_keys(errors, entry, PER_SHARD_KEYS,
                                 f"{what}.shard_utilization.per_shard[{j}]")
+                fired = [e.get("events_fired") for e in per_shard
+                         if isinstance(e, dict) and isinstance(e.get("events_fired"), int)]
+                imb = util.get("imbalance")
+                if not isinstance(imb, (int, float)) or isinstance(imb, bool) \
+                        or not math.isfinite(imb):
+                    errors.append(f"{what}.shard_utilization.imbalance: "
+                                  f"not a finite number: {imb!r}")
+                elif len(fired) == len(per_shard) and per_shard:
+                    total = sum(fired)
+                    want_imb = (max(fired) * len(fired) / total) if total else 0.0
+                    if abs(imb - want_imb) > 1e-9 * max(1.0, want_imb):
+                        errors.append(
+                            f"{what}.shard_utilization.imbalance: {imb!r} "
+                            f"inconsistent with per_shard events_fired "
+                            f"(expected {want_imb!r})")
     return errors
 
 
 def normalized_for_equality(root: dict) -> dict:
-    """Strips the knobs that legitimately differ between a single-queue and a
-    sharded run of the same grid: top-level jobs, every spec.shards, and the
-    per-cell shard_utilization profile (scheduling detail, not a result)."""
+    """Strips the knobs that legitimately differ between two schedulings of
+    the same grid: top-level jobs, the scheduling spec knobs
+    (SPEC_EXEMPT_KEYS), and every determinism-exempt cell block
+    (DETERMINISM_EXEMPT_BLOCKS) — scheduling/host detail, not results."""
     out = json.loads(json.dumps(root))  # deep copy
     out.pop("jobs", None)
     for cell in out.get("cells", []):
         if isinstance(cell, dict):
             if isinstance(cell.get("spec"), dict):
-                cell["spec"].pop("shards", None)
-            cell.pop("shard_utilization", None)
+                for key in SPEC_EXEMPT_KEYS:
+                    cell["spec"].pop(key, None)
+            for block in DETERMINISM_EXEMPT_BLOCKS:
+                cell.pop(block, None)
     return out
 
 
@@ -182,8 +232,9 @@ def check_equal(path_a: str, path_b: str) -> list:
     a, b = (normalized_for_equality(r) for r in loaded)
     if a == b:
         return []
-    errors = [f"{path_a} and {path_b} differ "
-              "(ignoring jobs/spec.shards/shard_utilization)"]
+    errors = [f"{path_a} and {path_b} differ (ignoring jobs, "
+              f"spec {'/'.join(SPEC_EXEMPT_KEYS)}, "
+              f"and {'/'.join(DETERMINISM_EXEMPT_BLOCKS)})"]
     cells_a = {c.get("id"): c for c in a.get("cells", []) if isinstance(c, dict)}
     cells_b = {c.get("id"): c for c in b.get("cells", []) if isinstance(c, dict)}
     for cid in sorted(set(cells_a) | set(cells_b)):
@@ -200,7 +251,8 @@ def main() -> int:
                         help="fail if any cell has ok:false (CI smoke runs use this)")
     parser.add_argument("--expect-equal", action="store_true",
                         help="take exactly two files and require identical results "
-                             "modulo jobs/spec.shards (sharded-equivalence check)")
+                             "modulo jobs and the scheduling knobs "
+                             "(sharded-equivalence check)")
     args = parser.parse_args()
 
     if args.expect_equal:
@@ -212,8 +264,9 @@ def main() -> int:
             for e in errors:
                 print(e, file=sys.stderr)
             return 1
-        print(f"{args.files[0]} == {args.files[1]} "
-              "(modulo jobs/spec.shards/shard_utilization)")
+        print(f"{args.files[0]} == {args.files[1]} (modulo jobs, "
+              f"spec {'/'.join(SPEC_EXEMPT_KEYS)}, "
+              f"and {'/'.join(DETERMINISM_EXEMPT_BLOCKS)})")
         return 0
 
     failures = 0

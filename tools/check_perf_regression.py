@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""check_perf_regression: gate the scheduler's measured perf trajectory.
+
+The committed snapshot bench/snapshots/BENCH_pr7.json is a composite
+document with two runs of the pinned fig9 quick grid on the same machine:
+
+  {"baseline":  <sweep JSON, adaptive lookahead off, round-robin placement>,
+   "optimized": <sweep JSON, adaptive lookahead on, weighted placement>}
+
+Because absolute events/sec and wall-clock are machine-dependent, the
+primary gate is the *ratio* between the two runs: for every cell,
+
+    speedup(cell) = optimized.events_per_sec / baseline.events_per_sec
+
+must not regress by more than --tolerance (default 5%) against the
+snapshot's recorded speedup for the same cell. A fresh pair of runs on any
+machine reproduces the ratio; only a scheduling regression moves it.
+
+Modes:
+  --check-snapshot SNAP
+      Validate the snapshot's own acceptance numbers: mean speedup >= 1.5x,
+      windows_run reduced in every cell, and max per-shard idle_fraction
+      < 0.5 under the optimized placement.
+  --compare SNAP --baseline B.json --optimized O.json
+      The CI perf job: rerun the pinned grid twice on this machine and
+      compare per-cell speedups (and optionally absolute numbers with
+      --absolute) against the snapshot.
+  --write-snapshot OUT --baseline B.json --optimized O.json
+      Produce a new composite snapshot from fresh runs.
+
+--baseline and --optimized are repeatable. With N > 1 runs per side the
+tool takes the per-cell MEDIAN: for each cell id it keeps the whole cell
+from the run whose events_per_sec is the median across the N runs (lower
+median for even N), so every retained cell is one internally consistent
+measurement rather than a mix of fields from different runs. Quick-grid
+cells run for a few milliseconds each, so single runs are noisy;
+median-of-5 is the methodology used for the committed snapshot.
+
+On noisy shared runners, pass --warn-only to demote failures to warnings
+(exit 0), or raise --tolerance. Exit status: 0 ok, 1 regression/validation
+failure, 2 usage/IO error. Stdlib only — no dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load(path: str):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{path}: unreadable or invalid JSON: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def cells_by_id(doc: dict, path: str) -> dict:
+    cells = {}
+    for cell in doc.get("cells", []):
+        if not isinstance(cell, dict) or not cell.get("ok", False):
+            print(f"{path}: cell {cell.get('id')!r} is not ok", file=sys.stderr)
+            sys.exit(2)
+        cells[cell["id"]] = cell
+    if not cells:
+        print(f"{path}: no cells", file=sys.stderr)
+        sys.exit(2)
+    return cells
+
+
+def split_snapshot(snap: dict, path: str):
+    if not isinstance(snap, dict) or "baseline" not in snap or "optimized" not in snap:
+        print(f"{path}: snapshot must be an object with 'baseline' and "
+              "'optimized' sweep documents", file=sys.stderr)
+        sys.exit(2)
+    return (cells_by_id(snap["baseline"], f"{path}:baseline"),
+            cells_by_id(snap["optimized"], f"{path}:optimized"))
+
+
+def eps(cell: dict) -> float:
+    return float(cell.get("perf", {}).get("events_per_sec", 0.0))
+
+
+def median_cells(paths: list) -> dict:
+    """Per-cell median over N runs of the same grid.
+
+    Keeps, for each cell id, the cell from the run whose events_per_sec is
+    the median of the N measurements (lower median for even N). Selecting a
+    whole cell — not mixing medians of individual fields — keeps perf,
+    shard_utilization and metrics mutually consistent.
+    """
+    runs = [cells_by_id(load(p), p) for p in paths]
+    ids = sorted(runs[0])
+    for path, run in zip(paths[1:], runs[1:]):
+        if sorted(run) != ids:
+            print(f"{path}: grid differs from {paths[0]}: "
+                  f"{sorted(set(run) ^ set(ids))}", file=sys.stderr)
+            sys.exit(2)
+    out = {}
+    for cid in ids:
+        ranked = sorted((eps(run[cid]), i) for i, run in enumerate(runs))
+        out[cid] = runs[ranked[(len(ranked) - 1) // 2][1]][cid]
+    return out
+
+
+def merged_doc(paths: list) -> dict:
+    """First run's sweep document with each cell replaced by the median."""
+    doc = load(paths[0])
+    chosen = median_cells(paths)
+    doc["cells"] = [chosen[c["id"]] for c in doc.get("cells", [])]
+    return doc
+
+
+def speedups(base: dict, opt: dict, where: str) -> dict:
+    if sorted(base) != sorted(opt):
+        print(f"{where}: baseline and optimized grids differ: "
+              f"{sorted(set(base) ^ set(opt))}", file=sys.stderr)
+        sys.exit(2)
+    out = {}
+    for cid in sorted(base):
+        b, o = eps(base[cid]), eps(opt[cid])
+        if b <= 0.0 or o <= 0.0:
+            print(f"{where}: cell '{cid}' has non-positive events_per_sec",
+                  file=sys.stderr)
+            sys.exit(2)
+        out[cid] = o / b
+    return out
+
+
+def check_snapshot(snap_path: str, min_speedup: float) -> list:
+    """The acceptance gate the snapshot itself must clear."""
+    base, opt = split_snapshot(load(snap_path), snap_path)
+    ratios = speedups(base, opt, snap_path)
+    failures = []
+    mean = 1.0
+    for r in ratios.values():
+        mean *= r
+    mean **= 1.0 / len(ratios)  # geometric mean: ratios multiply
+    if mean < min_speedup:
+        failures.append(f"geomean speedup {mean:.3f}x < required {min_speedup}x")
+    for cid in sorted(base):
+        b_util = base[cid].get("shard_utilization", {})
+        o_util = opt[cid].get("shard_utilization", {})
+        bw, ow = b_util.get("windows_run", 0), o_util.get("windows_run", 0)
+        if not ow < bw:
+            failures.append(f"cell '{cid}': windows_run not reduced "
+                            f"({bw} -> {ow})")
+        idles = [e.get("idle_fraction", 1.0)
+                 for e in o_util.get("per_shard", [])]
+        if idles and max(idles) >= 0.5:
+            failures.append(f"cell '{cid}': max idle_fraction "
+                            f"{max(idles):.3f} >= 0.5 on balanced placement")
+    print(f"{snap_path}: geomean speedup {mean:.3f}x over {len(ratios)} cells")
+    return failures
+
+
+def compare(snap_path: str, base_paths: list, opt_paths: list, tolerance: float,
+            absolute: bool) -> list:
+    snap_base, snap_opt = split_snapshot(load(snap_path), snap_path)
+    cur_base = median_cells(base_paths)
+    cur_opt = median_cells(opt_paths)
+    snap_ratio = speedups(snap_base, snap_opt, snap_path)
+    cur_ratio = speedups(cur_base, cur_opt, "current runs")
+    failures = []
+    for cid in sorted(snap_ratio):
+        if cid not in cur_ratio:
+            failures.append(f"cell '{cid}' missing from current runs")
+            continue
+        want, got = snap_ratio[cid], cur_ratio[cid]
+        if got < want * (1.0 - tolerance):
+            failures.append(
+                f"cell '{cid}': speedup regressed {want:.3f}x -> {got:.3f}x "
+                f"(> {tolerance:.0%} below snapshot)")
+        else:
+            print(f"cell '{cid}': speedup {got:.3f}x (snapshot {want:.3f}x)")
+    if absolute:
+        # Same-machine mode: also gate absolute events/sec and wall-clock of
+        # the optimized run against the snapshot.
+        for cid in sorted(snap_opt):
+            if cid not in cur_opt:
+                continue
+            want_eps, got_eps = eps(snap_opt[cid]), eps(cur_opt[cid])
+            if got_eps < want_eps * (1.0 - tolerance):
+                failures.append(
+                    f"cell '{cid}': events/sec regressed "
+                    f"{want_eps:.0f} -> {got_eps:.0f}")
+            want_ms = float(snap_opt[cid].get("perf", {}).get("wall_ms", 0.0))
+            got_ms = float(cur_opt[cid].get("perf", {}).get("wall_ms", 0.0))
+            if want_ms > 0.0 and got_ms > want_ms * (1.0 + tolerance):
+                failures.append(
+                    f"cell '{cid}': wall-clock regressed "
+                    f"{want_ms:.1f}ms -> {got_ms:.1f}ms")
+    return failures
+
+
+def write_snapshot(out_path: str, base_paths: list, opt_paths: list) -> list:
+    composite = {"baseline": merged_doc(base_paths),
+                 "optimized": merged_doc(opt_paths)}
+    # Refuse to commit a snapshot that would fail its own gate.
+    try:
+        with open(out_path, "w", encoding="utf-8") as f:
+            json.dump(composite, f, indent=1)
+            f.write("\n")
+    except OSError as e:
+        print(f"{out_path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    print(f"wrote {out_path}")
+    return check_snapshot(out_path, min_speedup=1.5)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--check-snapshot", metavar="SNAP",
+                      help="validate a committed snapshot's acceptance numbers")
+    mode.add_argument("--compare", metavar="SNAP",
+                      help="compare fresh --baseline/--optimized runs against SNAP")
+    mode.add_argument("--write-snapshot", metavar="OUT",
+                      help="compose --baseline/--optimized into a new snapshot")
+    parser.add_argument("--baseline", action="append",
+                        help="fresh run, adaptive off + rr placement "
+                             "(repeatable: N runs -> per-cell median)")
+    parser.add_argument("--optimized", action="append",
+                        help="fresh run, adaptive on + weighted placement "
+                             "(repeatable: N runs -> per-cell median)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="allowed relative regression (default 0.05 = 5%%)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required geomean speedup for snapshot checks")
+    parser.add_argument("--absolute", action="store_true",
+                        help="with --compare: also gate absolute events/sec and "
+                             "wall-clock (same-machine snapshots only)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="demote failures to warnings (noisy runners)")
+    args = parser.parse_args()
+
+    if args.check_snapshot:
+        failures = check_snapshot(args.check_snapshot, args.min_speedup)
+    else:
+        if not args.baseline or not args.optimized:
+            print("--compare/--write-snapshot need --baseline and --optimized",
+                  file=sys.stderr)
+            return 2
+        if args.compare:
+            failures = compare(args.compare, args.baseline, args.optimized,
+                               args.tolerance, args.absolute)
+        else:
+            failures = write_snapshot(args.write_snapshot, args.baseline,
+                                      args.optimized)
+
+    if failures:
+        tag = "warning" if args.warn_only else "FAIL"
+        for f in failures:
+            print(f"{tag}: {f}", file=sys.stderr)
+        return 0 if args.warn_only else 1
+    print("perf gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

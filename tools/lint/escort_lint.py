@@ -57,6 +57,12 @@ so this tool checks them statically:
          directly bypasses the single choke point that keeps output
          deterministic and redirectable; snprintf (formatting into a
          buffer) is fine.
+  EL012  no std::function constructed inside a loop body in src/sim/:
+         every std::function construction type-erases through a heap
+         allocation, and the simulator's windowed scheduler runs its
+         loops millions of times per cell. Hoist the callable out of
+         the loop (construct it once and reuse it), or use a plain
+         lambda / function pointer that never type-erases.
 
 Usage:
   escort_lint.py [--root DIR] [--self-test] [-q]
@@ -217,8 +223,11 @@ NONDET_PATTERNS = (
      "chrono clocks are wall-clock; simulated time comes from EventQueue::now()"),
 )
 
-# src/sim/rng.* implements the deterministic generator itself.
-NONDET_ALLOWLIST = ("src/sim/rng.h", "src/sim/rng.cc")
+# src/sim/rng.* implements the deterministic generator itself;
+# src/sim/parallel.cc additionally owns MonotonicMillis(), the *host*
+# wall-clock used only for the bench perf trajectory (never for
+# simulated time — the JSON perf block is determinism-exempt).
+NONDET_ALLOWLIST = ("src/sim/rng.h", "src/sim/rng.cc", "src/sim/parallel.cc")
 
 CLOCK_ALIAS_USING_RE = re.compile(
     r"\busing\s+([A-Za-z_]\w*)\s*=\s*[^;]*\b(?:system_clock|steady_clock|high_resolution_clock)\b")
@@ -393,6 +402,66 @@ def check_diagnostics(relpath: str, code: str, violations: list) -> None:
                                         "EL011", why))
 
 
+LOOP_HEADER = re.compile(r"\b(?:for|while)\s*\(")
+STD_FUNCTION = re.compile(r"\bstd\s*::\s*function\s*<")
+
+
+def loop_body_spans(code: str) -> list:
+    """Returns [(start, end)] character spans of every brace-delimited
+    for/while loop body (nested loops yield nested spans)."""
+    spans = []
+    for m in LOOP_HEADER.finditer(code):
+        # Match the header's parens, then the body braces (a brace-less
+        # single-statement body cannot declare a std::function anyway).
+        depth = 0
+        i = code.find("(", m.start())
+        while i < len(code):
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < len(code) and code[j] in " \t\n\r":
+            j += 1
+        if j >= len(code) or code[j] != "{":
+            continue
+        depth = 0
+        for k in range(j, len(code)):
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    spans.append((j, k + 1))
+                    break
+    return spans
+
+
+def check_hot_loop_allocations(relpath: str, code: str, violations: list) -> None:
+    """EL012 — no std::function constructed inside src/sim/ loop bodies.
+
+    The windowed scheduler runs its loops millions of times per cell;
+    a std::function built per iteration means a type-erasure heap
+    allocation per iteration. Declarations-as-members or constructions
+    outside loops are fine — only in-loop construction is flagged.
+    """
+    if not relpath.startswith("src/sim/"):
+        return
+    spans = loop_body_spans(code)
+    if not spans:
+        return
+    for m in STD_FUNCTION.finditer(code):
+        if any(start < m.start() < end for start, end in spans):
+            violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL012",
+                                        "std::function constructed inside a loop body in the "
+                                        "simulator hot path: each construction type-erases "
+                                        "through a heap allocation — hoist it out of the loop "
+                                        "or use a non-erasing callable"))
+
+
 def extract_function_body(code: str, signature_re: str) -> str:
     """Returns the brace-matched body of the first function whose signature
     matches `signature_re`, or '' if not found."""
@@ -507,6 +576,7 @@ def lint_tree(root: str) -> list:
                 check_kernel_only_bookkeeping(relpath, code, violations)
                 check_thread_hygiene(relpath, code, violations)
                 check_diagnostics(relpath, code, violations)
+                check_hot_loop_allocations(relpath, code, violations)
     check_clock_aliases(files, violations)
     check_pairing_and_completeness(root, files, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
@@ -550,6 +620,21 @@ SELF_TEST_CASES = [
      "#include <iostream>\nvoid Report(int n) { std::cout << n; }\n"),
     ("EL011", "src/chatty_stderr.cc",
      "#include <cstdio>\nvoid Warn(const char* m) { fputs(m, stderr); }\n"),
+    ("EL012", "src/sim/hot_loop_fn.cc",
+     "#include <functional>\n"
+     "void Drain(int n) {\n"
+     "  for (int i = 0; i < n; ++i) {\n"
+     "    std::function<void()> fire = [i] {};\n"
+     "    fire();\n"
+     "  }\n"
+     "}\n"),
+    ("EL012", "src/sim/hot_while_fn.cc",
+     "#include <functional>\n"
+     "void Pump(bool (*more)()) {\n"
+     "  while (more()) {\n"
+     "    Post(std::function<void()>([] {}));\n"
+     "  }\n"
+     "}\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -599,6 +684,25 @@ SELF_TEST_CLEAN = [
      "#include <cstdio>\n"
      "void Format(char* buf) { snprintf(buf, 8, \"%d\", 3); }\n"
      "void set_echo_to_stdout(bool on);\n"),
+    # EL012 negative space: a std::function hoisted out of the loop, one
+    # in straight-line code, and one outside src/sim/ must all pass.
+    ("src/sim/hoisted_fn.cc",
+     "#include <functional>\n"
+     "void Drain(int n) {\n"
+     "  std::function<void(int)> fire = [](int) {};\n"
+     "  for (int i = 0; i < n; ++i) {\n"
+     "    fire(i);\n"
+     "  }\n"
+     "}\n"
+     "std::function<void()> MakeIdle() { return [] {}; }\n"),
+    ("src/workload/cold_loop_fn.cc",
+     "#include <functional>\n"
+     "void Setup(int n) {\n"
+     "  for (int i = 0; i < n; ++i) {\n"
+     "    std::function<void()> once = [] {};\n"
+     "    once();\n"
+     "  }\n"
+     "}\n"),
 ]
 
 # EL007/EL008 fixture: a counter charged but never released, a tracking

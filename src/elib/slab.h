@@ -1,0 +1,154 @@
+// Generation-tagged slab tables: the flyweight-connection substrate.
+//
+// A Slab<T> owns its values in fixed-size chunks and addresses them by
+// ConnHandle{index, gen} instead of by pointer. This is the classic TCB-table
+// idiom (an array of control blocks indexed by connection id): creation pops
+// a freelist slot in O(1), lookup is two array indexations, and release
+// bumps the slot's generation so every outstanding handle to the old
+// incarnation goes stale *immediately* — a deferred closure that captured a
+// handle cannot act on a reincarnated slot the way a captured key (ConnKey,
+// port number) can match a brand-new connection by coincidence.
+//
+// Why not shared_ptr graphs: at 10^6 simulated connections the per-object
+// control blocks, the atomic refcount traffic and the pointer-chasing
+// dominate both memory and time. A slab slot is inline storage reused across
+// incarnations (chunks are never returned until the slab dies), so
+// bytes/connection is sizeof(Slot) + amortized chunk bookkeeping and the
+// high-water mark is exact — the memory block in the bench JSON reads it
+// straight off the table.
+//
+// Concurrency contract: a slab is owned by one shard context (the testbed
+// gives each shard its own client-peer slab; the server's PCB slab lives on
+// stream 0). No internal locking — ESCORT_SHARD_CONTEXT, same rules as the
+// shard heaps.
+//
+// Slot-struct contract (EL013, tools/lint/escort_lint.py): a type stored in
+// a slab (marked ESCORT_SLAB_SLOT at its definition) must not own
+// shared_ptr members — shared ownership from inside a reusable slot defeats
+// the generation tag (the referent survives Release) and reintroduces the
+// refcount webs the slab exists to remove.
+
+#ifndef SRC_ELIB_SLAB_H_
+#define SRC_ELIB_SLAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace escort {
+
+// Generation-tagged reference to a slab slot. gen == 0 is the null handle
+// (live generations start at 1). Copy it freely into deferred closures and
+// revalidate with Slab::Find at fire time (the EA001 blessed idiom).
+struct ConnHandle {
+  uint32_t index = 0;
+  uint32_t gen = 0;
+
+  bool valid() const { return gen != 0; }
+
+  friend bool operator==(const ConnHandle& a, const ConnHandle& b) {
+    return a.index == b.index && a.gen == b.gen;
+  }
+  friend bool operator!=(const ConnHandle& a, const ConnHandle& b) { return !(a == b); }
+};
+
+// ESCORT_SHARD_CONTEXT
+template <typename T>
+class Slab {
+ public:
+  static constexpr size_t kChunkSlots = 1024;
+
+  Slab() = default;
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+
+  // Pops a free slot (or grows by one chunk) and returns its handle. The
+  // value is default-initialized: reused slots are reset here, not at
+  // Release, so a caller may finish running a method of the released value
+  // (the storage stays alive and inert until the slot is recycled).
+  ConnHandle Create() {
+    uint32_t index;
+    if (free_head_ != kNone) {
+      index = free_head_;
+      Slot& s = *slot(index);
+      free_head_ = s.next_free;
+      s.next_free = kNone;
+      s.value = T{};
+      s.alive = true;
+    } else {
+      index = static_cast<uint32_t>(size_);
+      if (index % kChunkSlots == 0) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+      }
+      ++size_;
+      slot(index)->alive = true;
+    }
+    ++live_;
+    if (live_ > high_water_) {
+      high_water_ = live_;
+    }
+    return ConnHandle{index, slot(index)->gen};
+  }
+
+  // Resolves a handle; nullptr if the slot was released (or re-issued to a
+  // newer incarnation) since the handle was taken.
+  T* Find(ConnHandle h) {
+    if (h.gen == 0 || h.index >= size_) {
+      return nullptr;
+    }
+    Slot& s = *slot(h.index);
+    if (!s.alive || s.gen != h.gen) {
+      return nullptr;
+    }
+    return &s.value;
+  }
+
+  const T* Find(ConnHandle h) const { return const_cast<Slab*>(this)->Find(h); }
+
+  // Retires the slot: every copy of `h` goes stale now; storage is recycled
+  // on a future Create. Returns false for an already-stale handle.
+  bool Release(ConnHandle h) {
+    if (Find(h) == nullptr) {
+      return false;
+    }
+    Slot& s = *slot(h.index);
+    s.alive = false;
+    ++s.gen;  // invalidates all outstanding handles to this incarnation
+    s.next_free = free_head_;
+    free_head_ = h.index;
+    --live_;
+    return true;
+  }
+
+  size_t live() const { return live_; }
+  size_t high_water() const { return high_water_; }
+  size_t capacity() const { return chunks_.size() * kChunkSlots; }
+  static constexpr size_t slot_bytes() { return sizeof(Slot); }
+  size_t bytes_reserved() const { return capacity() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    T value{};
+    uint32_t gen = 1;
+    uint32_t next_free = kNone;
+    bool alive = false;
+  };
+
+  static constexpr uint32_t kNone = ~static_cast<uint32_t>(0);
+
+  Slot* slot(uint32_t index) {
+    return &chunks_[index / kChunkSlots][index % kChunkSlots];
+  }
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  uint32_t free_head_ = kNone;
+  size_t size_ = 0;  // slots ever materialized (dense prefix of the table)
+  size_t live_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace escort
+
+#endif  // SRC_ELIB_SLAB_H_

@@ -82,7 +82,9 @@ OpenResult TcpModule::Open(Path* path, const Attributes& attrs) {
   }
 
   if (role == "tcp-active") {
-    auto pcb = std::make_unique<TcpPcb>();
+    ConnHandle h = pcb_slab_.Create();
+    TcpPcb* pcb = pcb_slab_.Find(h);
+    pcb->self = h;
     pcb->key.local_addr = local_ip_;
     pcb->key.local_port = static_cast<uint16_t>(attrs.GetIntOr("lport", 80));
     pcb->key.remote_addr = Ip4Addr{static_cast<uint32_t>(attrs.GetIntOr("raddr", 0))};
@@ -110,21 +112,32 @@ OpenResult TcpModule::Open(Path* path, const Attributes& attrs) {
       pcb->syn_recvd_deadline = kernel()->now() + pcb->listener->syn_recvd_timeout;
     }
 
-    TcpPcb* raw = pcb.get();
-    conns_[raw->key] = raw;
-    // The demux-map registration is kernel-maintained state: it is severed
-    // on any reclamation (pathDestroy AND pathKill), so the classifier can
-    // never chase a dangling PCB.
-    path->AddKernelCleanup([this, raw] { UnregisterConn(raw); });
+    conns_[pcb->key] = h;
+    // The demux-map registration and the slab slot are kernel-maintained
+    // state: both are severed on any reclamation (pathDestroy AND pathKill),
+    // so neither the classifier nor a deferred closure can chase a dangling
+    // PCB — Release bumps the slot generation and every outstanding handle
+    // goes stale with it.
+    path->AddKernelCleanup([this, h] {
+      if (TcpPcb* dying = pcb_slab_.Find(h); dying != nullptr) {
+        UnregisterConn(dying);
+      }
+      pcb_slab_.Release(h);
+    });
+    auto ref = std::make_unique<PcbRef>();
+    ref->conn = h;
     r.ok = true;
-    r.state = std::move(pcb);
+    r.state = std::move(ref);
     r.next = http_;
     // The destructor (pathDestroy only) releases the listener's SYN_RECVD
-    // slot if still held; unregistration is idempotent.
+    // slot if still held; unregistration is idempotent and the kernel
+    // cleanup repeats it for the pathKill case.
     r.destructor = [this](Path* p, Stage* stage) {
       (void)p;
-      auto* dying = static_cast<TcpPcb*>(stage->state.get());
-      UnregisterConn(dying);
+      auto* dying_ref = static_cast<PcbRef*>(stage->state.get());
+      if (TcpPcb* dying = pcb_slab_.Find(dying_ref->conn); dying != nullptr) {
+        UnregisterConn(dying);
+      }
     };
     return r;
   }
@@ -141,10 +154,15 @@ void TcpModule::UnregisterConn(TcpPcb* pcb) {
     pcb->listener->syn_recvd -= 1;
   }
   auto it = conns_.find(pcb->key);
-  if (it != conns_.end() && it->second == pcb) {
+  if (it != conns_.end() && it->second == pcb->self) {
     conns_.erase(it);
   }
   SetState(pcb, TcpState::kClosed);
+}
+
+TcpPcb* TcpModule::PcbOf(Stage& stage) {
+  auto* ref = dynamic_cast<PcbRef*>(stage.state.get());
+  return ref == nullptr ? nullptr : pcb_slab_.Find(ref->conn);
 }
 
 DemuxDecision TcpModule::Demux(const Message& msg) {
@@ -170,8 +188,8 @@ DemuxDecision TcpModule::Demux(const Message& msg) {
 
   auto it = conns_.find(key);
   if (it != conns_.end()) {
-    TcpPcb* pcb = it->second;
-    if (pcb->path != nullptr && !pcb->path->destroyed()) {
+    TcpPcb* pcb = pcb_slab_.Find(it->second);
+    if (pcb != nullptr && pcb->path != nullptr && !pcb->path->destroyed()) {
       return DemuxDecision::Deliver(pcb->path);
     }
     // Killed path: the map entry is stale; the master event purges it.
@@ -216,7 +234,7 @@ void TcpModule::Process(Stage& stage, Message msg, Direction dir) {
   ConsumeCost(dir);
   if (dir == Direction::kDown) {
     // From HTTP: application data / close.
-    auto* pcb = stage.state_as<TcpPcb>();
+    TcpPcb* pcb = PcbOf(stage);
     if (pcb == nullptr || pcb->state == TcpState::kClosed) {
       return;
     }
@@ -259,7 +277,7 @@ void TcpModule::Process(Stage& stage, Message msg, Direction dir) {
     return;
   }
 
-  auto* pcb = stage.state_as<TcpPcb>();
+  TcpPcb* pcb = PcbOf(stage);
   if (pcb == nullptr || pcb->state == TcpState::kClosed) {
     return;
   }
@@ -297,7 +315,10 @@ void TcpModule::AcceptSyn(TcpListener* listener, const TcpHeader& syn, Ip4Addr p
   listener->syns_accepted += 1;
   listener->syn_recvd += 1;
 
-  TcpPcb* pcb = conns_[key];
+  TcpPcb* pcb = pcb_slab_.Find(conns_[key]);
+  if (pcb == nullptr) {
+    return;
+  }
   // PCB initialization belongs to the new connection, not the passive path.
   kernel()->ConsumePrechargedTo(path, kernel()->costs().tcp_conn_setup);
   Stage* tcp_stage = path->StageOf(this);
@@ -530,62 +551,72 @@ void TcpModule::MasterEventScan() {
   Cycles now = kernel()->now();
   kernel()->Consume(kernel()->costs().tcp_timeout_scan * conns_.size());
 
-  // Collect first: handlers mutate the map.
-  std::vector<TcpPcb*> expired_synrecvd;
-  std::vector<TcpPcb*> expired_timewait;
-  std::vector<TcpPcb*> need_retx;
-  std::vector<TcpPcb*> stale;
-  for (auto& [key, pcb] : conns_) {
-    if (pcb->path == nullptr || pcb->path->destroyed()) {
-      stale.push_back(pcb);
+  // Collect first: handlers mutate the map. Handles, not pointers — a
+  // Destroy handler run for one connection can reclaim (and a later SYN
+  // even re-issue) another's slot while the loop drains.
+  std::vector<ConnHandle> expired_synrecvd;
+  std::vector<ConnHandle> expired_timewait;
+  std::vector<ConnHandle> need_retx;
+  std::vector<ConnKey> stale;
+  for (auto& [key, h] : conns_) {
+    TcpPcb* pcb = pcb_slab_.Find(h);
+    if (pcb == nullptr || pcb->path == nullptr || pcb->path->destroyed()) {
+      stale.push_back(key);
       continue;
     }
     // Deadlines are due at `now >= deadline`: a deadline landing exactly on
     // a scan tick expires on that scan, not one full period later.
     if (pcb->state == TcpState::kSynRecvd && pcb->syn_recvd_deadline != 0 &&
         now >= pcb->syn_recvd_deadline) {
-      expired_synrecvd.push_back(pcb);
+      expired_synrecvd.push_back(h);
     } else if (pcb->state == TcpState::kTimeWait && now >= pcb->time_wait_deadline) {
-      expired_timewait.push_back(pcb);
+      expired_timewait.push_back(h);
     } else if (pcb->retx_deadline != 0 && now >= pcb->retx_deadline && pcb->BytesUnacked() > 0) {
-      need_retx.push_back(pcb);
+      need_retx.push_back(h);
     }
   }
 
-  for (TcpPcb* pcb : stale) {
+  for (const ConnKey& key : stale) {
     // Entry left behind by pathKill (destructors did not run): purge.
-    conns_.erase(pcb->key);
+    conns_.erase(key);
   }
-  for (TcpPcb* pcb : expired_synrecvd) {
+  for (ConnHandle h : expired_synrecvd) {
     // Half-open connection never completed: reclaim everything.
-    paths()->Destroy(pcb->path);
+    if (TcpPcb* pcb = pcb_slab_.Find(h); pcb != nullptr) {
+      paths()->Destroy(pcb->path);
+    }
   }
-  for (TcpPcb* pcb : expired_timewait) {
-    paths()->Destroy(pcb->path);
+  for (ConnHandle h : expired_timewait) {
+    if (TcpPcb* pcb = pcb_slab_.Find(h); pcb != nullptr) {
+      paths()->Destroy(pcb->path);
+    }
   }
-  for (TcpPcb* pcb : need_retx) {
+  for (ConnHandle h : need_retx) {
+    TcpPcb* pcb = pcb_slab_.Find(h);
+    if (pcb == nullptr) {
+      continue;
+    }
     if (pcb->retx_count >= 6) {
       paths()->Destroy(pcb->path);
       continue;
     }
     // Charge the retransmission to the connection's own path. The closure
     // runs later, on the path's thread: it must not capture the raw pcb
-    // pointer (the path — and with it the pcb — can be destroyed, and the
-    // connection key even reincarnated, between scan and execution, which
-    // would make even a liveness guard on the pointer a use-after-free).
-    // Capture the ConnKey by value and revalidate through the connection
-    // table instead.
-    ConnKey key = pcb->key;
+    // pointer (the path — and with it the pcb — can be destroyed between
+    // scan and execution). A ConnKey capture is not enough either: the key
+    // can be *reincarnated* by a new connection from the same peer port,
+    // and a deadline comparison only catches that by luck. The slab handle's
+    // generation tag makes staleness exact — Resolve fails the moment the
+    // slot is released or re-issued.
     Cycles armed_deadline = pcb->retx_deadline;
-    pcb->path->GrabThread()->Push(0, pd(), [this, key, armed_deadline] {
-      TcpPcb* target = FindConn(key);
+    pcb->path->GrabThread()->Push(0, pd(), [this, h, armed_deadline] {
+      TcpPcb* target = Resolve(h);
       if (target == nullptr || target->path == nullptr || target->path->destroyed() ||
           target->state == TcpState::kClosed) {
         return;
       }
-      // A reincarnated connection under the same key, or one whose timer
-      // was re-armed (an ACK arrived first): this closure's retransmit is
-      // no longer owed.
+      // Timer re-armed since the scan (an ACK arrived first): this
+      // closure's retransmit is no longer owed.
       if (target->retx_deadline != armed_deadline || target->BytesUnacked() == 0) {
         return;
       }
@@ -616,7 +647,7 @@ void TcpModule::MasterEventScan() {
 
 TcpPcb* TcpModule::FindConn(const ConnKey& key) {
   auto it = conns_.find(key);
-  return it == conns_.end() ? nullptr : it->second;
+  return it == conns_.end() ? nullptr : pcb_slab_.Find(it->second);
 }
 
 Cycles TcpModule::ProcessCost(Direction dir) const {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/elib/slab.h"
 #include "src/net/headers.h"
 #include "src/path/path.h"
 
@@ -74,11 +75,17 @@ struct TcpListener {
   uint64_t conns_established = 0;
 };
 
-// PCBs are stage state: they die with their path (pathKill at any time).
-// The PR 3 retransmit bug captured a TcpPcb* into a deferred closure;
-// capture the ConnKey and revalidate via TcpModule::FindConn instead.
-// ESCORT_KERNEL_LIFETIME
-struct TcpPcb : StageState {
+// PCBs live in the module's generation-tagged slab (the classic TCB table):
+// the stage holds only a PcbRef, and every deferred closure captures the
+// ConnHandle, never a TcpPcb* or a bare ConnKey. The PR 3 retransmit bug
+// captured a TcpPcb* into a deferred closure; a key capture still confuses a
+// reincarnated connection under the same 4-tuple with the original — the
+// handle's generation tag rejects both. Revalidate with TcpModule::Resolve
+// at fire time (EA001 idiom). The slot dies with its path (pathKill at any
+// time) via the path's kernel cleanup.
+// ESCORT_KERNEL_LIFETIME ESCORT_SLAB_SLOT
+struct TcpPcb {
+  ConnHandle self;  // this PCB's own slab handle
   ConnKey key;
   TcpState state = TcpState::kClosed;
   Path* path = nullptr;
@@ -145,9 +152,13 @@ class TcpModule : public Module {
 
   // Number of live connections (PCBs) and listeners.
   size_t conn_count() const { return conns_.size(); }
-  const std::map<ConnKey, TcpPcb*>& conns() const { return conns_; }
+  const std::map<ConnKey, ConnHandle>& conns() const { return conns_; }
   const std::vector<std::unique_ptr<TcpListener>>& listeners() const { return listeners_; }
   TcpPcb* FindConn(const ConnKey& key);
+  // Handle revalidation: nullptr once the PCB's path was reclaimed (or the
+  // slot re-issued to a later connection).
+  TcpPcb* Resolve(ConnHandle h) { return pcb_slab_.Find(h); }
+  const Slab<TcpPcb>& pcb_slab() const { return pcb_slab_; }
 
   uint64_t checksum_failures() const { return checksum_failures_; }
   uint64_t total_established() const { return total_established_; }
@@ -172,6 +183,12 @@ class TcpModule : public Module {
     TcpListener* listener = nullptr;
   };
 
+  // Flyweight stage state: the PCB itself lives in pcb_slab_, the stage
+  // carries only the handle.
+  struct PcbRef : StageState {
+    ConnHandle conn;
+  };
+
   // Passive-path processing: a SYN arrives, create the active path.
   void AcceptSyn(TcpListener* listener, const TcpHeader& syn, Ip4Addr peer);
   // Active-path segment processing.
@@ -190,12 +207,16 @@ class TcpModule : public Module {
   void SetState(TcpPcb* pcb, TcpState next);
   void MasterEventScan();
   void UnregisterConn(TcpPcb* pcb);
+  // Resolves a stage's PcbRef through the slab; nullptr for non-PCB stages
+  // and stale handles.
+  TcpPcb* PcbOf(Stage& stage);
 
   const Ip4Addr local_ip_;
   Module* ip_ = nullptr;
   Module* http_ = nullptr;
 
-  std::map<ConnKey, TcpPcb*> conns_;
+  Slab<TcpPcb> pcb_slab_;
+  std::map<ConnKey, ConnHandle> conns_;
   std::vector<std::unique_ptr<TcpListener>> listeners_;
   uint64_t next_listener_id_ = 1;
   uint32_t next_iss_ = 10'000;

@@ -137,6 +137,16 @@ void EscortWebServer::DeliverFrame(const std::vector<uint8_t>& frame) {
   eth_->ReceiveFrame(frame);
 }
 
+EscortWebServer::ConnSlabStats EscortWebServer::conn_slab_stats() const {
+  const Slab<TcpPcb>& slab = tcp_->pcb_slab();
+  ConnSlabStats s;
+  s.slot_bytes = Slab<TcpPcb>::slot_bytes();
+  s.live = slab.live();
+  s.high_water = slab.high_water();
+  s.bytes_reserved = slab.bytes_reserved();
+  return s;
+}
+
 void EscortWebServer::ConfigureQosListener(TcpListener* listener) {
   listener->active_label = "QoS Path";
   listener->active_tickets = options_.qos_tickets;

@@ -111,6 +111,16 @@ class EscortWebServer : public NetEndpoint {
   uint64_t paths_killed() const { return paths_killed_; }
   Samples& kill_cost_cycles() { return kill_cost_cycles_; }
 
+  // Memory footprint of the server-side connection table (slab-indexed
+  // PCBs). Feeds the determinism-exempt `memory` block of the bench JSON.
+  struct ConnSlabStats {
+    size_t slot_bytes = 0;
+    size_t live = 0;
+    size_t high_water = 0;
+    size_t bytes_reserved = 0;
+  };
+  ConnSlabStats conn_slab_stats() const;
+
   // Invoked with the remote address whenever a path is killed for a
   // resource-bound violation (feeds the blacklist policy).
   void set_violation_hook(std::function<void(Ip4Addr)> hook) {

@@ -38,8 +38,32 @@ void EventQueue::SkipCancelled() const {
   }
 }
 
+bool EventQueue::TimerFirst(TimerKey* tk) const {
+  if (wheel_ == nullptr || !wheel_->PeekDue(tk)) {
+    return false;
+  }
+  if (heap_.empty()) {
+    return true;
+  }
+  const Event& top = heap_.top();
+  if (tk->when != top.when) {
+    return tk->when < top.when;
+  }
+  return tk->seq < top.seq;
+}
+
 bool EventQueue::Step() {
   SkipCancelled();
+  TimerKey tk;
+  if (TimerFirst(&tk)) {
+    uint32_t exec_stream;
+    TimerKey key;
+    TimerWheel::Callback fn = wheel_->PopDue(&key, &exec_stream);
+    now_ = key.when;
+    ++fired_count_;
+    fn();
+    return true;
+  }
   if (heap_.empty()) {
     return false;
   }
@@ -55,11 +79,8 @@ bool EventQueue::Step() {
 }
 
 void EventQueue::RunUntil(Cycles deadline) {
-  for (;;) {
-    SkipCancelled();
-    if (heap_.empty() || heap_.top().when > deadline) {
-      break;
-    }
+  Cycles when;
+  while (PeekNext(&when) && when <= deadline) {
     Step();
   }
   if (now_ < deadline) {
@@ -74,11 +95,56 @@ void EventQueue::RunToCompletion() {
 
 bool EventQueue::PeekNext(Cycles* when) const {
   SkipCancelled();
+  TimerKey tk;
+  bool have_timer = wheel_ != nullptr && wheel_->PeekDue(&tk);
   if (heap_.empty()) {
+    if (!have_timer) {
+      return false;
+    }
+    *when = tk.when;
+    return true;
+  }
+  *when = have_timer && tk.when < heap_.top().when ? tk.when : heap_.top().when;
+  return true;
+}
+
+EventQueue::TimerId EventQueue::ScheduleTimerAt(Cycles when, Callback fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  if (!use_timer_wheel_) {
+    return ScheduleAt(when, std::move(fn)) | kTimerHeapBit;
+  }
+  if (wheel_ == nullptr) {
+    wheel_ = std::make_unique<TimerWheel>();
+  }
+  // One sequence number from the same global FIFO counter ScheduleAt uses:
+  // timers and events interleave exactly as if both lived in the heap.
+  TimerKey key{when, 0, next_seq_++, 0};
+  TimerRef ref = wheel_->Arm(key, 0, std::move(fn));
+  return (static_cast<TimerId>(ref.index) << 32) | ref.gen;
+}
+
+bool EventQueue::CancelTimer(TimerId id) {
+  if ((id & kTimerHeapBit) != 0) {
+    return Cancel(id & ~kTimerHeapBit);
+  }
+  if (wheel_ == nullptr) {
     return false;
   }
-  *when = heap_.top().when;
-  return true;
+  return wheel_->Cancel(TimerRef{static_cast<uint32_t>((id >> 32) & 0xffffff),
+                                 static_cast<uint32_t>(id)});
+}
+
+EventQueue::TimerWheelStats EventQueue::timer_stats() const {
+  TimerWheelStats stats;
+  if (wheel_ != nullptr) {
+    stats.armed = wheel_->armed();
+    stats.high_water = wheel_->high_water();
+    stats.capacity = wheel_->capacity();
+    stats.bytes_reserved = wheel_->bytes_reserved();
+  }
+  return stats;
 }
 
 // ---- sharded queue ---------------------------------------------------------
@@ -159,8 +225,7 @@ EventQueue::StreamId ShardedEventQueue::SwapCurrentStream(StreamId stream) {
   return prev;
 }
 
-EventQueue::EventId ShardedEventQueue::Insert(size_t shard, Key key, StreamId exec,
-                                              Callback fn) {
+void ShardedEventQueue::NoteInsert(size_t shard, Cycles when) {
   if (inline_window_shard_ >= 0 && shard != static_cast<size_t>(inline_window_shard_)) {
     // Cross-shard insert while a window runs inline: the running shard must
     // not advance to the new event's time or any later wire transaction it
@@ -168,16 +233,21 @@ EventQueue::EventId ShardedEventQueue::Insert(size_t shard, Key key, StreamId ex
     // conservative horizon (deliveries land at >= horizon); only adaptive
     // windows can be shrunk by it.
     Shard& running = shards_[static_cast<size_t>(inline_window_shard_)];
-    if (key.when < running.window_cap) {
-      running.window_cap = key.when;
+    if (when < running.window_cap) {
+      running.window_cap = when;
     }
   }
-  if (draining_ && key.when < drain_floor_) {
+  if (draining_ && when < drain_floor_) {
     // A transaction body just scheduled a pending event below the release
     // floor: later-keyed transactions must wait for it (see
     // DrainTransactions).
-    drain_floor_ = key.when;
+    drain_floor_ = when;
   }
+}
+
+EventQueue::EventId ShardedEventQueue::Insert(size_t shard, Key key, StreamId exec,
+                                              Callback fn) {
+  NoteInsert(shard, key.when);
   Shard& sh = shards_[shard];
   // Tripwire for the window-cap proofs: an insert below the target
   // shard's executed position would run in its past and silently break
@@ -244,10 +314,27 @@ bool ShardedEventQueue::Cancel(EventId id) {
   return true;
 }
 
+bool ShardedEventQueue::TimerFirst(const Shard& sh, TimerKey* tk) const {
+  if (sh.wheel == nullptr || !sh.wheel->PeekDue(tk)) {
+    return false;
+  }
+  if (sh.heap.empty()) {
+    return true;
+  }
+  const Key& hk = sh.heap.top().key;
+  Key wk{tk->when, tk->stream, tk->seq, tk->minor};
+  return wk < hk;
+}
+
 bool ShardedEventQueue::PeekShard(size_t s, Key* key) const {
   const Shard& sh = shards_[s];
   while (!sh.heap.empty() && sh.ledger.IsConsumed(sh.heap.top().id & kLocalIdMask)) {
     sh.heap.pop();
+  }
+  TimerKey tk;
+  if (TimerFirst(sh, &tk)) {
+    *key = Key{tk.when, tk.stream, tk.seq, tk.minor};
+    return true;
   }
   if (sh.heap.empty()) {
     return false;
@@ -274,6 +361,18 @@ bool ShardedEventQueue::GlobalPeek(size_t* shard, Key* key) const {
 
 void ShardedEventQueue::ExecuteTop(size_t s) {
   Shard& sh = shards_[s];
+  TimerKey tk;
+  if (TimerFirst(sh, &tk)) {
+    uint32_t exec_stream = 0;
+    TimerWheel::Callback fn = sh.wheel->PopDue(&tk, &exec_stream);
+    ++sh.fired;
+    sh.clock = tk.when;
+    ExecContext saved = tls_exec;
+    tls_exec = ExecContext{this, static_cast<StreamId>(exec_stream), tk.when, false, 0, 0};
+    fn();
+    tls_exec = saved;
+    return;
+  }
   Event ev = sh.heap.pop();
   sh.ledger.Mark(ev.id & kLocalIdMask);
   --sh.live;
@@ -569,8 +668,74 @@ size_t ShardedEventQueue::pending() const {
   size_t n = 0;
   for (const Shard& sh : shards_) {
     n += sh.live;
+    if (sh.wheel != nullptr) {
+      n += sh.wheel->armed();
+    }
   }
   return n;
+}
+
+EventQueue::TimerId ShardedEventQueue::ScheduleTimerAt(Cycles when, Callback fn) {
+  if (!use_timer_wheel_) {
+    return ScheduleAt(when, std::move(fn)) | kTimerHeapBit;
+  }
+  // Key assignment is byte-identical to ScheduleAt: one seq (or minor) is
+  // consumed per call in the same order, so the wheel path and the heap
+  // path — and any shard count — produce the same total order.
+  ExecContext* ctx = (tls_exec.owner == this) ? &tls_exec : nullptr;
+  Cycles base = ctx != nullptr ? ctx->now : now_floor_;
+  if (when < base) {
+    when = base;
+  }
+  Key key;
+  StreamId exec;
+  if (ctx != nullptr && ctx->sequenced) {
+    key = Key{when, ctx->stream, ctx->seq, ++ctx->next_minor};
+    exec = ctx->stream;
+  } else {
+    exec = ctx != nullptr ? ctx->stream : main_stream_;
+    key = Key{when, exec, streams_[exec].next_seq++, 0};
+  }
+  size_t shard = static_cast<size_t>(streams_[exec].shard);
+  NoteInsert(shard, key.when);
+  Shard& sh = shards_[shard];
+  assert(key.when >= sh.clock && "timer armed below target shard's clock");
+  if (sh.wheel == nullptr) {
+    sh.wheel = std::make_unique<TimerWheel>();
+  }
+  TimerRef ref = sh.wheel->Arm(TimerKey{key.when, key.stream, key.seq, key.minor},
+                               static_cast<uint32_t>(exec), std::move(fn));
+  return (static_cast<TimerId>(shard) << kShardShift) |
+         (static_cast<TimerId>(ref.index) << 32) | ref.gen;
+}
+
+bool ShardedEventQueue::CancelTimer(TimerId id) {
+  if ((id & kTimerHeapBit) != 0) {
+    return Cancel(id & ~kTimerHeapBit);
+  }
+  size_t shard = static_cast<size_t>(id >> kShardShift);
+  if (shard >= shards_.size()) {
+    return false;
+  }
+  Shard& sh = shards_[shard];
+  if (sh.wheel == nullptr) {
+    return false;
+  }
+  return sh.wheel->Cancel(TimerRef{static_cast<uint32_t>((id >> 32) & 0xffffff),
+                                   static_cast<uint32_t>(id)});
+}
+
+EventQueue::TimerWheelStats ShardedEventQueue::timer_stats() const {
+  TimerWheelStats st;
+  for (const Shard& sh : shards_) {
+    if (sh.wheel != nullptr) {
+      st.armed += sh.wheel->armed();
+      st.high_water += sh.wheel->high_water();
+      st.capacity += sh.wheel->capacity();
+      st.bytes_reserved += sh.wheel->bytes_reserved();
+    }
+  }
+  return st;
 }
 
 ShardProfile ShardedEventQueue::Profile() const {

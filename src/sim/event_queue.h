@@ -37,6 +37,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/sim/timer_wheel.h"
 #include "src/sim/types.h"
 
 namespace escort {
@@ -140,6 +141,54 @@ class EventQueue {
   // cancelled. Cancellation is O(1); the slot is dropped lazily on pop.
   virtual bool Cancel(EventId id);
 
+  // ---- Timers (hierarchical timer wheel) -------------------------------
+  //
+  // Per-connection timers (TCP retransmit, delayed ACK, client think time)
+  // are armed and cancelled at connection rate: at million-client scale the
+  // O(log n) heap churn dominates. ScheduleTimerAt files them into a
+  // per-shard hierarchical TimerWheel instead — O(1) arm/cancel/fire — and
+  // the queue merges the wheel's due-top against the event heap by the full
+  // total-order key (when, stream, seq, minor). A timer consumes exactly
+  // one sequence number from the scheduling stream, the same one a
+  // ScheduleAt at that point would have consumed, so runs are bit-identical
+  // whether a deadline lives in the wheel or the heap (and at any shard
+  // count). set_timer_wheel(false) routes timers through ScheduleAt — the
+  // equivalence grid pins both modes against each other.
+  //
+  // TimerId encoding: bit 63 set = heap fallback wrapping the EventId
+  // (shard ids stop at bit 61, so the bit is always free); bit 63 clear =
+  // wheel: bits 56..62 shard, bits 32..55 wheel entry index, bits 0..31
+  // generation tag.
+  using TimerId = uint64_t;
+  static constexpr TimerId kTimerHeapBit = uint64_t{1} << 63;
+
+  // Same deferred-capture contract as ScheduleAt (EA001).
+  // ESCORT_DEFERRED_API
+  virtual TimerId ScheduleTimerAt(Cycles when, Callback fn);
+
+  // ESCORT_DEFERRED_API
+  TimerId ScheduleTimerAfter(Cycles delay, Callback fn) {
+    return ScheduleTimerAt(now() + delay, std::move(fn));
+  }
+
+  // Cancels an armed timer. False if it fired, was cancelled, or the wheel
+  // slot was re-issued (generation mismatch). O(1).
+  virtual bool CancelTimer(TimerId id);
+
+  // Routes ScheduleTimerAt through the heap (legacy path) when off. Flip
+  // only at a serial point, before or between runs.
+  void set_timer_wheel(bool on) { use_timer_wheel_ = on; }
+  bool timer_wheel() const { return use_timer_wheel_; }
+
+  // Wheel occupancy for the bench `memory` block (aggregated over shards).
+  struct TimerWheelStats {
+    uint64_t armed = 0;
+    uint64_t high_water = 0;
+    uint64_t capacity = 0;
+    uint64_t bytes_reserved = 0;
+  };
+  virtual TimerWheelStats timer_stats() const;
+
   // Fires the next pending event, advancing time to its deadline.
   // Returns false if the queue is empty.
   virtual bool Step();
@@ -154,8 +203,10 @@ class EventQueue {
   // Time of the earliest pending event; returns false via `ok` if none.
   virtual bool PeekNext(Cycles* when) const;
 
-  virtual bool empty() const { return live_count_ == 0; }
-  virtual size_t pending() const { return live_count_; }
+  virtual bool empty() const { return pending() == 0; }
+  virtual size_t pending() const {
+    return live_count_ + (wheel_ != nullptr ? wheel_->armed() : 0);
+  }
   virtual uint64_t fired_count() const { return fired_count_; }
 
   // Size of the consumed-event bookkeeping window (test hook for the
@@ -223,6 +274,9 @@ class EventQueue {
     return 0;
   }
 
+ protected:
+  bool use_timer_wheel_ = true;
+
  private:
   struct Event {
     Cycles when;
@@ -239,9 +293,15 @@ class EventQueue {
 
   // Skips over cancelled entries at the head of the heap.
   void SkipCancelled() const;
+  // True when the wheel's due-top precedes the (compacted) heap top in
+  // (when, seq) order; stages the wheel as a side effect.
+  bool TimerFirst(TimerKey* tk) const;
 
   mutable std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
   ConsumedLedger ledger_;
+  // Lazily created on the first ScheduleTimerAt; mutable because peeks
+  // stage due slots (same reasoning as the compacting heap peeks).
+  mutable std::unique_ptr<TimerWheel> wheel_;
   Cycles now_ = 0;
   uint64_t next_seq_ = 0;
   size_t live_count_ = 0;
@@ -326,6 +386,9 @@ class ShardedEventQueue : public EventQueue {
   EventId ScheduleAt(Cycles when, Callback fn) override;
   EventId ScheduleAtFrom(StreamId exec_stream, Cycles when, Callback fn) override;
   bool Cancel(EventId id) override;
+  TimerId ScheduleTimerAt(Cycles when, Callback fn) override;
+  bool CancelTimer(TimerId id) override;
+  TimerWheelStats timer_stats() const override;
   bool Step() override;
   void RunUntil(Cycles deadline) override;
   void RunToCompletion() override;
@@ -411,6 +474,11 @@ class ShardedEventQueue : public EventQueue {
   struct Shard {
     mutable EventHeap heap;
     mutable ConsumedLedger ledger;
+    // Per-shard timer wheel, lazily created on the first timer arm.
+    // Touched only by the thread running this shard (or at serial points);
+    // mutable because peeks stage due slots, like the compacting heap
+    // peeks above.
+    mutable std::unique_ptr<TimerWheel> wheel;
     Cycles clock = 0;
     size_t live = 0;
     uint64_t fired = 0;
@@ -443,6 +511,11 @@ class ShardedEventQueue : public EventQueue {
   bool PeekShard(size_t s, Key* key) const;
   bool GlobalPeek(size_t* shard, Key* key) const;
   EventId Insert(size_t shard, Key key, StreamId exec, Callback fn);
+  // Window-cap / drain-floor bookkeeping shared by heap inserts and wheel
+  // arms (both make a pending deadline visible to the scheduler).
+  void NoteInsert(size_t shard, Cycles when);
+  // True when shard s's wheel due-top precedes its (compacted) heap top.
+  bool TimerFirst(const Shard& sh, TimerKey* tk) const;
   // Pops and runs the head of shard `s` (caller guarantees it exists).
   void ExecuteTop(size_t s);
   // Runs every event of shard `s` with key.when < min(window_horizon,

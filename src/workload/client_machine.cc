@@ -48,8 +48,8 @@ void TcpPeer::Abort() {
 void TcpPeer::Fail() {
   CancelTimer();
   state_ = State::kFailed;
-  if (cbs_.on_failed) {
-    cbs_.on_failed();
+  if (owner_ != nullptr) {
+    owner_->OnFailed(this);
   }
   machine_->ReleaseConnection(this);
 }
@@ -65,18 +65,21 @@ void TcpPeer::ArmTimer() {
   CancelTimer();
   timer_armed_ = true;
   ClientMachine* m = machine_;
-  uint16_t port = local_port_;
-  timer_id_ = m->eq()->ScheduleAfter(m->retransmit_timeout, [m, port] {
-    auto it = m->conns_.find(port);
-    if (it != m->conns_.end()) {
-      it->second->OnTimer();
+  ConnHandle h = self_;
+  // Wheel timer, O(1) arm/cancel. The handle goes stale the moment the
+  // connection is released — including when the local port is re-issued to
+  // a later connection, which a port capture would silently mistake for
+  // this one.
+  timer_id_ = m->eq()->ScheduleTimerAfter(m->retransmit_timeout, [m, h] {
+    if (TcpPeer* p = m->ResolvePeer(h); p != nullptr) {
+      p->OnTimer();
     }
   });
 }
 
 void TcpPeer::CancelTimer() {
   if (timer_armed_) {
-    machine_->eq()->Cancel(timer_id_);
+    machine_->eq()->CancelTimer(timer_id_);
     timer_armed_ = false;
   }
 }
@@ -108,8 +111,8 @@ void TcpPeer::OnSegment(const TcpHeader& hdr, const std::vector<uint8_t>& payloa
       state_ = State::kEstablished;
       CancelTimer();
       SendFlags(kTcpAck, snd_nxt_, {});
-      if (cbs_.on_connected) {
-        cbs_.on_connected();
+      if (owner_ != nullptr) {
+        owner_->OnConnected(this);
       }
     }
     return;
@@ -123,8 +126,8 @@ void TcpPeer::OnSegment(const TcpHeader& hdr, const std::vector<uint8_t>& payloa
         state_ = State::kFinWait2;
       } else if (state_ == State::kLastAck) {
         state_ = State::kClosed;
-        if (cbs_.on_closed) {
-          cbs_.on_closed();
+        if (owner_ != nullptr) {
+          owner_->OnClosed(this);
         }
         machine_->ReleaseConnection(this);
         return;
@@ -138,8 +141,8 @@ void TcpPeer::OnSegment(const TcpHeader& hdr, const std::vector<uint8_t>& payloa
     rcv_nxt_ += seg_len;
     bytes_received_ += seg_len;
     made_progress = true;
-    if (cbs_.on_data) {
-      cbs_.on_data(payload);
+    if (owner_ != nullptr) {
+      owner_->OnData(this, payload);
     }
     if (state_ == State::kClosed || state_ == State::kFailed) {
       return;  // callback tore the connection down
@@ -157,11 +160,11 @@ void TcpPeer::OnSegment(const TcpHeader& hdr, const std::vector<uint8_t>& payloa
         state_ = State::kCloseWait;
         SendFlags(kTcpAck, snd_nxt_, {});
         ClientMachine* m = machine_;
-        uint16_t port = local_port_;
-        m->eq()->ScheduleAfter(m->model().client_processing / 2, [m, port] {
-          auto it = m->conns_.find(port);
-          if (it != m->conns_.end() && it->second->state_ == State::kCloseWait) {
-            it->second->Close();
+        ConnHandle h = self_;
+        m->eq()->ScheduleTimerAfter(m->model().client_processing / 2, [m, h] {
+          TcpPeer* p = m->ResolvePeer(h);
+          if (p != nullptr && p->state_ == State::kCloseWait) {
+            p->Close();
           }
         });
         return;
@@ -171,8 +174,8 @@ void TcpPeer::OnSegment(const TcpHeader& hdr, const std::vector<uint8_t>& payloa
         state_ = State::kClosed;
         SendFlags(kTcpAck, snd_nxt_, {});
         CancelTimer();
-        if (cbs_.on_closed) {
-          cbs_.on_closed();
+        if (owner_ != nullptr) {
+          owner_->OnClosed(this);
         }
         machine_->ReleaseConnection(this);
         return;
@@ -195,13 +198,12 @@ void TcpPeer::OnSegment(const TcpHeader& hdr, const std::vector<uint8_t>& payloa
     if (!delack_pending_) {
       delack_pending_ = true;
       ClientMachine* m = machine_;
-      uint16_t port = local_port_;
-      m->eq()->ScheduleAfter(delayed_ack, [m, port] {
-        auto it = m->conns_.find(port);
-        if (it == m->conns_.end()) {
-          return;
+      ConnHandle h = self_;
+      m->eq()->ScheduleTimerAfter(delayed_ack, [m, h] {
+        TcpPeer* p = m->ResolvePeer(h);
+        if (p == nullptr) {
+          return;  // released (or slot re-issued) before the delack fired
         }
-        TcpPeer* p = it->second.get();
         p->delack_pending_ = false;
         if (p->unacked_segments_ > 0 && p->state_ != State::kClosed &&
             p->state_ != State::kFailed) {
@@ -216,25 +218,47 @@ void TcpPeer::OnSegment(const TcpHeader& hdr, const std::vector<uint8_t>& payloa
 // --- ClientMachine ---------------------------------------------------------------
 
 ClientMachine::ClientMachine(EventQueue* eq, SharedLink* link, MacAddr mac, Ip4Addr ip,
-                             NetworkModel model, uint64_t seed)
-    : eq_(eq), link_(link), mac_(mac), ip_(ip), model_(model), rng_(seed) {
+                             NetworkModel model, uint64_t seed, Slab<TcpPeer>* peer_slab)
+    : eq_(eq), link_(link), mac_(mac), ip_(ip), model_(model), rng_(seed),
+      slab_(peer_slab != nullptr ? peer_slab : &own_slab_) {
   link_->Attach(mac_, this, model_.client_link_latency);
 }
 
-ClientMachine::~ClientMachine() { link_->Detach(mac_); }
+ClientMachine::~ClientMachine() {
+  // Return this machine's slots to the (possibly shared) slab.
+  for (const auto& [port, h] : conns_) {
+    slab_->Release(h);
+  }
+  link_->Detach(mac_);
+}
 
-TcpPeer* ClientMachine::OpenConnection(Ip4Addr remote, uint16_t remote_port,
-                                       TcpPeer::Callbacks cbs) {
+TcpPeer* ClientMachine::FindPeer(uint16_t local_port) {
+  for (const auto& [port, h] : conns_) {
+    if (port == local_port) {
+      return slab_->Find(h);
+    }
+  }
+  return nullptr;
+}
+
+TcpPeer* ClientMachine::OpenConnection(Ip4Addr remote, uint16_t remote_port, ConnOwner* owner) {
   uint16_t port = next_port_++;
   if (next_port_ < 4096) {
     next_port_ = 4096;  // wrap
   }
   uint32_t iss = static_cast<uint32_t>(rng_.Next());
-  auto peer = std::unique_ptr<TcpPeer>(
-      new TcpPeer(this, port, remote, remote_port, iss, std::move(cbs)));
-  TcpPeer* raw = peer.get();
-  conns_[port] = std::move(peer);
-  return raw;
+  ConnHandle h = slab_->Create();
+  TcpPeer* peer = slab_->Find(h);
+  peer->machine_ = this;
+  peer->owner_ = owner;
+  peer->self_ = h;
+  peer->local_port_ = port;
+  peer->remote_ = remote;
+  peer->remote_port_ = remote_port;
+  peer->iss_ = iss;
+  peer->snd_nxt_ = iss;
+  conns_.emplace_back(port, h);
+  return peer;
 }
 
 void ClientMachine::ReleaseConnection(TcpPeer* peer) {
@@ -242,7 +266,17 @@ void ClientMachine::ReleaseConnection(TcpPeer* peer) {
     return;
   }
   peer->CancelTimer();
-  conns_.erase(peer->local_port());  // destroys the peer
+  for (size_t i = 0; i < conns_.size(); ++i) {
+    if (conns_[i].second == peer->self_) {
+      conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  // The released peer may be finishing one of its own methods (Fail, the
+  // FIN path): the slab keeps the storage inert until the slot is reused,
+  // so the tail of that method is safe; every outstanding handle is stale
+  // as of now.
+  slab_->Release(peer->self_);
 }
 
 void ClientMachine::SendTcp(TcpPeer* peer, uint8_t flags, uint32_t seq, uint32_t ack,
@@ -284,18 +318,19 @@ void ClientMachine::DeliverFrame(const std::vector<uint8_t>& frame) {
   if (!parsed->is_tcp || parsed->ip.dst != ip_ || !parsed->tcp.checksum_ok) {
     return;
   }
-  auto it = conns_.find(parsed->tcp.dst_port);
-  if (it == conns_.end()) {
+  TcpPeer* peer = FindPeer(parsed->tcp.dst_port);
+  if (peer == nullptr) {
     return;
   }
-  // Client-side processing delay before the peer reacts.
+  // Client-side processing delay before the peer reacts. The dispatch
+  // captures the handle, not the port: a connection released and its port
+  // re-issued between schedule and fire must not swallow the segment.
   TcpHeader hdr = parsed->tcp;
   std::vector<uint8_t> payload = std::move(parsed->payload);
-  uint16_t port = parsed->tcp.dst_port;
-  eq_->ScheduleAfter(model_.client_processing / 4, [this, port, hdr, payload] {
-    auto conn = conns_.find(port);
-    if (conn != conns_.end()) {
-      conn->second->OnSegment(hdr, payload);
+  ConnHandle h = peer->self_;
+  eq_->ScheduleTimerAfter(model_.client_processing / 4, [this, h, hdr, payload] {
+    if (TcpPeer* p = ResolvePeer(h); p != nullptr) {
+      p->OnSegment(hdr, payload);
     }
   });
 }

@@ -25,8 +25,25 @@ const MacAddr kServerMac = MacAddr::FromIndex(1);
 const Ip4Addr kQosIp = Ip4Addr::FromOctets(10, 0, 2, 1);
 const Ip4Addr kSynAttackerIp = Ip4Addr::FromOctets(192, 168, 9, 9);
 
+// Client i's address. The first 254 stay on the historical 10.0.1/24 (the
+// bench JSON goldens and every small-testbed test pin those bytes); larger
+// cells spill into 10.8.0.0/13 and beyond, which the trusted 10/8 listener
+// still covers. Good for ~16M clients before colliding with other subnets.
 Ip4Addr ClientIp(int i) {
-  return Ip4Addr::FromOctets(10, 0, 1, static_cast<uint8_t>(1 + i));
+  if (i < 254) {
+    return Ip4Addr::FromOctets(10, 0, 1, static_cast<uint8_t>(1 + i));
+  }
+  int j = i - 254;
+  return Ip4Addr::FromOctets(10, static_cast<uint8_t>(8 + j / 65536),
+                             static_cast<uint8_t>((j / 256) % 256),
+                             static_cast<uint8_t>(j % 256));
+}
+
+// Client i's MAC index. The first 100 keep the historical 100+i; beyond
+// that, jump past the CGI-attacker (200+i) and untrusted-test (300+i)
+// ranges so a million clients never collide with another actor family.
+uint64_t ClientMacIndex(int i) {
+  return i < 100 ? 100 + static_cast<uint64_t>(i) : 1000 + static_cast<uint64_t>(i);
 }
 Ip4Addr CgiAttackerIp(int i) {
   return Ip4Addr::FromOctets(10, 0, 3, static_cast<uint8_t>(1 + i));
@@ -48,6 +65,10 @@ struct Testbed {
   // Declared after `server` so the end-of-run audit checks run while the
   // kernel is still alive (members are destroyed in reverse order).
   std::unique_ptr<AuditScope> audit;
+  // One TcpPeer slab per shard, shared by every machine homed there (the
+  // flyweight connection pool). Declared before `machines` so the slabs
+  // outlive them: a machine's destructor releases its slots.
+  std::vector<std::unique_ptr<Slab<TcpPeer>>> peer_slabs;
   std::vector<std::unique_ptr<ClientMachine>> machines;
   std::vector<std::unique_ptr<HttpClient>> clients;
   std::vector<std::unique_ptr<CgiAttacker>> cgi_attackers;
@@ -59,6 +80,13 @@ struct Testbed {
 
 std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer = nullptr) {
   auto tb = std::make_unique<Testbed>(spec.shards, spec.adaptive_lookahead);
+  // Must precede any construction that arms a timer (the server's master
+  // event, client retransmits): heap-fallback mode is a whole-run choice.
+  tb->eq.set_timer_wheel(spec.timer_wheel);
+  tb->peer_slabs.resize(static_cast<size_t>(spec.shards));
+  for (auto& slab : tb->peer_slabs) {
+    slab = std::make_unique<Slab<TcpPeer>>();
+  }
   tb->link = std::make_unique<SharedLink>(&tb->eq, NetworkModel::Calibrated());
 
   if (spec.linux_server) {
@@ -90,16 +118,20 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer
     placement = ComputePlacement(spec);
   }
   int next_actor = 0;
+  int actor_shard = 0;  // home shard of the most recent actor_stream()
   auto actor_stream = [&]() -> EventQueue::StreamId {
     size_t idx = static_cast<size_t>(next_actor++);
-    int shard = idx < placement.size() ? placement[idx] : 0;
-    return tb->eq.NewStream(shard);
+    actor_shard = idx < placement.size() ? placement[idx] : 0;
+    return tb->eq.NewStream(actor_shard);
   };
 
+  // Machines file their connections in the slab of the shard they were
+  // just homed on (actor_stream() runs first, via the StreamScope).
   auto add_machine = [&](Ip4Addr ip, uint64_t mac_index, uint64_t seed) {
-    auto machine = std::make_unique<ClientMachine>(&tb->eq, tb->link.get(),
-                                                   MacAddr::FromIndex(mac_index), ip,
-                                                   NetworkModel::Calibrated(), seed);
+    auto machine = std::make_unique<ClientMachine>(
+        &tb->eq, tb->link.get(), MacAddr::FromIndex(mac_index), ip,
+        NetworkModel::Calibrated(), seed,
+        tb->peer_slabs[static_cast<size_t>(actor_shard)].get());
     machine->AddArpEntry(kServerIp, kServerMac);
     if (tb->server != nullptr) {
       tb->server->AddArpEntry(ip, machine->mac());
@@ -111,8 +143,8 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer
   // Regular clients.
   for (int i = 0; i < spec.clients; ++i) {
     EventQueue::StreamScope scope(&tb->eq, actor_stream());
-    ClientMachine* m = add_machine(ClientIp(i), 100 + static_cast<uint64_t>(i),
-                                   0xc11e47 + static_cast<uint64_t>(i));
+    ClientMachine* m =
+        add_machine(ClientIp(i), ClientMacIndex(i), 0xc11e47 + static_cast<uint64_t>(i));
     auto client = std::make_unique<HttpClient>(m, kServerIp, spec.doc);
     client->set_meter(&tb->completions);
     client->Start(CyclesFromMillis(static_cast<double>(i % 37) * 0.9));
@@ -132,9 +164,9 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer
   // QoS stream.
   if (spec.qos_stream) {
     EventQueue::StreamScope scope(&tb->eq, actor_stream());
-    tb->qos_machine = std::make_unique<ClientMachine>(&tb->eq, tb->link.get(),
-                                                      MacAddr::FromIndex(50), kQosIp,
-                                                      NetworkModel::Calibrated(), 0x9075ULL);
+    tb->qos_machine = std::make_unique<ClientMachine>(
+        &tb->eq, tb->link.get(), MacAddr::FromIndex(50), kQosIp, NetworkModel::Calibrated(),
+        0x9075ULL, tb->peer_slabs[static_cast<size_t>(actor_shard)].get());
     tb->qos_machine->AddArpEntry(kServerIp, kServerMac);
     if (tb->server != nullptr) {
       tb->server->AddArpEntry(kQosIp, tb->qos_machine->mac());
@@ -272,6 +304,27 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
     }
   }
   r.shard_profile = tb->eq.Profile();
+
+  // Memory footprint (bench JSON `memory` block): slab occupancy at the
+  // window end plus high-water marks over the whole run.
+  if (tb->server != nullptr) {
+    EscortWebServer::ConnSlabStats cs = tb->server->conn_slab_stats();
+    r.memory.pcb_slot_bytes = cs.slot_bytes;
+    r.memory.pcb_live = cs.live;
+    r.memory.pcb_high_water = cs.high_water;
+    r.memory.pcb_bytes_reserved = cs.bytes_reserved;
+  }
+  for (const auto& slab : tb->peer_slabs) {
+    r.memory.peer_slot_bytes = Slab<TcpPeer>::slot_bytes();
+    r.memory.peer_live += slab->live();
+    r.memory.peer_high_water += slab->high_water();
+    r.memory.peer_bytes_reserved += slab->bytes_reserved();
+  }
+  EventQueue::TimerWheelStats ts = tb->eq.timer_stats();
+  r.memory.timers_armed = ts.armed;
+  r.memory.timer_high_water = ts.high_water;
+  r.memory.timer_capacity = ts.capacity;
+  r.memory.timer_bytes_reserved = ts.bytes_reserved;
 
   if (tracer != nullptr) {
     if (tracer->shard_profile_enabled()) {

@@ -29,6 +29,11 @@ struct ExperimentSpec {
   // Adaptive per-shard lookahead horizons (ShardedEventQueue): collapses
   // the window count; results stay bit-identical either way.
   bool adaptive_lookahead = false;
+  // Hierarchical timer wheel for ScheduleTimerAt/After (O(1) arm/cancel).
+  // false routes timers through the comparison heap instead; results stay
+  // bit-identical either way (the wheel preserves the queue's total event
+  // order), only memory and host wall-clock change.
+  bool timer_wheel = true;
   // Stream→shard placement for the actor machines (src/workload/
   // placement.h). Results are bit-identical for any map; only shard load
   // balance changes.
@@ -52,6 +57,29 @@ struct ExperimentSpec {
   Tracer* tracer = nullptr;                // not owned
 };
 
+// Memory footprint of one cell: slab/wheel occupancy and reservations at
+// the end of the measurement window. The counts are deterministic, but the
+// block is exempt from cross-run JSON equality (like shard_utilization)
+// because it is exactly what the timer-wheel / heap-fallback axis is
+// allowed to change while every workload metric stays bit-identical.
+struct MemoryProfile {
+  // Server-side TCP PCB slab (EscortWebServer only).
+  uint64_t pcb_slot_bytes = 0;
+  uint64_t pcb_live = 0;
+  uint64_t pcb_high_water = 0;
+  uint64_t pcb_bytes_reserved = 0;
+  // Client-side TcpPeer slabs, summed over the per-shard pools.
+  uint64_t peer_slot_bytes = 0;
+  uint64_t peer_live = 0;
+  uint64_t peer_high_water = 0;
+  uint64_t peer_bytes_reserved = 0;
+  // Timer wheels, summed over shards (all zero in heap-fallback mode).
+  uint64_t timers_armed = 0;
+  uint64_t timer_high_water = 0;
+  uint64_t timer_capacity = 0;
+  uint64_t timer_bytes_reserved = 0;
+};
+
 struct ExperimentResult {
   double conns_per_sec = 0.0;
   double qos_bytes_per_sec = 0.0;
@@ -70,6 +98,9 @@ struct ExperimentResult {
   // feeds the bench JSON `shard_utilization` block. Inherently depends on
   // the shard partition, so it is excluded from cross-shard equality.
   ShardProfile shard_profile;
+  // Slab and timer-wheel footprint at the end of the window: feeds the
+  // bench JSON `memory` block (determinism-exempt, see MemoryProfile).
+  MemoryProfile memory;
   // Wall-clock spent inside the event-queue run (warmup + window), which
   // is what the bench JSON `perf` block rates: testbed construction and
   // teardown are setup cost, not scheduler throughput. Machine-dependent

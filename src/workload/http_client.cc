@@ -8,14 +8,14 @@ HttpClient::HttpClient(ClientMachine* machine, Ip4Addr server, std::string targe
     : machine_(machine), server_(server), target_(std::move(target)) {}
 
 void HttpClient::Start(Cycles initial_delay) {
-  machine_->eq()->ScheduleAfter(initial_delay, [this] { StartRequest(); });
+  machine_->eq()->ScheduleTimerAfter(initial_delay, [this] { StartRequest(); });
 }
 
 void HttpClient::ScheduleNext(Cycles delay) {
   if (stopped_ || (max_requests != 0 && completed_ >= max_requests)) {
     return;
   }
-  machine_->eq()->ScheduleAfter(delay, [this] { StartRequest(); });
+  machine_->eq()->ScheduleTimerAfter(delay, [this] { StartRequest(); });
 }
 
 void HttpClient::StartRequest() {
@@ -24,34 +24,34 @@ void HttpClient::StartRequest() {
   }
   in_flight_ = true;
   req_bytes_this_conn_ = 0;
-
-  TcpPeer::Callbacks cbs;
-  auto slot = std::make_shared<TcpPeer*>(nullptr);
-  cbs.on_connected = [this, slot] {
-    std::string req = "GET " + target_ + " HTTP/1.0\r\nHost: server\r\n\r\n";
-    (*slot)->SendData(std::vector<uint8_t>(req.begin(), req.end()));
-  };
-  cbs.on_data = [this](const std::vector<uint8_t>& bytes) {
-    bytes_ += bytes.size();
-    req_bytes_this_conn_ += bytes.size();
-  };
-  cbs.on_closed = [this, slot] {
-    in_flight_ = false;
-    ++completed_;
-    last_completion_ = machine_->eq()->now();
-    if (meter_ != nullptr) {
-      meter_->Record(last_completion_);
-    }
-    ScheduleNext(think_time + machine_->model().client_processing / 2);
-  };
-  cbs.on_failed = [this, slot] {
-    in_flight_ = false;
-    ++failed_;
-    ScheduleNext(retry_backoff);
-  };
-  TcpPeer* peer = machine_->OpenConnection(server_, 80, std::move(cbs));
-  *slot = peer;
+  TcpPeer* peer = machine_->OpenConnection(server_, 80, this);
   peer->Connect();
+}
+
+void HttpClient::OnConnected(TcpPeer* peer) {
+  std::string req = "GET " + target_ + " HTTP/1.0\r\nHost: server\r\n\r\n";
+  peer->SendData(std::vector<uint8_t>(req.begin(), req.end()));
+}
+
+void HttpClient::OnData(TcpPeer*, const std::vector<uint8_t>& bytes) {
+  bytes_ += bytes.size();
+  req_bytes_this_conn_ += bytes.size();
+}
+
+void HttpClient::OnClosed(TcpPeer*) {
+  in_flight_ = false;
+  ++completed_;
+  last_completion_ = machine_->eq()->now();
+  if (meter_ != nullptr) {
+    meter_->Record(last_completion_);
+  }
+  ScheduleNext(think_time + machine_->model().client_processing / 2);
+}
+
+void HttpClient::OnFailed(TcpPeer*) {
+  in_flight_ = false;
+  ++failed_;
+  ScheduleNext(retry_backoff);
 }
 
 // --- CgiAttacker -----------------------------------------------------------------
@@ -60,7 +60,7 @@ CgiAttacker::CgiAttacker(ClientMachine* machine, Ip4Addr server, Cycles period)
     : machine_(machine), server_(server), period_(period) {}
 
 void CgiAttacker::Start(Cycles initial_delay) {
-  machine_->eq()->ScheduleAfter(initial_delay, [this] { LaunchAttack(); });
+  machine_->eq()->ScheduleTimerAfter(initial_delay, [this] { LaunchAttack(); });
 }
 
 void CgiAttacker::LaunchAttack() {
@@ -68,18 +68,16 @@ void CgiAttacker::LaunchAttack() {
     return;
   }
   ++attacks_;
-  auto slot = std::make_shared<TcpPeer*>(nullptr);
-  TcpPeer::Callbacks cbs;
-  cbs.on_connected = [slot] {
-    std::string req = "GET /cgi-bin/loop HTTP/1.0\r\n\r\n";
-    (*slot)->SendData(std::vector<uint8_t>(req.begin(), req.end()));
-  };
   // No response will ever come: the server kills the path. The client TCP
   // gives up after its retransmit budget and releases the connection.
-  TcpPeer* peer = machine_->OpenConnection(server_, 80, std::move(cbs));
-  *slot = peer;
+  TcpPeer* peer = machine_->OpenConnection(server_, 80, this);
   peer->Connect();
-  machine_->eq()->ScheduleAfter(period_, [this] { LaunchAttack(); });
+  machine_->eq()->ScheduleTimerAfter(period_, [this] { LaunchAttack(); });
+}
+
+void CgiAttacker::OnConnected(TcpPeer* peer) {
+  std::string req = "GET /cgi-bin/loop HTTP/1.0\r\n\r\n";
+  peer->SendData(std::vector<uint8_t>(req.begin(), req.end()));
 }
 
 // --- SynAttacker ------------------------------------------------------------------
@@ -95,7 +93,7 @@ SynAttacker::SynAttacker(EventQueue* eq, SharedLink* link, MacAddr mac, Ip4Addr 
       period_(CyclesFromSeconds(1.0 / syns_per_sec)) {}
 
 void SynAttacker::Start(Cycles initial_delay) {
-  eq_->ScheduleAfter(initial_delay, [this] { SendOne(); });
+  eq_->ScheduleTimerAfter(initial_delay, [this] { SendOne(); });
 }
 
 void SynAttacker::SendOne() {
@@ -114,7 +112,7 @@ void SynAttacker::SendOne() {
   next_seq_ += 104729;
   hdr.flags = kTcpSyn;
   link_->Send(mac_, BuildTcpFrame(mac_, server_mac_, src_ip_, server_ip_, hdr, {}));
-  eq_->ScheduleAfter(period_, [this] { SendOne(); });
+  eq_->ScheduleTimerAfter(period_, [this] { SendOne(); });
 }
 
 // --- QosReceiver -------------------------------------------------------------------
@@ -123,33 +121,34 @@ QosReceiver::QosReceiver(ClientMachine* machine, Ip4Addr server)
     : machine_(machine), server_(server) {}
 
 void QosReceiver::Start(Cycles initial_delay) {
-  machine_->eq()->ScheduleAfter(initial_delay, [this] { Connect(); });
+  machine_->eq()->ScheduleTimerAfter(initial_delay, [this] { Connect(); });
 }
 
 void QosReceiver::Connect() {
-  auto slot = std::make_shared<TcpPeer*>(nullptr);
-  TcpPeer::Callbacks cbs;
-  cbs.on_connected = [this, slot] {
-    connected_ = true;
-    std::string req = "GET /stream HTTP/1.0\r\n\r\n";
-    (*slot)->SendData(std::vector<uint8_t>(req.begin(), req.end()));
-  };
-  cbs.on_data = [this](const std::vector<uint8_t>& bytes) {
-    bytes_ += bytes.size();
-    meter_.Record(machine_->eq()->now(), bytes.size());
-  };
-  cbs.on_closed = [this, slot] { connected_ = false; };
-  cbs.on_failed = [this, slot] {
-    connected_ = false;
-    // The stream must stay up: reconnect.
-    machine_->eq()->ScheduleAfter(CyclesFromMillis(100), [this] { Connect(); });
-  };
-  TcpPeer* peer = machine_->OpenConnection(server_, 80, std::move(cbs));
-  *slot = peer;
+  TcpPeer* peer = machine_->OpenConnection(server_, 80, this);
   // A streaming receiver never times out the transfer and coalesces ACKs.
   machine_->max_retransmits = 1000000;
   peer->ack_every = 4;
   peer->Connect();
+}
+
+void QosReceiver::OnConnected(TcpPeer* peer) {
+  connected_ = true;
+  std::string req = "GET /stream HTTP/1.0\r\n\r\n";
+  peer->SendData(std::vector<uint8_t>(req.begin(), req.end()));
+}
+
+void QosReceiver::OnData(TcpPeer*, const std::vector<uint8_t>& bytes) {
+  bytes_ += bytes.size();
+  meter_.Record(machine_->eq()->now(), bytes.size());
+}
+
+void QosReceiver::OnClosed(TcpPeer*) { connected_ = false; }
+
+void QosReceiver::OnFailed(TcpPeer*) {
+  connected_ = false;
+  // The stream must stay up: reconnect.
+  machine_->eq()->ScheduleTimerAfter(CyclesFromMillis(100), [this] { Connect(); });
 }
 
 }  // namespace escort

@@ -20,8 +20,13 @@ namespace escort {
 // The workload drivers run on their machine's stream — a shard-worker
 // context under --shards > 1. EA002: no ESCORT_SERIAL_ONLY calls here;
 // completions go through ESCORT_SHARD_SAFE meters only.
+//
+// Each driver is a ConnOwner: one long-lived object receives the events of
+// every connection it opens, instead of wiring four std::function callbacks
+// (and a shared_ptr self-slot) into each TcpPeer — at a million clients
+// that web of captures was most of the per-connection footprint.
 // ESCORT_SHARD_CONTEXT
-class HttpClient {
+class HttpClient : public ConnOwner {
  public:
   HttpClient(ClientMachine* machine, Ip4Addr server, std::string target);
 
@@ -45,6 +50,11 @@ class HttpClient {
   void StartRequest();
   void ScheduleNext(Cycles delay);
 
+  void OnConnected(TcpPeer* peer) override;
+  void OnData(TcpPeer* peer, const std::vector<uint8_t>& bytes) override;
+  void OnClosed(TcpPeer* peer) override;
+  void OnFailed(TcpPeer* peer) override;
+
   ClientMachine* const machine_;
   const Ip4Addr server_;
   const std::string target_;
@@ -59,7 +69,7 @@ class HttpClient {
 };
 
 // ESCORT_SHARD_CONTEXT
-class CgiAttacker {
+class CgiAttacker : public ConnOwner {
  public:
   CgiAttacker(ClientMachine* machine, Ip4Addr server, Cycles period = CyclesFromSeconds(1.0));
 
@@ -70,6 +80,7 @@ class CgiAttacker {
 
  private:
   void LaunchAttack();
+  void OnConnected(TcpPeer* peer) override;
 
   ClientMachine* const machine_;
   const Ip4Addr server_;
@@ -106,7 +117,7 @@ class SynAttacker {
 };
 
 // ESCORT_SHARD_CONTEXT
-class QosReceiver {
+class QosReceiver : public ConnOwner {
  public:
   QosReceiver(ClientMachine* machine, Ip4Addr server);
 
@@ -118,6 +129,10 @@ class QosReceiver {
 
  private:
   void Connect();
+  void OnConnected(TcpPeer* peer) override;
+  void OnData(TcpPeer* peer, const std::vector<uint8_t>& bytes) override;
+  void OnClosed(TcpPeer* peer) override;
+  void OnFailed(TcpPeer* peer) override;
 
   ClientMachine* const machine_;
   const Ip4Addr server_;

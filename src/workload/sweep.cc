@@ -34,15 +34,21 @@ namespace {
     std::fprintf(stderr, "unknown argument: %s\n", bad);
   }
   std::fprintf(stderr,
-               "usage: %s [--quick] [--jobs N] [--shards N] [--adaptive-lookahead]\n"
+               "usage: %s [--quick] [--jobs N] [--shards N] [--clients N]\n"
+               "       [--adaptive-lookahead] [--timer-wheel|--no-timer-wheel]\n"
                "       [--placement MODE] [--json PATH] [--trace PATH]\n"
                "  --quick      run the bench's reduced grid\n"
                "  --jobs N     worker threads (default: hardware concurrency)\n"
                "  --shards N   event-queue shards within each cell (default 1;\n"
                "               results are bit-identical at any N)\n"
+               "  --clients N  override every cell's regular-client count (the\n"
+               "               scale axis; up to 16M)\n"
                "  --adaptive-lookahead\n"
                "               per-shard adaptive window horizons (fewer\n"
                "               barriers, bit-identical results)\n"
+               "  --timer-wheel / --no-timer-wheel\n"
+               "               force the hierarchical timer wheel on/off (default\n"
+               "               on; workload metrics bit-identical either way)\n"
                "  --placement MODE\n"
                "               stream->shard placement: rr (default), weighted,\n"
                "               or profile=PATH (a prior run's bench JSON)\n"
@@ -76,6 +82,10 @@ int ParseJobs(const char* argv0, const char* value) {
 
 int ParseShards(const char* argv0, const char* value) {
   return ParseCount(argv0, "--shards", value, 64);
+}
+
+int ParseClients(const char* argv0, const char* value) {
+  return ParseCount(argv0, "--clients", value, 16'000'000);
 }
 
 void AppendEscaped(std::string* out, const std::string& s) {
@@ -175,8 +185,16 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       opts.shards = ParseShards(argv[0], argv[++i]);
     } else if (std::strncmp(a, "--shards=", 9) == 0) {
       opts.shards = ParseShards(argv[0], a + 9);
+    } else if (std::strcmp(a, "--clients") == 0 && i + 1 < argc) {
+      opts.clients = ParseClients(argv[0], argv[++i]);
+    } else if (std::strncmp(a, "--clients=", 10) == 0) {
+      opts.clients = ParseClients(argv[0], a + 10);
     } else if (std::strcmp(a, "--adaptive-lookahead") == 0) {
       opts.adaptive_lookahead = true;
+    } else if (std::strcmp(a, "--timer-wheel") == 0) {
+      opts.timer_wheel = 1;
+    } else if (std::strcmp(a, "--no-timer-wheel") == 0) {
+      opts.timer_wheel = 0;
     } else if (std::strcmp(a, "--placement") == 0 && i + 1 < argc) {
       opts.placement = argv[++i];
     } else if (std::strncmp(a, "--placement=", 12) == 0) {
@@ -255,8 +273,14 @@ void Sweep::Run(const SweepOptions& opts) {
     if (opts.shards > 0) {
       cell.spec.shards = opts.shards;
     }
+    if (opts.clients > 0) {
+      cell.spec.clients = opts.clients;
+    }
     if (opts.adaptive_lookahead) {
       cell.spec.adaptive_lookahead = true;
+    }
+    if (opts.timer_wheel >= 0) {
+      cell.spec.timer_wheel = opts.timer_wheel != 0;
     }
     if (override_placement) {
       cell.spec.placement = mode;
@@ -371,7 +395,7 @@ std::string Sweep::ToJson() const {
   out.reserve(4096 + 1024 * cells_.size());
   out += "{\n  ";
   AppendKey(&out, "schema_version");
-  out += "3,\n  ";
+  out += "4,\n  ";
   AppendKey(&out, "bench");
   AppendEscaped(&out, name_);
   out += ",\n  ";
@@ -436,16 +460,24 @@ std::string Sweep::ToJson() const {
     AppendKey(&out, "adaptive_lookahead");
     out += cell.spec.adaptive_lookahead ? "true" : "false";
     out += ", ";
+    AppendKey(&out, "timer_wheel");
+    out += cell.spec.timer_wheel ? "true" : "false";
+    out += ", ";
     AppendKey(&out, "placement");
     AppendEscaped(&out, PlacementModeName(cell.spec.placement));
     out += ", ";
     AppendKey(&out, "placement_map");
     out += "[";
-    for (size_t m = 0; m < cell.spec.placement_map.size(); ++m) {
-      if (m != 0) {
-        out += ", ";
+    // Elided (schema v4) for huge cells: a million-entry map would dwarf
+    // the document, and the map is recomputable from the spec (it is only
+    // spelled out so small-cell runs are reproducible at a glance).
+    if (ActorCount(cell.spec) <= 4096) {
+      for (size_t m = 0; m < cell.spec.placement_map.size(); ++m) {
+        if (m != 0) {
+          out += ", ";
+        }
+        AppendUint(&out, static_cast<uint64_t>(cell.spec.placement_map[m]));
       }
-      AppendUint(&out, static_cast<uint64_t>(cell.spec.placement_map[m]));
     }
     out += "], ";
     AppendKey(&out, "warmup_s");
@@ -605,6 +637,59 @@ std::string Sweep::ToJson() const {
     AppendKey(&out, "windows_per_sec");
     AppendDouble(&out, r.wall_ms > 0.0 ? static_cast<double>(sp.windows_run) * 1000.0 / r.wall_ms
                                        : 0.0);
+    out += "},\n     ";
+    // Slab/timer-wheel footprint of the cell (schema v4). Deterministic
+    // counts, but exempt from --expect-equal comparisons like
+    // shard_utilization: the timer-wheel axis is allowed to move exactly
+    // this block while every workload metric stays bit-identical.
+    const MemoryProfile& mem = e.memory;
+    AppendKey(&out, "memory");
+    out += "{";
+    AppendKey(&out, "pcb_slot_bytes");
+    AppendUint(&out, mem.pcb_slot_bytes);
+    out += ", ";
+    AppendKey(&out, "pcb_live");
+    AppendUint(&out, mem.pcb_live);
+    out += ", ";
+    AppendKey(&out, "pcb_high_water");
+    AppendUint(&out, mem.pcb_high_water);
+    out += ", ";
+    AppendKey(&out, "pcb_bytes_reserved");
+    AppendUint(&out, mem.pcb_bytes_reserved);
+    out += ", ";
+    AppendKey(&out, "peer_slot_bytes");
+    AppendUint(&out, mem.peer_slot_bytes);
+    out += ", ";
+    AppendKey(&out, "peer_live");
+    AppendUint(&out, mem.peer_live);
+    out += ", ";
+    AppendKey(&out, "peer_high_water");
+    AppendUint(&out, mem.peer_high_water);
+    out += ", ";
+    AppendKey(&out, "peer_bytes_reserved");
+    AppendUint(&out, mem.peer_bytes_reserved);
+    out += ", ";
+    AppendKey(&out, "timers_armed");
+    AppendUint(&out, mem.timers_armed);
+    out += ", ";
+    AppendKey(&out, "timer_high_water");
+    AppendUint(&out, mem.timer_high_water);
+    out += ", ";
+    AppendKey(&out, "timer_capacity");
+    AppendUint(&out, mem.timer_capacity);
+    out += ", ";
+    AppendKey(&out, "timer_bytes_reserved");
+    AppendUint(&out, mem.timer_bytes_reserved);
+    out += ", ";
+    // The headline scale number: total reserved connection+timer bytes per
+    // regular client (0 when the cell has none).
+    AppendKey(&out, "bytes_per_client");
+    AppendDouble(&out, cell.spec.clients > 0
+                           ? static_cast<double>(mem.pcb_bytes_reserved +
+                                                 mem.peer_bytes_reserved +
+                                                 mem.timer_bytes_reserved) /
+                                 static_cast<double>(cell.spec.clients)
+                           : 0.0);
     out += "},\n     ";
     AppendKey(&out, "extra");
     out += "{";

@@ -19,10 +19,18 @@
 //   --shards N   event-queue shards *within* each cell (default 1;
 //                results are bit-identical at any N — see
 //                ShardedEventQueue). Recorded in the JSON spec.
+//   --clients N  override every cell's regular-client count (the scale
+//                axis; Figure 8's million-client cells). Recorded in the
+//                JSON spec.
 //   --adaptive-lookahead
 //                per-shard adaptive window horizons (fewer barriers, same
 //                results — see ShardedEventQueue::ComputeHorizons).
 //                Recorded in the JSON spec.
+//   --timer-wheel / --no-timer-wheel
+//                force the hierarchical timer wheel on/off for every cell
+//                (default: each spec's own value, normally on). Workload
+//                metrics are bit-identical either way; only the `memory`
+//                and `perf` blocks move. Recorded in the JSON spec.
 //   --placement MODE
 //                stream→shard placement: rr (default), weighted, or
 //                profile=PATH (feed back a prior run's bench JSON). The
@@ -78,7 +86,11 @@ struct CellResult {
 struct SweepOptions {
   int jobs = 0;            // <= 0: hardware concurrency
   int shards = 0;          // <= 0: keep each spec's own value (default 1)
+  int clients = 0;         // <= 0: keep each spec's own value
   bool adaptive_lookahead = false;
+  // -1: keep each spec's own value (default on); 0/1: force the timer
+  // wheel off/on for every cell (--no-timer-wheel / --timer-wheel).
+  int timer_wheel = -1;
   // "" keeps each spec's own mode; else "rr", "weighted", or
   // "profile=PATH" (PATH: a prior run's bench JSON to feed back).
   std::string placement;
@@ -87,9 +99,10 @@ struct SweepOptions {
   bool quick = false;
 };
 
-// Parses the common bench flags (--jobs N, --shards N,
-// --adaptive-lookahead, --placement MODE, --json PATH, --trace PATH,
-// --quick). Prints usage and exits with status 2 on an unknown argument.
+// Parses the common bench flags (--jobs N, --shards N, --clients N,
+// --adaptive-lookahead, --timer-wheel / --no-timer-wheel,
+// --placement MODE, --json PATH, --trace PATH, --quick). Prints usage and
+// exits with status 2 on an unknown argument.
 SweepOptions ParseSweepArgs(int argc, char** argv);
 
 class Sweep {
@@ -123,7 +136,7 @@ class Sweep {
   const std::vector<CellResult>& results() const { return results_; }
   int failed_count() const;
 
-  // JSON serialization of the whole sweep (schema_version 3; the schema
+  // JSON serialization of the whole sweep (schema_version 4; the schema
   // is pinned by tests/test_bench_json.cc and tools/check_bench_json.py).
   std::string ToJson() const;
   bool WriteJson(const std::string& path) const;

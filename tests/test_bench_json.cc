@@ -233,11 +233,11 @@ class JsonParser {
 const std::vector<std::string> kTopKeys = {"schema_version", "bench", "jobs", "cells"};
 const std::vector<std::string> kCellKeys = {
     "id",   "ok",      "error",  "tags",              "spec",
-    "metrics", "ledger", "shard_utilization", "perf", "extra"};
+    "metrics", "ledger", "shard_utilization", "perf", "memory", "extra"};
 const std::vector<std::string> kSpecKeys = {
     "linux_server", "config",        "clients",  "doc",      "qos_stream",
     "syn_attack_rate", "cgi_attackers", "shards", "adaptive_lookahead",
-    "placement", "placement_map", "warmup_s", "window_s"};
+    "timer_wheel", "placement", "placement_map", "warmup_s", "window_s"};
 const std::vector<std::string> kMetricKeys = {
     "conns_per_sec",  "qos_bytes_per_sec", "completions_total",     "client_failures",
     "paths_killed",   "syns_dropped_at_demux", "syns_sent",         "runaway_detections",
@@ -251,6 +251,11 @@ const std::vector<std::string> kPerShardKeys = {
     "shard", "events_fired", "windows_woken", "windows_active", "idle_fraction"};
 const std::vector<std::string> kPerfKeys = {
     "wall_ms", "events_per_sec", "windows_per_sec"};
+const std::vector<std::string> kMemoryKeys = {
+    "pcb_slot_bytes",  "pcb_live",       "pcb_high_water",  "pcb_bytes_reserved",
+    "peer_slot_bytes", "peer_live",      "peer_high_water", "peer_bytes_reserved",
+    "timers_armed",    "timer_high_water", "timer_capacity",
+    "timer_bytes_reserved", "bytes_per_client"};
 
 void ExpectExactKeys(const JsonValue& obj, const std::vector<std::string>& keys,
                      const std::string& what) {
@@ -298,7 +303,7 @@ TEST(BenchJson, SchemaIsPinned) {
   ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
 
   ExpectExactKeys(root, kTopKeys, "top-level");
-  EXPECT_EQ(root.At("schema_version").number, 3.0);
+  EXPECT_EQ(root.At("schema_version").number, 4.0);
   EXPECT_EQ(root.At("bench").str, "json_schema_probe");
   EXPECT_EQ(root.At("jobs").number, 2.0);
 
@@ -313,6 +318,7 @@ TEST(BenchJson, SchemaIsPinned) {
     ExpectExactKeys(cell.At("shard_utilization"), kUtilKeys,
                     "shard_utilization of " + cell.At("id").str);
     ExpectExactKeys(cell.At("perf"), kPerfKeys, "perf of " + cell.At("id").str);
+    ExpectExactKeys(cell.At("memory"), kMemoryKeys, "memory of " + cell.At("id").str);
   }
 
   // Grid order is preserved in the JSON.
@@ -333,6 +339,7 @@ TEST(BenchJson, SchemaIsPinned) {
   EXPECT_EQ(exp.At("spec").At("clients").number, 2.0);
   EXPECT_EQ(exp.At("spec").At("shards").number, 1.0);
   EXPECT_FALSE(exp.At("spec").At("adaptive_lookahead").boolean);
+  EXPECT_TRUE(exp.At("spec").At("timer_wheel").boolean);
   EXPECT_EQ(exp.At("spec").At("placement").str, "rr");
   ASSERT_EQ(exp.At("spec").At("placement_map").kind, JsonValue::Kind::kArray);
   // One placement entry per actor: 2 clients, no attackers, no qos machine.
@@ -343,6 +350,15 @@ TEST(BenchJson, SchemaIsPinned) {
   EXPECT_GT(exp.At("perf").At("wall_ms").number, 0.0);
   EXPECT_GT(exp.At("perf").At("events_per_sec").number, 0.0);
   EXPECT_GT(exp.At("perf").At("windows_per_sec").number, 0.0);
+
+  // The memory block carries real slab/wheel occupancy: the cell served
+  // requests, so PCB and TcpPeer slots were created and timers armed.
+  const JsonValue& mem = exp.At("memory");
+  EXPECT_GT(mem.At("pcb_slot_bytes").number, 0.0);
+  EXPECT_GT(mem.At("pcb_high_water").number, 0.0);
+  EXPECT_GT(mem.At("peer_high_water").number, 0.0);
+  EXPECT_GT(mem.At("timer_high_water").number, 0.0);
+  EXPECT_GT(mem.At("bytes_per_client").number, 0.0);
 
   // The experiment cell really ran a simulation, so its scheduling profile
   // is populated: one per_shard entry per shard, with real window counts.
@@ -366,6 +382,31 @@ TEST(BenchJson, SchemaIsPinned) {
   const JsonValue& failing = cells.array[2];
   EXPECT_FALSE(failing.At("ok").boolean);
   EXPECT_NE(failing.At("error").str.find("schema probe failure"), std::string::npos);
+}
+
+TEST(BenchJson, PlacementMapElidedForHugeCells) {
+  // Schema v4: cells with more than 4096 actors keep `placement_map` as an
+  // empty array (the map is recomputable from the spec; a million entries
+  // would dwarf the document). The custom body never builds a testbed, so
+  // the probe is cheap at any client count.
+  Sweep sweep("elide_probe");
+  ExperimentSpec spec;
+  spec.clients = 5000;
+  sweep.AddCustom("huge", spec, [](const ExperimentSpec&) { return CellMetrics{}; });
+  ExperimentSpec small_spec;
+  small_spec.clients = 3;
+  sweep.AddCustom("small", small_spec, [](const ExperimentSpec&) { return CellMetrics{}; });
+  SweepOptions opts;
+  opts.jobs = 1;
+  sweep.Run(opts);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(sweep.ToJson()).Parse(&root));
+  const JsonValue& huge = root.At("cells").array[0].At("spec").At("placement_map");
+  ASSERT_EQ(huge.kind, JsonValue::Kind::kArray);
+  EXPECT_TRUE(huge.array.empty());
+  const JsonValue& small = root.At("cells").array[1].At("spec").At("placement_map");
+  EXPECT_EQ(small.array.size(), 3u);
 }
 
 TEST(BenchJson, WriteJsonMatchesToJson) {

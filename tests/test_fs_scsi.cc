@@ -55,15 +55,15 @@ TEST(FsModule, ServedDocumentMatchesDiskContent) {
   Testbed tb(ServerConfig::kAccounting);
   ClientMachine* m = tb.AddClient(0);
   std::vector<uint8_t> body;
-  TcpPeer::Callbacks cbs;
-  auto slot = std::make_shared<TcpPeer*>(nullptr);
-  cbs.on_connected = [slot] {
+  FnConnOwner owner;
+  owner.on_connected = [](TcpPeer* p) {
     std::string req = "GET /doc1k HTTP/1.0\r\n\r\n";
-    (*slot)->SendData(std::vector<uint8_t>(req.begin(), req.end()));
+    p->SendData(std::vector<uint8_t>(req.begin(), req.end()));
   };
-  cbs.on_data = [&](const std::vector<uint8_t>& b) { body.insert(body.end(), b.begin(), b.end()); };
-  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, std::move(cbs));
-  *slot = peer;
+  owner.on_data = [&](TcpPeer*, const std::vector<uint8_t>& b) {
+    body.insert(body.end(), b.begin(), b.end());
+  };
+  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, &owner);
   peer->Connect();
   tb.RunFor(0.5);
 

@@ -1,0 +1,83 @@
+// Scale smoke test: one cell with a million concurrent clients, proving
+// the flyweight-connection claim as a hard bound — the peer slab's
+// high-water mark equals the client count and the whole footprint (server
+// PCBs + client peer slabs + timer wheels) stays under a pinned
+// bytes/connection budget. RunExperiment wraps the run in an AuditScope,
+// so resource-conservation imbalances abort the test on audit builds.
+//
+// Under sanitizers the cell downscales to 100k clients (the invariants are
+// size-independent; the 1M point is covered by the default preset and the
+// scale-smoke CI job). ESCORT_SCALE_CLIENTS overrides either default.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "src/workload/experiment.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ESCORT_SCALE_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ESCORT_SCALE_SANITIZED 1
+#endif
+#endif
+
+namespace escort {
+namespace {
+
+// Budget the bench gate pins (tools/check_perf_regression.py --check-scale):
+// measured ~261 bytes/client at 1M; 2048 leaves headroom for slot growth
+// without letting a shared_ptr web creep back in unnoticed.
+constexpr double kBytesPerClientBudget = 2048.0;
+
+int ScaleClients() {
+  if (const char* env = std::getenv("ESCORT_SCALE_CLIENTS"); env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+#ifdef ESCORT_SCALE_SANITIZED
+  return 100000;
+#else
+  return 1000000;
+#endif
+}
+
+TEST(MillionClients, SlabHighWaterAndMemoryBudget) {
+  const int n = ScaleClients();
+  ExperimentSpec spec;
+  spec.config = ServerConfig::kAccounting;
+  spec.clients = n;
+  spec.doc = "/doc1b";
+  spec.warmup_s = 0.02;
+  spec.window_s = 0.1;
+  spec.timer_wheel = true;
+
+  ExperimentResult r = RunExperiment(spec);
+
+  // Every client machine opened its connection: the slab's high-water mark
+  // is exact, straight off the table.
+  EXPECT_EQ(r.memory.peer_high_water, static_cast<uint64_t>(n));
+  EXPECT_GE(r.memory.peer_bytes_reserved, r.memory.peer_high_water * r.memory.peer_slot_bytes);
+
+  // Each connection arms at least one timer; the wheel slabs track them
+  // without per-timer heap nodes.
+  EXPECT_GE(r.memory.timer_high_water, static_cast<uint64_t>(n));
+  EXPECT_GE(r.memory.timer_capacity, r.memory.timers_armed);
+
+  const uint64_t total_bytes = r.memory.pcb_bytes_reserved + r.memory.peer_bytes_reserved +
+                               r.memory.timer_bytes_reserved;
+  const double bytes_per_client = static_cast<double>(total_bytes) / static_cast<double>(n);
+  EXPECT_GT(bytes_per_client, 0.0);
+  EXPECT_LE(bytes_per_client, kBytesPerClientBudget)
+      << "footprint regression: " << bytes_per_client << " bytes/client over " << n << " clients";
+
+  // The cell actually ran (events fired; the window elapsed).
+  EXPECT_GT(r.window_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace escort

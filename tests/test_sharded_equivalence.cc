@@ -190,6 +190,68 @@ TEST(ShardedEquivalence, SchedulingModesAreBitIdentical) {
   EXPECT_LT(adaptive_windows, conservative_windows);
 }
 
+// The timer backend axis: {timer wheel, comparison-heap fallback} x
+// {conservative, adaptive lookahead} x shards {1, 2, 4, 8} must all be
+// bit-identical to a heap-fallback single-queue run. The wheel is a
+// staging structure under the same total event order — ScheduleTimerAt
+// consumes stream sequence numbers identically in both modes, so the only
+// things allowed to differ are the memory block and host wall-clock.
+TEST(ShardedEquivalence, TimerBackendsAreBitIdentical) {
+  std::vector<SweepCell> grid = BuildGrid();
+  std::vector<SweepCell> picked = {grid[1], grid[2]};  // multi-client + SYN flood
+  for (SweepCell& cell : picked) {
+    cell.spec.warmup_s = 0.04;  // 15 sweeps: keep each window short
+    cell.spec.window_s = 0.15;
+  }
+  SweepOptions opts;
+  opts.jobs = 2;
+
+  Sweep baseline("timer_baseline");  // heap fallback on the single queue
+  for (const SweepCell& cell : picked) {
+    ExperimentSpec spec = cell.spec;
+    spec.timer_wheel = false;
+    baseline.Add(cell.id, spec);
+  }
+  baseline.Run(opts);
+  ASSERT_EQ(baseline.failed_count(), 0);
+  EXPECT_EQ(baseline.Result(picked[0].id).memory.timer_high_water, 0u)
+      << "heap fallback must not touch the wheel";
+
+  for (int shards : {1, 2, 4, 8}) {
+    for (bool adaptive : {false, true}) {
+      for (bool wheel : {false, true}) {
+        if (shards == 1 && !adaptive && !wheel) {
+          continue;  // that is the baseline itself
+        }
+        std::string label = "timer_s" + std::to_string(shards) +
+                            (adaptive ? "_adaptive" : "_conservative") +
+                            (wheel ? "_wheel" : "_heap");
+        Sweep run(label);
+        for (const SweepCell& cell : picked) {
+          ExperimentSpec spec = cell.spec;
+          spec.shards = shards;
+          spec.adaptive_lookahead = adaptive;
+          spec.timer_wheel = wheel;
+          run.Add(cell.id, spec);
+        }
+        run.Run(opts);
+        ASSERT_EQ(run.failed_count(), 0) << label;
+        for (const SweepCell& cell : picked) {
+          ExpectIdentical(baseline.Result(cell.id), run.Result(cell.id),
+                          cell.id + " " + label, shards);
+          const MemoryProfile& mem = run.Result(cell.id).memory;
+          if (wheel) {
+            EXPECT_GT(mem.timer_high_water, 0u) << label;
+          } else {
+            EXPECT_EQ(mem.timer_high_water, 0u) << label;
+            EXPECT_EQ(mem.timer_bytes_reserved, 0u) << label;
+          }
+        }
+      }
+    }
+  }
+}
+
 // Sharded runs are reproducible against themselves: two shards=4 runs of
 // the same cell are bit-identical (thread scheduling never leaks in).
 TEST(ShardedEquivalence, ShardedRunsAreReproducible) {

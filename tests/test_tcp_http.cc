@@ -17,9 +17,9 @@ TEST(TcpModule, HandshakeCreatesActivePathAndEstablishes) {
   ClientMachine* m = tb.AddClient(0);
 
   bool connected = false;
-  TcpPeer::Callbacks cbs;
-  cbs.on_connected = [&] { connected = true; };
-  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, std::move(cbs));
+  FnConnOwner owner;
+  owner.on_connected = [&](TcpPeer*) { connected = true; };
+  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, &owner);
   peer->Connect();
   tb.RunFor(0.05);
 
@@ -36,10 +36,10 @@ TEST(TcpModule, HandshakeCreatesActivePathAndEstablishes) {
 TEST(TcpModule, SynToClosedPortIsDropped) {
   Testbed tb(ServerConfig::kAccounting);
   ClientMachine* m = tb.AddClient(0);
-  TcpPeer::Callbacks cbs;
+  FnConnOwner owner;
   bool failed = false;
-  cbs.on_failed = [&] { failed = true; };
-  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 81, std::move(cbs));
+  owner.on_failed = [&](TcpPeer*) { failed = true; };
+  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 81, &owner);
   m->max_retransmits = 1;
   peer->Connect();
   tb.RunFor(3.0);
@@ -147,16 +147,14 @@ TEST(HttpModule, NonGetMethodRejected) {
   ClientMachine* m = tb.AddClient(0);
   uint64_t bytes = 0;
   bool closed = false;
-  TcpPeer::Callbacks cbs;
-  auto slot = std::make_shared<TcpPeer*>(nullptr);
-  cbs.on_connected = [slot] {
+  FnConnOwner owner;
+  owner.on_connected = [](TcpPeer* p) {
     std::string req = "DELETE /doc1b HTTP/1.0\r\n\r\n";
-    (*slot)->SendData(std::vector<uint8_t>(req.begin(), req.end()));
+    p->SendData(std::vector<uint8_t>(req.begin(), req.end()));
   };
-  cbs.on_data = [&](const std::vector<uint8_t>& b) { bytes += b.size(); };
-  cbs.on_closed = [&] { closed = true; };
-  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, std::move(cbs));
-  *slot = peer;
+  owner.on_data = [&](TcpPeer*, const std::vector<uint8_t>& b) { bytes += b.size(); };
+  owner.on_closed = [&](TcpPeer*) { closed = true; };
+  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, &owner);
   peer->Connect();
   tb.RunFor(0.5);
   EXPECT_TRUE(closed);
@@ -169,27 +167,23 @@ TEST(HttpModule, RequestSplitAcrossSegmentsIsReassembled) {
   ClientMachine* m = tb.AddClient(0);
   bool closed = false;
   uint64_t bytes = 0;
-  TcpPeer::Callbacks cbs;
-  auto slot = std::make_shared<TcpPeer*>(nullptr);
-  cbs.on_connected = [&, slot] {
+  FnConnOwner owner;
+  owner.on_connected = [&](TcpPeer* p) {
     std::string part1 = "GET /doc1b HT";
-    (*slot)->SendData(std::vector<uint8_t>(part1.begin(), part1.end()));
-    // Second half after a delay.
-    tb.eq.ScheduleAfter(CyclesFromMillis(5), [slot] {
-      if (*slot != nullptr) {
+    p->SendData(std::vector<uint8_t>(part1.begin(), part1.end()));
+    // Second half after a delay; the handle goes stale if the connection
+    // dies first (EA001 revalidation, no nulled shared slot needed).
+    ConnHandle h = p->handle();
+    tb.eq.ScheduleAfter(CyclesFromMillis(5), [&, h] {
+      if (TcpPeer* later = m->ResolvePeer(h); later != nullptr) {
         std::string part2 = "TP/1.0\r\n\r\n";
-        (*slot)->SendData(std::vector<uint8_t>(part2.begin(), part2.end()));
+        later->SendData(std::vector<uint8_t>(part2.begin(), part2.end()));
       }
     });
   };
-  cbs.on_data = [&](const std::vector<uint8_t>& b) { bytes += b.size(); };
-  cbs.on_closed = [&, slot] {
-    closed = true;
-    *slot = nullptr;
-  };
-  cbs.on_failed = [slot] { *slot = nullptr; };
-  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, std::move(cbs));
-  *slot = peer;
+  owner.on_data = [&](TcpPeer*, const std::vector<uint8_t>& b) { bytes += b.size(); };
+  owner.on_closed = [&](TcpPeer*) { closed = true; };
+  TcpPeer* peer = m->OpenConnection(tb.server->options().ip, 80, &owner);
   peer->Connect();
   tb.RunFor(0.5);
   EXPECT_TRUE(closed);

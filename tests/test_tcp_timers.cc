@@ -13,8 +13,10 @@
 //    onto the path's thread as a closure that runs later. The closure must
 //    not capture the raw TcpPcb* (the path — and the PCB it owns — can be
 //    reclaimed, and the connection key even reincarnated, between scan and
-//    execution). It captures the ConnKey and the armed deadline instead
-//    and revalidates through the connection table.
+//    execution). It captures the generation-tagged ConnHandle and the armed
+//    deadline instead and revalidates through TcpModule::Resolve; a
+//    reincarnated connection occupies a new slot generation, so the stale
+//    closure resolves to nothing (see ReincarnatedKey... below).
 
 #include <gtest/gtest.h>
 
@@ -61,7 +63,7 @@ TcpPcb* PlantHalfOpenConn(Testbed* tb, ClientMachine* m) {
     ADD_FAILURE() << "expected exactly one half-open connection";
     return nullptr;
   }
-  TcpPcb* pcb = conns.begin()->second;
+  TcpPcb* pcb = tb->server->tcp()->Resolve(conns.begin()->second);
   EXPECT_EQ(pcb->state, TcpState::kSynRecvd);
   EXPECT_GT(pcb->BytesUnacked(), 0u);
   // Park both timers out of the way; each test re-plants the one it needs.
@@ -116,7 +118,7 @@ TEST(TcpTimers, TimeWaitReapsOnTheScanAtItsDeadline) {
     ASSERT_TRUE(tb.eq.Step());
   }
   ASSERT_EQ(tb.server->tcp()->conn_count(), 1u);
-  TcpPcb* pcb = tb.server->tcp()->conns().begin()->second;
+  TcpPcb* pcb = tb.server->tcp()->Resolve(tb.server->tcp()->conns().begin()->second);
   while (pcb->state != TcpState::kTimeWait) {
     ASSERT_TRUE(tb.eq.Step());
   }
@@ -167,6 +169,34 @@ TEST(TcpTimers, StaleRetransmitClosureIsDroppedWhenTimerRearms) {
   StepToNextScan(&tb);  // a full period: the stale closure has executed
   EXPECT_EQ(tb.server->tcp()->total_retransmits(), base);
   EXPECT_EQ(pcb->retransmits, 0u);
+}
+
+// A connection dies and the same peer 4-tuple reconnects before a deferred
+// closure armed against the old incarnation runs. The freed slab slot is
+// re-issued to the new PCB — same index, bumped generation. The pre-fix
+// revalidation (FindConn(key) plus a deadline comparison) resolves the NEW
+// connection and, when the deadlines coincide, acts on it; the handle's
+// generation tag makes the staleness check exact.
+TEST(TcpTimers, ReincarnatedKeyDoesNotSatisfyStaleHandle) {
+  Testbed tb(ServerConfig::kAccounting);
+  ClientMachine* m = tb.AddClient(0);
+  TcpPcb* pcb = PlantHalfOpenConn(&tb, m);
+  ASSERT_NE(pcb, nullptr);
+  ConnKey key = pcb->key;
+  ConnHandle stale = pcb->self;
+  Cycles armed_deadline = pcb->retx_deadline;
+  tb.server->paths().Destroy(pcb->path);
+  ASSERT_EQ(tb.server->tcp()->conn_count(), 0u);
+
+  TcpPcb* again = PlantHalfOpenConn(&tb, m);  // same src port: same ConnKey
+  ASSERT_NE(again, nullptr);
+  ASSERT_EQ(again->self.index, stale.index);  // slot reused...
+  EXPECT_NE(again->self.gen, stale.gen);      // ...under a new generation
+  again->retx_deadline = armed_deadline;  // the coincidence key-capture fell for
+  // Key-based revalidation finds the reincarnated connection — that is the
+  // pre-fix bug surface. Handle-based revalidation refuses it.
+  EXPECT_EQ(tb.server->tcp()->FindConn(key), again);
+  EXPECT_EQ(tb.server->tcp()->Resolve(stale), nullptr);
 }
 
 // pathKill lands between the scan and the closure: the kernel reclaims the

@@ -1,0 +1,294 @@
+// Randomized differential test for the hierarchical timer wheel: ~100k
+// seeded arm/cancel/re-arm/advance operations against a naive reference
+// (a flat list sorted by the full total-order key), asserting the wheel
+// fires the *identical sequence* of timers — ties on `when` included.
+// This is the exactness contract the event queue's bit-identity rests on:
+// the wheel is a staging structure, never an ordering authority.
+//
+// Coverage knobs baked into the op mix:
+//   * same-tick ties (same `when`, distinct seq/minor),
+//   * near deadlines within a level-0 slot, mid-range deadlines that cross
+//     cascade boundaries, and far-future deadlines parked in outer levels,
+//   * advances that land exactly on slot and rotation boundaries,
+//   * cancels of slot-filed and due-staged entries, stale-handle cancels
+//     (fired / already-cancelled / re-issued slots), and re-arms.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/timer_wheel.h"
+
+namespace escort {
+namespace {
+
+struct RefTimer {
+  TimerKey key;
+  uint64_t id = 0;
+};
+
+// Drives the wheel and the reference in lockstep. All randomness comes
+// from the seeded deterministic Rng, so failures replay exactly.
+class Differential {
+ public:
+  explicit Differential(uint64_t seed) : rng_(seed) {}
+
+  void ArmOne() {
+    TimerKey key;
+    key.when = now_ + RandomDelay();
+    key.stream = static_cast<uint32_t>(rng_.NextBelow(7));
+    key.seq = next_seq_++;  // unique: full keys totally order the timers
+    key.minor = static_cast<uint32_t>(rng_.NextBelow(3));
+    uint64_t id = next_id_++;
+    TimerRef ref = wheel_.Arm(key, key.stream, [this, id] { fired_.push_back(id); });
+    live_[id] = ref;
+    reference_.push_back({key, id});
+  }
+
+  void CancelOne() {
+    if (live_.empty()) {
+      return;
+    }
+    auto it = live_.begin();
+    std::advance(it, static_cast<long>(rng_.NextBelow(live_.size())));
+    EXPECT_TRUE(wheel_.Cancel(it->second)) << "live timer must cancel";
+    // A second cancel through the same handle must be rejected by the
+    // generation tag, not by luck.
+    EXPECT_FALSE(wheel_.Cancel(it->second));
+    RemoveFromReference(it->first);
+    stale_.push_back(it->second);
+    live_.erase(it);
+  }
+
+  void ReArmOne() {
+    CancelOne();
+    ArmOne();
+  }
+
+  void CancelStale() {
+    if (stale_.empty()) {
+      return;
+    }
+    size_t i = rng_.NextBelow(stale_.size());
+    EXPECT_FALSE(wheel_.Cancel(stale_[i])) << "stale handle must be rejected";
+  }
+
+  // Fires everything with key.when <= target, asserting the exact order
+  // against the reference sort.
+  void AdvanceTo(Cycles target) {
+    std::vector<RefTimer> expected;
+    for (const RefTimer& t : reference_) {
+      if (t.key.when <= target) {
+        expected.push_back(t);
+      }
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const RefTimer& a, const RefTimer& b) { return TimerKeyLess(a.key, b.key); });
+
+    fired_.clear();
+    TimerKey key;
+    TimerKey prev{};
+    bool first = true;
+    while (wheel_.PeekDue(&key) && key.when <= target) {
+      if (!first) {
+        EXPECT_TRUE(TimerKeyLess(prev, key)) << "fire keys must be strictly increasing";
+      }
+      first = false;
+      prev = key;
+      TimerKey popped;
+      uint32_t exec_stream = 0;
+      TimerWheel::Callback fn = wheel_.PopDue(&popped, &exec_stream);
+      EXPECT_FALSE(TimerKeyLess(popped, key) || TimerKeyLess(key, popped));
+      EXPECT_EQ(exec_stream, popped.stream);
+      ASSERT_TRUE(fn != nullptr);
+      fn();
+    }
+
+    ASSERT_EQ(fired_.size(), expected.size()) << "at advance to " << target;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(fired_[i], expected[i].id) << "fire order diverged at position " << i;
+    }
+    for (const RefTimer& t : expected) {
+      stale_.push_back(live_[t.id]);
+      live_.erase(t.id);
+      RemoveFromReference(t.id);
+    }
+    now_ = target;
+  }
+
+  void RandomAdvance() {
+    // Mix plain advances with ones landing exactly on slot (2^16) and
+    // rotation (2^24) boundaries, where cascades happen.
+    Cycles step;
+    switch (rng_.NextBelow(4)) {
+      case 0:
+        step = rng_.NextBelow(1u << 14);  // sub-slot
+        break;
+      case 1:
+        step = ((now_ >> 16) + 1 + rng_.NextBelow(8)) * (Cycles{1} << 16) - now_;
+        break;
+      case 2:
+        step = ((now_ >> 24) + 1) * (Cycles{1} << 24) - now_;
+        break;
+      default:
+        step = rng_.NextBelow(Cycles{1} << 20);
+    }
+    AdvanceTo(now_ + step);
+  }
+
+  void Run(int ops) {
+    for (int i = 0; i < ops; ++i) {
+      switch (rng_.NextBelow(10)) {
+        case 0:
+        case 1:
+        case 2:
+        case 3:
+        case 4:
+          ArmOne();
+          break;
+        case 5:
+          CancelOne();
+          break;
+        case 6:
+          ReArmOne();
+          break;
+        case 7:
+          CancelStale();
+          break;
+        default:
+          RandomAdvance();
+          break;
+      }
+      EXPECT_EQ(wheel_.armed(), reference_.size());
+    }
+    // Drain: everything left must come out, in key order.
+    AdvanceTo(~Cycles{0});
+    EXPECT_EQ(wheel_.armed(), 0u);
+    EXPECT_TRUE(reference_.empty());
+  }
+
+  TimerWheel& wheel() { return wheel_; }
+
+ private:
+  Cycles RandomDelay() {
+    switch (rng_.NextBelow(6)) {
+      case 0:
+        return rng_.NextBelow(1u << 10);  // same level-0 slot / same tick
+      case 1:
+        // Exact ties on `when`: collide with the most recent arm if any.
+        return reference_.empty() ? 1 : reference_.back().key.when - now_;
+      case 2:
+        return rng_.NextBelow(1u << 16);  // level 0
+      case 3:
+        return rng_.NextBelow(1u << 24);  // level 1 (crosses slot cascades)
+      case 4:
+        return rng_.NextBelow(1u << 30);  // level 2
+      default:
+        return rng_.NextBelow(Cycles{1} << 40);  // far future, outer levels
+    }
+  }
+
+  void RemoveFromReference(uint64_t id) {
+    for (size_t i = 0; i < reference_.size(); ++i) {
+      if (reference_[i].id == id) {
+        reference_[i] = reference_.back();
+        reference_.pop_back();
+        return;
+      }
+    }
+    ADD_FAILURE() << "id " << id << " not in reference";
+  }
+
+  Rng rng_;
+  TimerWheel wheel_;
+  Cycles now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 0;
+  std::vector<RefTimer> reference_;     // live timers, unsorted
+  std::map<uint64_t, TimerRef> live_;   // id -> handle
+  std::vector<TimerRef> stale_;         // fired/cancelled handles
+  std::vector<uint64_t> fired_;         // ids in wheel fire order
+};
+
+TEST(TimerWheel, DifferentialHundredThousandOps) {
+  Differential d(0x7ee1);
+  d.Run(100000);
+}
+
+TEST(TimerWheel, DifferentialSecondSeed) {
+  Differential d(0xe5c0da);  // distinct op interleaving
+  d.Run(30000);
+}
+
+TEST(TimerWheel, FireOrderBreaksTiesBySeq) {
+  TimerWheel w;
+  std::vector<int> order;
+  // Same `when`, same stream, seqs armed out of order: fire order must be
+  // seq order, not arm order.
+  TimerKey k;
+  k.when = 1 << 20;
+  k.stream = 3;
+  k.seq = 9;
+  w.Arm(k, k.stream, [&] { order.push_back(9); });
+  k.seq = 2;
+  w.Arm(k, k.stream, [&] { order.push_back(2); });
+  k.seq = 5;
+  w.Arm(k, k.stream, [&] { order.push_back(5); });
+  TimerKey got;
+  uint32_t es;
+  while (w.PeekDue(&got)) {
+    w.PopDue(&got, &es)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{2, 5, 9}));
+}
+
+TEST(TimerWheel, CancelStaleAfterFire) {
+  TimerWheel w;
+  bool ran = false;
+  TimerKey k;
+  k.when = 100;
+  TimerRef ref = w.Arm(k, 0, [&] { ran = true; });
+  TimerKey got;
+  uint32_t es;
+  ASSERT_TRUE(w.PeekDue(&got));
+  w.PopDue(&got, &es)();
+  EXPECT_TRUE(ran);
+  EXPECT_FALSE(w.Cancel(ref)) << "handle of a fired timer is stale";
+}
+
+TEST(TimerWheel, FarFutureDeadlineSurvivesManyCascades) {
+  TimerWheel w;
+  bool ran = false;
+  TimerKey far;
+  far.when = Cycles{1} << 45;  // parked several levels out
+  far.seq = 1;
+  w.Arm(far, 0, [&] { ran = true; });
+  // Fire a long series of near timers to march the cursor through many
+  // rotations; the far timer must neither fire early nor be lost.
+  for (int i = 1; i <= 64; ++i) {
+    TimerKey near;
+    near.when = static_cast<Cycles>(i) << 22;
+    near.seq = static_cast<uint64_t>(i) + 1;
+    w.Arm(near, 0, [] {});
+    TimerKey got;
+    uint32_t es;
+    ASSERT_TRUE(w.PeekDue(&got));
+    EXPECT_EQ(got.when, near.when);
+    w.PopDue(&got, &es)();
+    EXPECT_FALSE(ran);
+  }
+  TimerKey got;
+  uint32_t es;
+  ASSERT_TRUE(w.PeekDue(&got));
+  EXPECT_EQ(got.when, far.when);
+  w.PopDue(&got, &es)();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(w.armed(), 0u);
+}
+
+}  // namespace
+}  // namespace escort

@@ -4,6 +4,7 @@
 #ifndef TESTS_TESTBED_H_
 #define TESTS_TESTBED_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -12,6 +13,30 @@
 #include "src/workload/http_client.h"
 
 namespace escort {
+
+// Test adapter: a ConnOwner whose hooks are std::functions, so a test can
+// wire ad-hoc lambdas without declaring a class. Production drivers
+// implement ConnOwner directly (the whole point of the interface is to shed
+// per-connection capture state); this shim is for tests only.
+struct FnConnOwner : ConnOwner {
+  std::function<void(TcpPeer*)> on_connected;
+  std::function<void(TcpPeer*, const std::vector<uint8_t>&)> on_data;
+  std::function<void(TcpPeer*)> on_closed;
+  std::function<void(TcpPeer*)> on_failed;
+
+  void OnConnected(TcpPeer* p) override {
+    if (on_connected) on_connected(p);
+  }
+  void OnData(TcpPeer* p, const std::vector<uint8_t>& b) override {
+    if (on_data) on_data(p, b);
+  }
+  void OnClosed(TcpPeer* p) override {
+    if (on_closed) on_closed(p);
+  }
+  void OnFailed(TcpPeer* p) override {
+    if (on_failed) on_failed(p);
+  }
+};
 
 class Testbed {
  public:

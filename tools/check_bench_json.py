@@ -8,11 +8,11 @@ tests/test_bench_json.cc pins at the C++ level, but from the outside —
 CI's bench smoke job runs it against freshly produced output.
 
 Checks per file:
-  * parses as JSON, schema_version == 3
+  * parses as JSON, schema_version == 4
   * top-level keys exactly {schema_version, bench, jobs, cells}
   * every cell carries exactly {id, ok, error, tags, spec, metrics,
-    ledger, shard_utilization, perf, extra} with the pinned spec/metric/
-    shard_utilization/perf key sets
+    ledger, shard_utilization, perf, memory, extra} with the pinned
+    spec/metric/shard_utilization/perf/memory key sets
   * cell ids are unique and non-empty; jobs >= 1
   * ok:true cells have empty error; ok:false cells have a message
   * all metric values are finite numbers
@@ -42,11 +42,11 @@ import sys
 
 TOP_KEYS = {"schema_version", "bench", "jobs", "cells"}
 CELL_KEYS = {"id", "ok", "error", "tags", "spec", "metrics", "ledger",
-             "shard_utilization", "perf", "extra"}
+             "shard_utilization", "perf", "memory", "extra"}
 SPEC_KEYS = {
     "linux_server", "config", "clients", "doc", "qos_stream",
     "syn_attack_rate", "cgi_attackers", "shards", "adaptive_lookahead",
-    "placement", "placement_map", "warmup_s", "window_s",
+    "timer_wheel", "placement", "placement_map", "warmup_s", "window_s",
 }
 METRIC_KEYS = {
     "conns_per_sec", "qos_bytes_per_sec", "completions_total", "client_failures",
@@ -61,13 +61,21 @@ UTIL_KEYS = {
 }
 PER_SHARD_KEYS = {"shard", "events_fired", "windows_woken", "windows_active", "idle_fraction"}
 PERF_KEYS = {"wall_ms", "events_per_sec", "windows_per_sec"}
+MEMORY_KEYS = {
+    "pcb_slot_bytes", "pcb_live", "pcb_high_water", "pcb_bytes_reserved",
+    "peer_slot_bytes", "peer_live", "peer_high_water", "peer_bytes_reserved",
+    "timers_armed", "timer_high_water", "timer_capacity",
+    "timer_bytes_reserved", "bytes_per_client",
+}
 
 # The shared determinism-exempt lists: --expect-equal strips exactly these.
 # Keep in sync with the serializer comments in src/workload/sweep.cc —
-# anything machine-dependent (perf) or partition-dependent
-# (shard_utilization, the scheduling spec knobs) goes here, nothing else.
-DETERMINISM_EXEMPT_BLOCKS = ("shard_utilization", "perf")
-SPEC_EXEMPT_KEYS = ("shards", "adaptive_lookahead", "placement", "placement_map")
+# anything machine-dependent (perf), partition-dependent
+# (shard_utilization, the scheduling spec knobs), or timer-backend-
+# dependent (memory) goes here, nothing else.
+DETERMINISM_EXEMPT_BLOCKS = ("shard_utilization", "perf", "memory")
+SPEC_EXEMPT_KEYS = ("shards", "adaptive_lookahead", "timer_wheel",
+                    "placement", "placement_map")
 PLACEMENT_MODES = ("rr", "weighted", "profile")
 
 
@@ -92,8 +100,8 @@ def check_file(path: str, require_ok: bool) -> list:
     if not isinstance(root, dict):
         return [f"{path}: top level is not an object"]
     expect_keys(errors, root, TOP_KEYS, f"{path}: top level")
-    if root.get("schema_version") != 3:
-        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 3")
+    if root.get("schema_version") != 4:
+        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 4")
     if not isinstance(root.get("bench"), str) or not root.get("bench"):
         errors.append(f"{path}: 'bench' must be a non-empty string")
     jobs = root.get("jobs")
@@ -133,7 +141,7 @@ def check_file(path: str, require_ok: bool) -> list:
                 errors.append(f"{what}: cell failed ({err!r}) and --require-ok is set")
 
         for sub, want in (("spec", SPEC_KEYS), ("metrics", METRIC_KEYS),
-                          ("perf", PERF_KEYS)):
+                          ("perf", PERF_KEYS), ("memory", MEMORY_KEYS)):
             obj = cell.get(sub)
             if not isinstance(obj, dict):
                 errors.append(f"{what}: '{sub}' must be an object")
@@ -161,6 +169,13 @@ def check_file(path: str, require_ok: bool) -> list:
                 if not isinstance(value, (int, float)) or isinstance(value, bool) \
                         or not math.isfinite(value):
                     errors.append(f"{what}.metrics.{key}: not a finite number: {value!r}")
+        memory = cell.get("memory")
+        if isinstance(memory, dict):
+            for key, value in memory.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                        or not math.isfinite(value) or value < 0:
+                    errors.append(f"{what}.memory.{key}: not a finite non-negative "
+                                  f"number: {value!r}")
         for sub in ("tags", "ledger", "extra"):
             if not isinstance(cell.get(sub), dict):
                 errors.append(f"{what}: '{sub}' must be an object")

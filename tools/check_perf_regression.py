@@ -16,11 +16,22 @@ must not regress by more than --tolerance (default 5%) against the
 snapshot's recorded speedup for the same cell. A fresh pair of runs on any
 machine reproduces the ratio; only a scheduling regression moves it.
 
+A second committed snapshot, bench/snapshots/BENCH_pr8.json, is a plain
+sweep document from the fig8_scale bench (the million-client grid). Its
+gate is memory, not speed: every cell's `memory.bytes_per_client` must fit
+the flyweight budget, and the grid must actually reach the headline client
+count — both machine-independent, so the committed file itself is checked.
+
 Modes:
   --check-snapshot SNAP
       Validate the snapshot's own acceptance numbers: mean speedup >= 1.5x,
       windows_run reduced in every cell, and max per-shard idle_fraction
       < 0.5 under the optimized placement.
+  --check-scale SNAP
+      Validate a fig8_scale sweep document: all cells ok, the largest cell
+      has >= --min-clients regular clients (default 1,000,000), and every
+      client-bearing cell's memory.bytes_per_client is within
+      --max-bytes-per-client (default 2048).
   --compare SNAP --baseline B.json --optimized O.json
       The CI perf job: rerun the pinned grid twice on this machine and
       compare per-cell speedups (and optionally absolute numbers with
@@ -156,6 +167,33 @@ def check_snapshot(snap_path: str, min_speedup: float) -> list:
     return failures
 
 
+def check_scale(snap_path: str, min_clients: int, max_bytes_per_client: float) -> list:
+    """Memory gate for the fig8_scale snapshot (machine-independent)."""
+    cells = cells_by_id(load(snap_path), snap_path)
+    failures = []
+    biggest = 0
+    for cid in sorted(cells):
+        spec = cells[cid].get("spec", {})
+        clients = spec.get("clients", 0)
+        if not isinstance(clients, int) or clients <= 0:
+            continue
+        biggest = max(biggest, clients)
+        mem = cells[cid].get("memory", {})
+        bpc = float(mem.get("bytes_per_client", 0.0))
+        if bpc <= 0.0:
+            failures.append(f"cell '{cid}': missing/zero memory.bytes_per_client")
+        elif bpc > max_bytes_per_client:
+            failures.append(
+                f"cell '{cid}': {bpc:.1f} bytes/client exceeds the "
+                f"{max_bytes_per_client:.0f}-byte flyweight budget")
+        else:
+            print(f"cell '{cid}': {clients} clients, {bpc:.1f} bytes/client")
+    if biggest < min_clients:
+        failures.append(
+            f"largest cell has {biggest} clients < required {min_clients}")
+    return failures
+
+
 def compare(snap_path: str, base_paths: list, opt_paths: list, tolerance: float,
             absolute: bool) -> list:
     snap_base, snap_opt = split_snapshot(load(snap_path), snap_path)
@@ -216,6 +254,8 @@ def main() -> int:
     mode = parser.add_mutually_exclusive_group(required=True)
     mode.add_argument("--check-snapshot", metavar="SNAP",
                       help="validate a committed snapshot's acceptance numbers")
+    mode.add_argument("--check-scale", metavar="SNAP",
+                      help="validate a fig8_scale sweep's memory budget")
     mode.add_argument("--compare", metavar="SNAP",
                       help="compare fresh --baseline/--optimized runs against SNAP")
     mode.add_argument("--write-snapshot", metavar="OUT",
@@ -230,6 +270,11 @@ def main() -> int:
                         help="allowed relative regression (default 0.05 = 5%%)")
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required geomean speedup for snapshot checks")
+    parser.add_argument("--min-clients", type=int, default=1_000_000,
+                        help="with --check-scale: required largest-cell client count")
+    parser.add_argument("--max-bytes-per-client", type=float, default=2048.0,
+                        help="with --check-scale: reserved connection+timer bytes "
+                             "allowed per client")
     parser.add_argument("--absolute", action="store_true",
                         help="with --compare: also gate absolute events/sec and "
                              "wall-clock (same-machine snapshots only)")
@@ -239,6 +284,9 @@ def main() -> int:
 
     if args.check_snapshot:
         failures = check_snapshot(args.check_snapshot, args.min_speedup)
+    elif args.check_scale:
+        failures = check_scale(args.check_scale, args.min_clients,
+                               args.max_bytes_per_client)
     else:
         if not args.baseline or not args.optimized:
             print("--compare/--write-snapshot need --baseline and --optimized",

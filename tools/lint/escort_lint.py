@@ -63,6 +63,12 @@ so this tool checks them statically:
          loops millions of times per cell. Hoist the callable out of
          the loop (construct it once and reuse it), or use a plain
          lambda / function pointer that never type-erases.
+  EL013  slab-slot hygiene: a type marked ESCORT_SLAB_SLOT (stored by
+         value in a generation-tagged Slab<T>, src/elib/slab.h) must not
+         own shared_ptr members. Slab storage is recycled across
+         incarnations under a generation tag; a shared_ptr member keeps
+         its referent alive past Release, resurrecting exactly the
+         refcount webs and stale-owner aliasing the slab replaces.
 
 Usage:
   escort_lint.py [--root DIR] [--self-test] [-q]
@@ -462,6 +468,45 @@ def check_hot_loop_allocations(relpath: str, code: str, violations: list) -> Non
                                         "or use a non-erasing callable"))
 
 
+SLAB_SLOT_MARKER = re.compile(r"\bESCORT_SLAB_SLOT\b")
+SHARED_PTR_MEMBER = re.compile(r"\b(?:std\s*::\s*)?shared_ptr\s*<")
+
+
+def check_slab_slot_members(relpath: str, raw: str, code: str, violations: list) -> None:
+    """EL013 — no shared_ptr members inside ESCORT_SLAB_SLOT types.
+
+    The marker lives in the doc comment above the class, so it is located
+    in the raw text; the member scan runs over the stripped text (same
+    offsets — stripping is length-preserving) so commented-out members and
+    string literals do not fire.
+    """
+    for marker in SLAB_SLOT_MARKER.finditer(raw):
+        # The marked type is the next class/struct definition after the
+        # marker; its body is the next brace-matched block.
+        decl = re.compile(r"\b(?:class|struct)\s+\w+").search(code, marker.end())
+        if decl is None:
+            continue
+        i = code.find("{", decl.end())
+        if i < 0:
+            continue
+        depth = 0
+        end = len(code)
+        for j in range(i, len(code)):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = j + 1
+                    break
+        for m in SHARED_PTR_MEMBER.finditer(code, i, end):
+            violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL013",
+                                        "shared_ptr member in an ESCORT_SLAB_SLOT type: slab slots "
+                                        "are recycled under a generation tag, and shared ownership "
+                                        "keeps the referent alive past Release — store a ConnHandle "
+                                        "(or a plain value) and revalidate at use"))
+
+
 def extract_function_body(code: str, signature_re: str) -> str:
     """Returns the brace-matched body of the first function whose signature
     matches `signature_re`, or '' if not found."""
@@ -577,6 +622,7 @@ def lint_tree(root: str) -> list:
                 check_thread_hygiene(relpath, code, violations)
                 check_diagnostics(relpath, code, violations)
                 check_hot_loop_allocations(relpath, code, violations)
+                check_slab_slot_members(relpath, raw, code, violations)
     check_clock_aliases(files, violations)
     check_pairing_and_completeness(root, files, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
@@ -635,6 +681,20 @@ SELF_TEST_CASES = [
      "    Post(std::function<void()>([] {}));\n"
      "  }\n"
      "}\n"),
+    ("EL013", "src/slab_shared_ptr.cc",
+     "#include <memory>\n"
+     "// ESCORT_SLAB_SLOT: stored by value in a Slab<Conn>.\n"
+     "struct Conn {\n"
+     "  int fd = -1;\n"
+     "  std::shared_ptr<int> token;\n"
+     "};\n"),
+    ("EL013", "src/slab_shared_ptr_class.cc",
+     "#include <memory>\n"
+     "// ESCORT_SLAB_SLOT\n"
+     "class Peer {\n"
+     " private:\n"
+     "  std::shared_ptr<Peer> parent_;\n"
+     "};\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -703,6 +763,21 @@ SELF_TEST_CLEAN = [
      "    once();\n"
      "  }\n"
      "}\n"),
+    # EL013 negative space: unique_ptr and plain members in a marked slot
+    # are fine; a shared_ptr in an UNmarked type is out of scope; a
+    # shared_ptr mentioned only in the marked type's comments must not
+    # fire (the member scan runs over stripped text).
+    ("src/slab_slot_ok.cc",
+     "#include <memory>\n"
+     "// ESCORT_SLAB_SLOT: flyweight slot.\n"
+     "struct Conn {\n"
+     "  // Why not shared_ptr: the slab recycles this storage.\n"
+     "  std::unique_ptr<int> scratch;\n"
+     "  int fd = -1;\n"
+     "};\n"
+     "struct FreeRoaming {\n"
+     "  std::shared_ptr<int> token;  // not a slab slot: allowed\n"
+     "};\n"),
 ]
 
 # EL007/EL008 fixture: a counter charged but never released, a tracking

@@ -401,7 +401,8 @@ void Kernel::FinishItem() {
   Owner* owner = t->owner();
   Cycles survivor_extra = 0;
   Cycles survivor_pc = 0;
-  if (owner->max_thread_run() > 0 && t->run_since_yield_ > owner->max_thread_run()) {
+  bool over_budget = owner->max_thread_run() > 0 && t->run_since_yield_ > owner->max_thread_run();
+  if (over_budget) {
     ++runaway_detections_;
     if (tracer_ != nullptr && tracer_->lifecycle_enabled()) {
       tracer_->Instant(eq_->now(), OwnerTrack(owner->id(), owner->name()),
@@ -409,6 +410,12 @@ void Kernel::FinishItem() {
                        {{"run_since_yield", Tracer::Num(t->run_since_yield_)},
                         {"max_thread_run", Tracer::Num(owner->max_thread_run())}});
     }
+  } else if (ledger_watch_ && ledger_watch_(owner, t)) {
+    // The watch flagged the owner as a consumption outlier: route it
+    // through the same preempt-then-destroy machinery as the run budget.
+    over_budget = true;
+  }
+  if (over_budget) {
     if (runaway_handler_) {
       // The handler typically runs pathKill, whose reclamation cost is
       // precharged; collect it and let the corresponding CPU time pass.

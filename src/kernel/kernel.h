@@ -197,6 +197,15 @@ class Kernel {
   void set_runaway_handler(RunawayHandler h) { runaway_handler_ = std::move(h); }
   uint64_t runaway_detections() const { return runaway_detections_; }
 
+  // Ledger watch: consulted at the same kernel entry as the run budget
+  // (after every work item — the one point where a non-preemptive,
+  // non-yielding thread is back in kernel hands). Return true to have the
+  // owner killed through the runaway machinery. The watch must do its own
+  // bookkeeping (detection log, blacklist) before returning; it runs
+  // outside the reclamation-cost collection window, so it must not Consume.
+  using LedgerWatch = std::function<bool(Owner*, Thread*)>;
+  void set_ledger_watch(LedgerWatch w) { ledger_watch_ = std::move(w); }
+
   // --- Accounting reports ---------------------------------------------------------
   // Charges any in-progress idle period up to `now` so reports balance.
   void SettleIdle();
@@ -318,6 +327,7 @@ class Kernel {
   std::map<Owner*, Thread*> event_threads_;
 
   RunawayHandler runaway_handler_;
+  LedgerWatch ledger_watch_;
   uint64_t runaway_detections_ = 0;
   FaultHandler fault_handler_;
   uint64_t crossing_violations_ = 0;

@@ -23,6 +23,30 @@ const char* TcpStateName(TcpState s) {
   return "?";
 }
 
+const char* TcpConnOutcomeName(TcpConnOutcome o) {
+  switch (o) {
+    case TcpConnOutcome::kCompleted: return "completed";
+    case TcpConnOutcome::kAborted: return "aborted";
+    case TcpConnOutcome::kHalfOpenExpired: return "half-open-expired";
+    case TcpConnOutcome::kSynDropped: return "syn-dropped";
+    case TcpConnOutcome::kPathKilled: return "path-killed";
+  }
+  return "?";
+}
+
+void TcpModule::ReportOutcome(TcpPcb* pcb, TcpConnOutcome outcome) {
+  // At most one terminal outcome per connection: a TIME_WAIT connection
+  // counted as completed must not be recounted when its deadline Destroy
+  // (or a late RST) tears it down.
+  if (pcb->outcome_reported) {
+    return;
+  }
+  pcb->outcome_reported = true;
+  if (conn_outcome_hook) {
+    conn_outcome_hook(pcb->key.remote_addr, outcome);
+  }
+}
+
 void TcpModule::SetState(TcpPcb* pcb, TcpState next) {
   Tracer* t = kernel()->tracer();
   if (t != nullptr && t->lifecycle_enabled() && pcb->path != nullptr &&
@@ -120,6 +144,10 @@ OpenResult TcpModule::Open(Path* path, const Attributes& attrs) {
     // goes stale with it.
     path->AddKernelCleanup([this, h] {
       if (TcpPcb* dying = pcb_slab_.Find(h); dying != nullptr) {
+        // A connection reclaimed without a terminal transition was killed
+        // under TCP (pathKill); clean closes and expiries reported theirs
+        // already, so the once-only guard makes this a no-op for them.
+        ReportOutcome(dying, TcpConnOutcome::kPathKilled);
         UnregisterConn(dying);
       }
       pcb_slab_.Release(h);
@@ -223,6 +251,9 @@ DemuxDecision TcpModule::Demux(const Message& msg) {
       // The DoS policy decides during demultiplexing: over-budget SYNs are
       // identified as early as possible and dropped instantly.
       best->syns_dropped_at_demux += 1;
+      if (conn_outcome_hook) {
+        conn_outcome_hook(key.remote_addr, TcpConnOutcome::kSynDropped);
+      }
       return DemuxDecision::Drop("syn-limit");
     }
     return DemuxDecision::Deliver(best->path);
@@ -331,6 +362,7 @@ void TcpModule::AcceptSyn(TcpListener* listener, const TcpHeader& syn, Ip4Addr p
 
 void TcpModule::HandleSegment(TcpPcb* pcb, const TcpHeader& hdr, Message payload) {
   if ((hdr.flags & kTcpRst) != 0) {
+    ReportOutcome(pcb, TcpConnOutcome::kAborted);
     CloseAndDestroy(pcb);
     return;
   }
@@ -438,6 +470,7 @@ void TcpModule::HandleAck(TcpPcb* pcb, uint32_t ack) {
     if (pcb->state == TcpState::kFinWait1) {
       SetState(pcb, TcpState::kFinWait2);
     } else if (pcb->state == TcpState::kLastAck) {
+      ReportOutcome(pcb, TcpConnOutcome::kCompleted);
       CloseAndDestroy(pcb);
       return;
     }
@@ -534,6 +567,9 @@ void TcpModule::ArmRetx(TcpPcb* pcb) {
 }
 
 void TcpModule::EnterTimeWait(TcpPcb* pcb) {
+  // Completion is counted here: the handshake finished cleanly even though
+  // the PCB lingers until the TIME_WAIT deadline Destroy.
+  ReportOutcome(pcb, TcpConnOutcome::kCompleted);
   SetState(pcb, TcpState::kTimeWait);
   pcb->time_wait_deadline = kernel()->now() + time_wait_duration;
 }
@@ -561,6 +597,9 @@ void TcpModule::MasterEventScan() {
   for (auto& [key, h] : conns_) {
     TcpPcb* pcb = pcb_slab_.Find(h);
     if (pcb == nullptr || pcb->path == nullptr || pcb->path->destroyed()) {
+      // Defensive purge only. pathKill outcomes are reported by the PCB's
+      // kernel cleanup (which also erases the conns_ entry), so reporting
+      // here would double-count the connection.
       stale.push_back(key);
       continue;
     }
@@ -583,6 +622,7 @@ void TcpModule::MasterEventScan() {
   for (ConnHandle h : expired_synrecvd) {
     // Half-open connection never completed: reclaim everything.
     if (TcpPcb* pcb = pcb_slab_.Find(h); pcb != nullptr) {
+      ReportOutcome(pcb, TcpConnOutcome::kHalfOpenExpired);
       paths()->Destroy(pcb->path);
     }
   }
@@ -597,6 +637,7 @@ void TcpModule::MasterEventScan() {
       continue;
     }
     if (pcb->retx_count >= 6) {
+      ReportOutcome(pcb, TcpConnOutcome::kAborted);
       paths()->Destroy(pcb->path);
       continue;
     }

@@ -16,6 +16,7 @@
 #define SRC_NET_TCP_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -42,6 +43,21 @@ enum class TcpState {
 };
 
 const char* TcpStateName(TcpState s);
+
+// Terminal classification of a connection attempt, reported through
+// TcpModule::conn_outcome_hook at the moment the module gives up on (or
+// completes) the connection. Detection policies (src/server/detect.h) fold
+// these into per-subnet sequential tests: kCompleted is the "benign"
+// observation, everything else counts against the source.
+enum class TcpConnOutcome {
+  kCompleted,        // clean close (FIN handshake finished, either side)
+  kAborted,          // RST from the peer, or retransmit exhaustion
+  kHalfOpenExpired,  // SYN_RECVD deadline passed without the final ACK
+  kSynDropped,       // SYN rejected at demux by a listener's SYN budget
+  kPathKilled,       // the connection's path was destroyed under it
+};
+
+const char* TcpConnOutcomeName(TcpConnOutcome o);
 
 struct TcpListener {
   uint64_t id = 0;
@@ -121,6 +137,10 @@ struct TcpPcb {
   uint64_t segments_out = 0;
   uint64_t retransmits = 0;
 
+  // Terminal outcome already reported through conn_outcome_hook (at most
+  // one per connection).
+  bool outcome_reported = false;
+
   uint32_t BytesUnacked() const { return snd_nxt - snd_una; }
   uint32_t BytesQueued() const {
     return static_cast<uint32_t>(send_buf.size()) - (snd_una - send_base_seq);
@@ -170,6 +190,14 @@ class TcpModule : public Module {
   // blacklist policy (§4.4.4) uses this to penalize repeat offenders.
   std::function<TcpListener*(Ip4Addr src)> listener_override;
 
+  // Connection-outcome hook: fired once per terminal transition with the
+  // remote address and a TcpConnOutcome classification (at most once per
+  // connection, plus once per demux-time SYN drop). All TCP processing for
+  // a machine happens on its home shard, so invocation order is
+  // deterministic at any --shards/--jobs setting. The SPRT detector
+  // (src/server/detect.h) installs this.
+  std::function<void(Ip4Addr remote, TcpConnOutcome outcome)> conn_outcome_hook;
+
   // Timer parameters (tests shrink these).
   Cycles rto_initial = CyclesFromMillis(200);
   Cycles syn_recvd_timeout = CyclesFromMillis(500);
@@ -202,6 +230,8 @@ class TcpModule : public Module {
   void ArmRetx(TcpPcb* pcb);
   void EnterTimeWait(TcpPcb* pcb);
   void CloseAndDestroy(TcpPcb* pcb);
+  // Fires conn_outcome_hook exactly once per connection.
+  void ReportOutcome(TcpPcb* pcb, TcpConnOutcome outcome);
   // State-machine transition: updates pcb->state and emits a trace instant
   // ("tcp:FROM->TO" on the owning path's track) when a tracer is attached.
   void SetState(TcpPcb* pcb, TcpState next);

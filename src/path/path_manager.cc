@@ -125,7 +125,7 @@ void PathManager::Destroy(Path* path) {
     t->Instant(kernel_->now(), OwnerTrack(path->id(), path->name()), "pathDestroy", "path");
     t->EndSpan(kernel_->now(), OwnerTrack(path->id(), path->name()));
   }
-  ReclaimPath(path);
+  ReclaimPath(path, /*killed=*/false);
 }
 
 Cycles PathManager::Kill(Path* path) {
@@ -151,10 +151,15 @@ Cycles PathManager::Kill(Path* path) {
     // that led up to it.
     t->DumpFlight("pathKill " + path->name(), kernel_->now());
   }
-  return ReclaimPath(path);
+  return ReclaimPath(path, /*killed=*/true);
 }
 
-Cycles PathManager::ReclaimPath(Path* path) {
+Cycles PathManager::ReclaimPath(Path* path, bool killed) {
+  if (teardown_hook_) {
+    // The final ledger readout: usage() still carries everything the path
+    // was charged. Observers must not create or destroy paths from here.
+    teardown_hook_(path, killed);
+  }
   // Kernel-side registrations (demux map entries) must be severed on every
   // reclamation — including pathKill, which skips module destructors.
   for (auto& cleanup : path->kernel_cleanups_) {

@@ -5,6 +5,7 @@
 #define SRC_PATH_PATH_MANAGER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -75,8 +76,19 @@ class PathManager {
   // Clears lazily retired path objects (safe point housekeeping).
   void ReapRetired();
 
+  // Teardown observer: invoked at the top of every reclamation (Destroy and
+  // Kill alike), while the path's usage ledger is still intact; `killed` is
+  // true for pathKill reclamations. The ledger-baseline detector
+  // (src/server/detect.h) samples per-class resource consumption here —
+  // clean teardowns only, so a killed runaway never poisons the baseline.
+  // Runs before kernel cleanups, so the hook sees the final
+  // cycle/page/IOBuffer charges.
+  void set_teardown_hook(std::function<void(Path*, bool killed)> hook) {
+    teardown_hook_ = std::move(hook);
+  }
+
  private:
-  Cycles ReclaimPath(Path* path);
+  Cycles ReclaimPath(Path* path, bool killed);
 
   Kernel* const kernel_;
   ModuleGraph* const graph_;
@@ -87,6 +99,7 @@ class PathManager {
   std::vector<Path*> live_list_;
   std::vector<std::unique_ptr<Path>> retired_;
 
+  std::function<void(Path*, bool)> teardown_hook_;
   size_t backlog_limit_ = 192;
   uint64_t created_ = 0;
   uint64_t destroyed_ = 0;

@@ -1,0 +1,235 @@
+// Statistical attack detection (the online-policy extension of §4.4).
+//
+// The static defenses are threshold heuristics: a SYN budget, a 2 ms
+// runaway budget. This module adds the *detection* layer the paper's §4.4.4
+// discussion implies — policies that accumulate evidence and decide, rather
+// than trip on a single event:
+//
+//  * SprtDetector — Wald's sequential probability ratio test, per source
+//    /24 subnet, over connection *outcomes* (completed vs. aborted /
+//    half-open / budget-dropped). The test compares H0 "benign subnet, bad
+//    outcome rate lambda0" against H1 "attacking subnet, bad outcome rate
+//    lambda1" and decides as soon as the log-likelihood ratio crosses the
+//    (alpha, beta)-derived thresholds — the same detector shape the RUNOS
+//    SDN controller uses for its SYN-flood protection.
+//
+//  * BaselineDetector — the data-driven resource-accounting detector of
+//    muDoS: learn per-request-class cycle/page/IOBuffer distributions from
+//    the kernel ledger during warmup (clean teardowns only), freeze, then
+//    periodically flag any live path whose consumption is a k-sigma
+//    outlier for its class and pathKill it — typically long before the
+//    static 2 ms budget would.
+//
+// Both detectors chain confirmed detections into
+// BlacklistPolicy::RecordViolation, so the §4.4.4 penalty-path machinery
+// does the containment.
+//
+// Determinism contract (DESIGN.md §6.10): accumulator state lives in
+// ordered containers keyed by subnet/class; SPRT arithmetic is fixed-point
+// (integer micro-nats) so no float accumulation order can leak in; all
+// observations originate on the server machine's shard, so the detection
+// sequence — and its FNV digest — is bit-identical at any --shards/--jobs.
+
+#ifndef SRC_SERVER_DETECT_H_
+#define SRC_SERVER_DETECT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/elib/address.h"
+#include "src/net/tcp.h"
+#include "src/sim/types.h"
+
+namespace escort {
+
+class BlacklistPolicy;
+class EscortWebServer;
+class KernelEvent;
+class Owner;
+class Path;
+class Thread;
+
+enum class DetectMode { kOff, kSprt, kBaseline };
+
+const char* DetectModeName(DetectMode m);
+// Parses "off" / "sprt" / "baseline"; returns false on anything else.
+bool ParseDetectMode(const std::string& s, DetectMode* out);
+
+// Detection thresholds, carried in ExperimentSpec and recorded in the
+// bench JSON spec block.
+struct DetectSpec {
+  DetectMode mode = DetectMode::kOff;
+
+  // SPRT: decide H1 (attack) with false-positive probability <= alpha and
+  // miss probability <= beta, against bad-outcome rates lambda0 (benign)
+  // vs. lambda1 (attacking).
+  double sprt_alpha = 0.01;
+  double sprt_beta = 0.02;
+  double sprt_lambda0 = 0.33;
+  double sprt_lambda1 = 0.60;
+  // After a subnet is reported, ignore its outcomes this long before
+  // restarting the test (the penalty path needs time to bite; without a
+  // holdoff every dropped penalty SYN would re-report immediately).
+  Cycles sprt_holdoff = CyclesFromMillis(500);
+
+  // Baseline: flag a path whose consumption exceeds mean + k*sigma of its
+  // class, once the class has at least min_samples warmup observations.
+  double baseline_k_sigma = 3.0;
+  uint64_t baseline_min_samples = 16;
+  // Lower bound on sigma as a fraction of the mean (plus one unit). The
+  // simulator is deterministic, so a class of identical requests has
+  // sigma == 0 exactly and mean + k*sigma becomes a knife edge that flags
+  // one-cycle jitter; the floor demands a real multiple of the norm.
+  double baseline_sigma_floor_frac = 0.25;
+  // The periodic scan backstops the per-item ledger watch: it catches
+  // outliers whose threads are blocked (a hoarder that stopped running
+  // never re-enters the kernel on its own).
+  Cycles baseline_scan_period = CyclesFromMillis(5.0);
+};
+
+// One confirmed detection. `subnet` is the /24 key (addr >> 8); `source`
+// is a static string ("sprt" / "baseline").
+struct DetectionEvent {
+  Cycles when = 0;
+  Ip4Addr addr{};
+  uint32_t subnet = 0;
+  const char* source = "";
+};
+
+// Base class: owns the detection log and the blacklist chaining. Concrete
+// detectors install themselves on the server's hooks at construction.
+class DetectionPolicy {
+ public:
+  DetectionPolicy(EscortWebServer* server, BlacklistPolicy* blacklist);
+  virtual ~DetectionPolicy() = default;
+
+  DetectionPolicy(const DetectionPolicy&) = delete;
+  DetectionPolicy& operator=(const DetectionPolicy&) = delete;
+
+  const std::vector<DetectionEvent>& detections() const { return detections_; }
+
+  // FNV-1a over every (when, addr, source) in order — the sharded-
+  // equivalence witness recorded in the bench JSON.
+  uint64_t DecisionDigest() const;
+
+ protected:
+  // Records the detection, chains it into the blacklist, and emits a
+  // `policy` trace instant.
+  void ReportDetection(Ip4Addr addr, const char* source);
+
+  EscortWebServer* const server_;
+  BlacklistPolicy* const blacklist_;  // may be null (detection-only mode)
+  std::vector<DetectionEvent> detections_;
+};
+
+// Per-subnet SPRT over TCP connection outcomes.
+class SprtDetector : public DetectionPolicy {
+ public:
+  SprtDetector(EscortWebServer* server, BlacklistPolicy* blacklist, const DetectSpec& spec);
+  ~SprtDetector() override;
+
+  // Folds one outcome into the source's subnet accumulator. Installed as
+  // TcpModule::conn_outcome_hook; public so tests can drive it directly.
+  void Observe(Ip4Addr remote, TcpConnOutcome outcome);
+
+  // Fixed-point conversion: micro-nats, ln(x) * 2^20, rounded once at
+  // configuration time. All per-observation arithmetic is integer.
+  static int64_t MicroNats(double x);
+
+  int64_t accept_attack_threshold() const { return accept_llr_; }
+  int64_t accept_benign_threshold() const { return reject_llr_; }
+  int64_t bad_increment() const { return inc_bad_; }
+  int64_t good_increment() const { return inc_good_; }
+  // Current accumulator value for the subnet of `addr` (0 if untracked).
+  int64_t SubnetLlr(Ip4Addr addr) const;
+
+ private:
+  // Per-/24 sequential test state. Integer micro-nats only — the
+  // determinism contract for detection state (lint rule EL014).
+  // ESCORT_DETECT_ACCUMULATOR
+  struct SprtState {
+    int64_t llr = 0;            // micro-nats
+    uint64_t observations = 0;  // outcomes folded since the last restart
+    Cycles holdoff_until = 0;   // ignore outcomes until this deadline
+  };
+
+  const DetectSpec spec_;
+  int64_t inc_bad_ = 0;     // ln(lambda1/lambda0), micro-nats (> 0)
+  int64_t inc_good_ = 0;    // ln((1-lambda1)/(1-lambda0)), micro-nats (< 0)
+  int64_t accept_llr_ = 0;  // A = ln((1-beta)/alpha): decide attack
+  int64_t reject_llr_ = 0;  // B = ln(beta/(1-alpha)): decide benign, restart
+  std::map<uint32_t, SprtState> subnets_;
+};
+
+// Learned per-request-class ledger baselines.
+class BaselineDetector : public DetectionPolicy {
+ public:
+  // Learns from clean path teardowns until the server clock reaches
+  // `warmup` cycles from construction, then freezes and starts the
+  // periodic outlier scan.
+  BaselineDetector(EscortWebServer* server, BlacklistPolicy* blacklist, const DetectSpec& spec,
+                   Cycles warmup);
+  ~BaselineDetector() override;
+
+  // Kernel ledger watch: consulted after every work item (the only point a
+  // non-preemptive, non-yielding thread re-enters the kernel). Returns true
+  // — having recorded the detection — when the owner is a path whose
+  // consumption is an outlier for its class; the kernel then kills it
+  // through the runaway machinery, typically long before the 2 ms budget.
+  bool WatchThread(Owner* owner, Thread* t);
+
+  // Scripted-ledger entry points (the scan and teardown hooks call these;
+  // tests drive them directly).
+  void LearnSample(const std::string& cls, uint64_t kilocycles, uint64_t pages,
+                   uint64_t iobuffer_locks);
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+  // True once the class is learned (n >= min_samples) and any dimension
+  // exceeds mean + k*sigma.
+  bool IsOutlier(const std::string& cls, uint64_t kilocycles, uint64_t pages,
+                 uint64_t iobuffer_locks) const;
+  size_t classes_learned() const { return classes_.size(); }
+  uint64_t samples_learned(const std::string& cls) const;
+  uint64_t paths_killed() const { return paths_killed_; }
+
+ private:
+  // Sum/sum-of-squares moments per consumption dimension. Cycle samples
+  // are pre-scaled to kilocycles (cycles >> 10) so sum_sq stays far from
+  // uint64 overflow across any warmup length. Integer state only (EL014);
+  // mean/sigma are derived in double at compare time, a pure function of
+  // identical integer inputs.
+  // ESCORT_DETECT_ACCUMULATOR
+  struct Moments {
+    uint64_t sum = 0;
+    uint64_t sum_sq = 0;
+  };
+  // ESCORT_DETECT_ACCUMULATOR
+  struct ClassStats {
+    uint64_t n = 0;
+    Moments kilocycles;
+    Moments pages;
+    Moments iobuffer_locks;
+  };
+
+  void OnTeardown(Path* path, bool killed);
+  void ScanLivePaths();
+  bool DimensionExceeds(const Moments& m, uint64_t n, uint64_t value) const;
+
+  const DetectSpec spec_;
+  const Cycles warmup_end_;
+  bool frozen_ = false;
+  uint64_t paths_killed_ = 0;
+  std::map<std::string, ClassStats> classes_;
+  KernelEvent* scan_event_ = nullptr;
+};
+
+// Builds the detector selected by spec.mode (nullptr for kOff).
+std::unique_ptr<DetectionPolicy> MakeDetector(EscortWebServer* server, BlacklistPolicy* blacklist,
+                                              const DetectSpec& spec, Cycles warmup);
+
+}  // namespace escort
+
+#endif  // SRC_SERVER_DETECT_H_

@@ -21,12 +21,27 @@ BlacklistPolicy::BlacklistPolicy(EscortWebServer* server, Options options)
     }
     return nullptr;
   };
-  server_->set_violation_hook(
-      [this](Ip4Addr addr) { RecordViolation(addr, server_->kernel().now()); });
+  if (options_.chain_violation_hook) {
+    server_->set_violation_hook(
+        [this](Ip4Addr addr) { RecordViolation(addr, server_->kernel().now()); });
+  }
 }
 
 void BlacklistPolicy::RecordViolation(Ip4Addr addr, Cycles now) {
   ++violations_;
+  if (options_.expiry != 0) {
+    // Expired entries are dead weight: under churning attacker subnets the
+    // table would otherwise grow without bound (and size() misreport).
+    // Violations are the only mutation point, so pruning here bounds the
+    // table by the set of sources active within one expiry window.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (now >= it->second.last_violation + options_.expiry) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   Entry& e = entries_[addr];
   e.strikes += 1;
   e.last_violation = now;
@@ -45,7 +60,10 @@ bool BlacklistPolicy::IsBlacklisted(Ip4Addr addr, Cycles now) const {
   if (it == entries_.end() || it->second.strikes < options_.strikes) {
     return false;
   }
-  if (options_.expiry != 0 && now > it->second.last_violation + options_.expiry) {
+  // Deadline convention (see the PR3 master-scan fix): a deadline landing
+  // exactly on `now` is due *now* — expiry at `now >= deadline`, not one
+  // cycle later.
+  if (options_.expiry != 0 && now >= it->second.last_violation + options_.expiry) {
     return false;
   }
   return true;

@@ -48,6 +48,12 @@ class BlacklistPolicy {
     Cycles penalty_max_run = CyclesFromMillis(0.1);
     // Entries expire after this long (0 = never).
     Cycles expiry = 0;
+    // Chain the server's violation hook so static-policy kills (runaway
+    // budget) record strikes automatically. Detection experiments turn
+    // this off: there the blacklist must be fed only by the detector's
+    // confirmed decisions, or a warmup-time static kill blacklists every
+    // attacker before the detector ever sees one.
+    bool chain_violation_hook = true;
   };
 
   // Installs the policy on a running server: creates the penalty listener

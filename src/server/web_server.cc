@@ -147,6 +147,13 @@ EscortWebServer::ConnSlabStats EscortWebServer::conn_slab_stats() const {
   return s;
 }
 
+Cycles EscortWebServer::KillPathForViolation(Path* path) {
+  Cycles cost = paths_->Kill(path);
+  ++paths_killed_;
+  kill_cost_cycles_.Add(static_cast<double>(cost));
+  return cost;
+}
+
 void EscortWebServer::ConfigureQosListener(TcpListener* listener) {
   listener->active_label = "QoS Path";
   listener->active_tickets = options_.qos_tickets;

@@ -111,6 +111,12 @@ class EscortWebServer : public NetEndpoint {
   uint64_t paths_killed() const { return paths_killed_; }
   Samples& kill_cost_cycles() { return kill_cost_cycles_; }
 
+  // pathKill on behalf of a detection policy (src/server/detect.h):
+  // charges the standard kill bookkeeping but does NOT invoke the
+  // violation hook — the detector records its own violation, so the strike
+  // would otherwise be double-counted. Returns the reclamation cost.
+  Cycles KillPathForViolation(Path* path);
+
   // Memory footprint of the server-side connection table (slab-indexed
   // PCBs). Feeds the determinism-exempt `memory` block of the bench JSON.
   struct ConnSlabStats {

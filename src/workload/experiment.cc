@@ -4,6 +4,7 @@
 #include <map>
 
 #include "src/kernel/audit.h"
+#include "src/server/policy.h"
 #include "src/sim/parallel.h"
 
 namespace escort {
@@ -65,6 +66,12 @@ struct Testbed {
   // Declared after `server` so the end-of-run audit checks run while the
   // kernel is still alive (members are destroyed in reverse order).
   std::unique_ptr<AuditScope> audit;
+  // Online detection (spec.detect.mode != kOff): the blacklist does the
+  // containment, the detector feeds it. Declared after `server` so both
+  // are destroyed first — the detector's destructor cancels its kernel
+  // scan event and unhooks the path manager.
+  std::unique_ptr<BlacklistPolicy> blacklist;
+  std::unique_ptr<DetectionPolicy> detector;
   // One TcpPeer slab per shard, shared by every machine homed there (the
   // flyweight connection pool). Declared before `machines` so the slabs
   // outlive them: a machine's destructor releases its slots.
@@ -106,6 +113,21 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer
     // Every experiment run doubles as a resource-conservation audit
     // (enforced — i.e. violations abort — under ESCORT_AUDIT builds).
     tb->audit = std::make_unique<AuditScope>(&tb->server->kernel());
+    if (spec.detect.mode != DetectMode::kOff) {
+      // Detections chain into the §4.4.4 blacklist: one confirmed
+      // detection is one strike, and the baseline learns from the
+      // env-resolved warmup window (same clock RunExperiment uses).
+      BlacklistPolicy::Options bl;
+      bl.strikes = 1;
+      // The blacklist is fed ONLY by the detector: static-policy kills do
+      // not record strikes in detection cells, so the measured containment
+      // (and every false positive) is attributable to the detector.
+      bl.chain_violation_hook = false;
+      tb->blacklist = std::make_unique<BlacklistPolicy>(tb->server.get(), bl);
+      tb->detector =
+          MakeDetector(tb->server.get(), tb->blacklist.get(), spec.detect,
+                       CyclesFromSeconds(EnvSeconds("ESCORT_WARMUP_S", spec.warmup_s)));
+    }
   }
 
   // Every machine (client, attacker, QoS endpoint) is its own event
@@ -301,6 +323,39 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
     r.accounting_overhead = s.kernel().accounting_overhead_cycles();
     for (const auto& l : s.tcp()->listeners()) {
       r.syns_dropped_at_demux += l->syns_dropped_at_demux;
+    }
+  }
+  if (tb->detector != nullptr) {
+    // Classify against the testbed's ground truth: the SYN attacker's
+    // address and the CGI attacker subnet are fixed by construction, so
+    // every detection is decidable. Latency is measured from the named
+    // attacker family's start time.
+    const Ip4Addr cgi_net = CgiAttackerIp(0);
+    Cycles syn_start = CyclesFromMillis(1.0);
+    Cycles cgi_start = CyclesFromMillis(5.0);
+    DetectionStats& d = r.detection;
+    d.detections = tb->detector->detections().size();
+    for (const DetectionEvent& e : tb->detector->detections()) {
+      bool is_syn_attacker = spec.syn_attack_rate > 0 && e.addr.value == kSynAttackerIp.value;
+      bool is_cgi_attacker =
+          spec.cgi_attackers > 0 && (e.addr.value >> 8) == (cgi_net.value >> 8);
+      if (is_syn_attacker || is_cgi_attacker) {
+        d.true_positives += 1;
+        if (d.first_detection_ms == 0.0) {
+          Cycles start = is_syn_attacker ? syn_start : cgi_start;
+          d.first_detection_ms = MillisFromCycles(e.when > start ? e.when - start : 0);
+        }
+      } else {
+        d.false_positives += 1;
+      }
+    }
+    d.decision_digest = tb->detector->DecisionDigest();
+    if (tb->blacklist != nullptr) {
+      d.blacklist_size = tb->blacklist->size();
+    }
+    if (auto* baseline = dynamic_cast<BaselineDetector*>(tb->detector.get());
+        baseline != nullptr) {
+      d.paths_killed_by_detector = baseline->paths_killed();
     }
   }
   r.shard_profile = tb->eq.Profile();

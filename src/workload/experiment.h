@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/server/detect.h"
 #include "src/server/monolithic_server.h"
 #include "src/server/web_server.h"
 #include "src/workload/http_client.h"
@@ -47,6 +48,9 @@ struct ExperimentSpec {
   std::vector<uint64_t> profile_shard_events;
   double warmup_s = 0.6;
   double window_s = 2.0;
+  // Online attack detection (src/server/detect.h). kOff leaves the server
+  // exactly as before — no hooks installed, no blacklist created.
+  DetectSpec detect;
   WebServerOptions server_options;         // config/scheduler filled in by Run
 
   // Deterministic tracing (src/sim/trace.h). `trace.path` empty = off.
@@ -80,6 +84,23 @@ struct MemoryProfile {
   uint64_t timer_bytes_reserved = 0;
 };
 
+// Detection outcomes over the whole run (warmup + window), classified
+// against the testbed's ground truth (the attacker addresses are fixed by
+// construction). Deterministic at any --shards/--jobs; the digest is the
+// equality witness.
+struct DetectionStats {
+  uint64_t detections = 0;
+  uint64_t true_positives = 0;   // detections naming a real attacker
+  uint64_t false_positives = 0;  // detections naming an innocent client
+  uint64_t paths_killed_by_detector = 0;
+  uint64_t blacklist_size = 0;  // entries at the window end
+  // First true-positive latency, measured from the named attacker's start
+  // time (0 when nothing was detected).
+  double first_detection_ms = 0.0;
+  // FNV-1a over the ordered (when, addr, source) decision sequence.
+  uint64_t decision_digest = 0;
+};
+
 struct ExperimentResult {
   double conns_per_sec = 0.0;
   double qos_bytes_per_sec = 0.0;
@@ -101,6 +122,9 @@ struct ExperimentResult {
   // Slab and timer-wheel footprint at the end of the window: feeds the
   // bench JSON `memory` block (determinism-exempt, see MemoryProfile).
   MemoryProfile memory;
+  // Detection decisions (bench JSON `detection` block). All-zero when
+  // spec.detect.mode == kOff.
+  DetectionStats detection;
   // Wall-clock spent inside the event-queue run (warmup + window), which
   // is what the bench JSON `perf` block rates: testbed construction and
   // teardown are setup cost, not scheduler throughput. Machine-dependent

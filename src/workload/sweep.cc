@@ -36,7 +36,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--quick] [--jobs N] [--shards N] [--clients N]\n"
                "       [--adaptive-lookahead] [--timer-wheel|--no-timer-wheel]\n"
-               "       [--placement MODE] [--json PATH] [--trace PATH]\n"
+               "       [--placement MODE] [--detect MODE] [--json PATH] [--trace PATH]\n"
                "  --quick      run the bench's reduced grid\n"
                "  --jobs N     worker threads (default: hardware concurrency)\n"
                "  --shards N   event-queue shards within each cell (default 1;\n"
@@ -52,6 +52,9 @@ namespace {
                "  --placement MODE\n"
                "               stream->shard placement: rr (default), weighted,\n"
                "               or profile=PATH (a prior run's bench JSON)\n"
+               "  --detect MODE\n"
+               "               online attack detection in every cell: off\n"
+               "               (default), sprt, or baseline (src/server/detect.h)\n"
                "  --json PATH  also write machine-readable results to PATH\n"
                "  --trace PATH write a deterministic Chrome trace (Perfetto /\n"
                "               chrome://tracing) covering every cell\n",
@@ -199,6 +202,10 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       opts.placement = argv[++i];
     } else if (std::strncmp(a, "--placement=", 12) == 0) {
       opts.placement = a + 12;
+    } else if (std::strcmp(a, "--detect") == 0 && i + 1 < argc) {
+      opts.detect = argv[++i];
+    } else if (std::strncmp(a, "--detect=", 9) == 0) {
+      opts.detect = a + 9;
     } else if (std::strcmp(a, "--json") == 0 && i + 1 < argc) {
       opts.json_path = argv[++i];
     } else if (std::strncmp(a, "--json=", 7) == 0) {
@@ -265,6 +272,12 @@ void Sweep::Run(const SweepOptions& opts) {
       }
     }
   }
+  // --detect: resolve the mode once for the whole sweep.
+  bool override_detect = !opts.detect.empty();
+  DetectMode detect_mode = DetectMode::kOff;
+  if (override_detect && !ParseDetectMode(opts.detect, &detect_mode)) {
+    Die("unknown --detect mode '" + opts.detect + "' (off, sprt, baseline)");
+  }
   // Resolve the env overrides once, up front, so every cell runs — and is
   // recorded in the JSON — with the warmup/window actually used.
   for (SweepCell& cell : cells_) {
@@ -281,6 +294,9 @@ void Sweep::Run(const SweepOptions& opts) {
     }
     if (opts.timer_wheel >= 0) {
       cell.spec.timer_wheel = opts.timer_wheel != 0;
+    }
+    if (override_detect) {
+      cell.spec.detect.mode = detect_mode;
     }
     if (override_placement) {
       cell.spec.placement = mode;
@@ -395,7 +411,7 @@ std::string Sweep::ToJson() const {
   out.reserve(4096 + 1024 * cells_.size());
   out += "{\n  ";
   AppendKey(&out, "schema_version");
-  out += "4,\n  ";
+  out += "5,\n  ";
   AppendKey(&out, "bench");
   AppendEscaped(&out, name_);
   out += ",\n  ";
@@ -485,6 +501,9 @@ std::string Sweep::ToJson() const {
     out += ", ";
     AppendKey(&out, "window_s");
     AppendDouble(&out, cell.spec.window_s);
+    out += ", ";
+    AppendKey(&out, "detect");
+    AppendEscaped(&out, DetectModeName(cell.spec.detect.mode));
     out += "},\n     ";
     AppendKey(&out, "metrics");
     out += "{";
@@ -690,6 +709,35 @@ std::string Sweep::ToJson() const {
                                                  mem.timer_bytes_reserved) /
                                  static_cast<double>(cell.spec.clients)
                            : 0.0);
+    out += "},\n     ";
+    // Detection decisions (schema v5). Deterministic at any --shards /
+    // --jobs — the decision_digest is the equality witness the CI
+    // detection-determinism step byte-diffs — but the block is stripped by
+    // --expect-equal alongside memory/perf so detection-on runs stay
+    // comparable against detection-off baselines of the same grid.
+    const DetectionStats& det = e.detection;
+    AppendKey(&out, "detection");
+    out += "{";
+    AppendKey(&out, "detections");
+    AppendUint(&out, det.detections);
+    out += ", ";
+    AppendKey(&out, "true_positives");
+    AppendUint(&out, det.true_positives);
+    out += ", ";
+    AppendKey(&out, "false_positives");
+    AppendUint(&out, det.false_positives);
+    out += ", ";
+    AppendKey(&out, "paths_killed_by_detector");
+    AppendUint(&out, det.paths_killed_by_detector);
+    out += ", ";
+    AppendKey(&out, "blacklist_size");
+    AppendUint(&out, det.blacklist_size);
+    out += ", ";
+    AppendKey(&out, "first_detection_ms");
+    AppendDouble(&out, det.first_detection_ms);
+    out += ", ";
+    AppendKey(&out, "decision_digest");
+    AppendUint(&out, det.decision_digest);
     out += "},\n     ";
     AppendKey(&out, "extra");
     out += "{";

@@ -35,6 +35,11 @@
 //                stream→shard placement: rr (default), weighted, or
 //                profile=PATH (feed back a prior run's bench JSON). The
 //                resolved actor→shard map is recorded in the JSON spec.
+//   --detect MODE
+//                online attack detection for every cell: off (default:
+//                keep each spec's own mode), sprt, or baseline
+//                (src/server/detect.h). Recorded in the JSON spec; the
+//                per-cell `detection` block carries the decisions.
 //   --json PATH  machine-readable BENCH_*.json output for the perf
 //                trajectory, alongside the human-readable tables
 //   --trace PATH deterministic Chrome trace-event JSON of every cell
@@ -94,6 +99,9 @@ struct SweepOptions {
   // "" keeps each spec's own mode; else "rr", "weighted", or
   // "profile=PATH" (PATH: a prior run's bench JSON to feed back).
   std::string placement;
+  // "" keeps each spec's own detection mode; else "off", "sprt", or
+  // "baseline" (--detect).
+  std::string detect;
   std::string json_path;   // empty: no JSON emitted
   std::string trace_path;  // empty: no trace emitted
   bool quick = false;
@@ -101,8 +109,8 @@ struct SweepOptions {
 
 // Parses the common bench flags (--jobs N, --shards N, --clients N,
 // --adaptive-lookahead, --timer-wheel / --no-timer-wheel,
-// --placement MODE, --json PATH, --trace PATH, --quick). Prints usage and
-// exits with status 2 on an unknown argument.
+// --placement MODE, --detect MODE, --json PATH, --trace PATH, --quick).
+// Prints usage and exits with status 2 on an unknown argument.
 SweepOptions ParseSweepArgs(int argc, char** argv);
 
 class Sweep {
@@ -136,7 +144,7 @@ class Sweep {
   const std::vector<CellResult>& results() const { return results_; }
   int failed_count() const;
 
-  // JSON serialization of the whole sweep (schema_version 4; the schema
+  // JSON serialization of the whole sweep (schema_version 5; the schema
   // is pinned by tests/test_bench_json.cc and tools/check_bench_json.py).
   std::string ToJson() const;
   bool WriteJson(const std::string& path) const;

@@ -233,11 +233,11 @@ class JsonParser {
 const std::vector<std::string> kTopKeys = {"schema_version", "bench", "jobs", "cells"};
 const std::vector<std::string> kCellKeys = {
     "id",   "ok",      "error",  "tags",              "spec",
-    "metrics", "ledger", "shard_utilization", "perf", "memory", "extra"};
+    "metrics", "ledger", "shard_utilization", "perf", "memory", "detection", "extra"};
 const std::vector<std::string> kSpecKeys = {
     "linux_server", "config",        "clients",  "doc",      "qos_stream",
     "syn_attack_rate", "cgi_attackers", "shards", "adaptive_lookahead",
-    "timer_wheel", "placement", "placement_map", "warmup_s", "window_s"};
+    "timer_wheel", "placement", "placement_map", "warmup_s", "window_s", "detect"};
 const std::vector<std::string> kMetricKeys = {
     "conns_per_sec",  "qos_bytes_per_sec", "completions_total",     "client_failures",
     "paths_killed",   "syns_dropped_at_demux", "syns_sent",         "runaway_detections",
@@ -256,6 +256,9 @@ const std::vector<std::string> kMemoryKeys = {
     "peer_slot_bytes", "peer_live",      "peer_high_water", "peer_bytes_reserved",
     "timers_armed",    "timer_high_water", "timer_capacity",
     "timer_bytes_reserved", "bytes_per_client"};
+const std::vector<std::string> kDetectionKeys = {
+    "detections",     "true_positives", "false_positives", "paths_killed_by_detector",
+    "blacklist_size", "first_detection_ms", "decision_digest"};
 
 void ExpectExactKeys(const JsonValue& obj, const std::vector<std::string>& keys,
                      const std::string& what) {
@@ -303,7 +306,7 @@ TEST(BenchJson, SchemaIsPinned) {
   ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
 
   ExpectExactKeys(root, kTopKeys, "top-level");
-  EXPECT_EQ(root.At("schema_version").number, 4.0);
+  EXPECT_EQ(root.At("schema_version").number, 5.0);
   EXPECT_EQ(root.At("bench").str, "json_schema_probe");
   EXPECT_EQ(root.At("jobs").number, 2.0);
 
@@ -319,6 +322,10 @@ TEST(BenchJson, SchemaIsPinned) {
                     "shard_utilization of " + cell.At("id").str);
     ExpectExactKeys(cell.At("perf"), kPerfKeys, "perf of " + cell.At("id").str);
     ExpectExactKeys(cell.At("memory"), kMemoryKeys, "memory of " + cell.At("id").str);
+    ExpectExactKeys(cell.At("detection"), kDetectionKeys, "detection of " + cell.At("id").str);
+    // Detection stays off unless a cell's spec opts in.
+    EXPECT_EQ(cell.At("spec").At("detect").str, "off");
+    EXPECT_EQ(cell.At("detection").At("detections").number, 0.0);
   }
 
   // Grid order is preserved in the JSON.

@@ -1,0 +1,214 @@
+// Statistical attack detection tests (src/server/detect.h): SPRT decision
+// boundaries against hand-computed log-likelihood ratios, the learned
+// ledger baseline on a scripted sample stream, and sharded equivalence of
+// the detection decision sequence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "src/server/detect.h"
+#include "src/server/policy.h"
+#include "src/workload/experiment.h"
+#include "tests/testbed.h"
+
+namespace escort {
+namespace {
+
+DetectSpec SprtSpec() {
+  DetectSpec spec;
+  spec.mode = DetectMode::kSprt;
+  return spec;  // defaults: alpha 0.01, beta 0.02, lambda0 0.33, lambda1 0.60
+}
+
+TEST(SprtDetector, ThresholdsMatchHandComputedWald) {
+  Testbed tb(ServerConfig::kAccounting);
+  SprtDetector det(tb.server.get(), nullptr, SprtSpec());
+
+  // Wald's boundaries and increments in nats, by hand:
+  //   inc_bad  = ln(0.60 / 0.33)        =  0.59784
+  //   inc_good = ln(0.40 / 0.67)        = -0.51583
+  //   A        = ln((1-0.02) / 0.01)    =  4.58497  (decide attack)
+  //   B        = ln(0.02 / (1-0.01))    = -3.90202  (decide benign)
+  // The detector stores micro-nats: value * 2^20, rounded once.
+  const double scale = 1048576.0;
+  EXPECT_EQ(det.bad_increment(), std::llround(std::log(0.60 / 0.33) * scale));
+  EXPECT_EQ(det.good_increment(), std::llround(std::log(0.40 / 0.67) * scale));
+  EXPECT_EQ(det.accept_attack_threshold(), std::llround(std::log(0.98 / 0.01) * scale));
+  EXPECT_EQ(det.accept_benign_threshold(), std::llround(std::log(0.02 / 0.99) * scale));
+  // Sanity against the hand values (micro-nat rounding is < 1e-6 nats).
+  EXPECT_NEAR(static_cast<double>(det.bad_increment()) / scale, 0.59784, 1e-4);
+  EXPECT_NEAR(static_cast<double>(det.accept_attack_threshold()) / scale, 4.58497, 1e-4);
+}
+
+TEST(SprtDetector, DecidesAttackAtTheEighthBadOutcome) {
+  // ceil(A / inc_bad) = ceil(4.58497 / 0.59784) = 8: seven bad outcomes
+  // leave the test undecided, the eighth crosses the attack boundary.
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy::Options popts;
+  popts.strikes = 1;
+  BlacklistPolicy blacklist(tb.server.get(), popts);
+  SprtDetector det(tb.server.get(), &blacklist, SprtSpec());
+
+  Ip4Addr attacker = Ip4Addr::FromOctets(10, 9, 9, 1);
+  for (int i = 0; i < 7; ++i) {
+    det.Observe(attacker, TcpConnOutcome::kSynDropped);
+    EXPECT_TRUE(det.detections().empty()) << "decided after " << i + 1 << " outcomes";
+    EXPECT_GT(det.SubnetLlr(attacker), 0);
+  }
+  det.Observe(attacker, TcpConnOutcome::kHalfOpenExpired);  // any bad outcome
+  ASSERT_EQ(det.detections().size(), 1u);
+  EXPECT_EQ(det.detections()[0].addr.value, attacker.value);
+  EXPECT_STREQ(det.detections()[0].source, "sprt");
+  // The decision chained into the blacklist and reset the accumulator.
+  EXPECT_TRUE(blacklist.IsBlacklisted(attacker, tb.eq.now()));
+  EXPECT_EQ(det.SubnetLlr(attacker), 0);
+}
+
+TEST(SprtDetector, AcceptsBenignAndRestarts) {
+  // ceil(|B| / |inc_good|) = ceil(3.90202 / 0.51583) = 8 completions to
+  // accept H0; the accumulator restarts at zero and never reports.
+  Testbed tb(ServerConfig::kAccounting);
+  SprtDetector det(tb.server.get(), nullptr, SprtSpec());
+  Ip4Addr good = Ip4Addr::FromOctets(10, 1, 1, 1);
+  for (int i = 0; i < 7; ++i) {
+    det.Observe(good, TcpConnOutcome::kCompleted);
+    EXPECT_LT(det.SubnetLlr(good), 0);
+  }
+  det.Observe(good, TcpConnOutcome::kCompleted);
+  EXPECT_EQ(det.SubnetLlr(good), 0);
+  EXPECT_TRUE(det.detections().empty());
+}
+
+TEST(SprtDetector, MixedTrafficInOneSubnetNeedsMoreEvidence) {
+  // Alternating good/bad drifts by inc_bad + inc_good = +0.082 nats per
+  // pair — far from both boundaries, so no decision for a long while.
+  Testbed tb(ServerConfig::kAccounting);
+  SprtDetector det(tb.server.get(), nullptr, SprtSpec());
+  Ip4Addr mixed = Ip4Addr::FromOctets(10, 2, 2, 2);
+  for (int i = 0; i < 20; ++i) {
+    det.Observe(mixed, TcpConnOutcome::kAborted);
+    det.Observe(mixed, TcpConnOutcome::kCompleted);
+  }
+  EXPECT_TRUE(det.detections().empty());
+  EXPECT_GT(det.SubnetLlr(mixed), 0);
+}
+
+TEST(SprtDetector, HoldoffSuppressesImmediateReReport) {
+  // After a decision, outcomes from the subnet are ignored until the
+  // holdoff deadline — the penalty path needs time to take effect.
+  Testbed tb(ServerConfig::kAccounting);
+  SprtDetector det(tb.server.get(), nullptr, SprtSpec());
+  Ip4Addr attacker = Ip4Addr::FromOctets(10, 9, 9, 2);
+  for (int i = 0; i < 16; ++i) {
+    det.Observe(attacker, TcpConnOutcome::kSynDropped);
+  }
+  EXPECT_EQ(det.detections().size(), 1u);  // not two, despite 2x8 outcomes
+}
+
+TEST(SprtDetector, SubnetAggregationPoolsRotatingAddresses) {
+  // Four bad outcomes each from two addresses of one /24 cross the
+  // boundary together at the eighth observation.
+  Testbed tb(ServerConfig::kAccounting);
+  SprtDetector det(tb.server.get(), nullptr, SprtSpec());
+  Ip4Addr a = Ip4Addr::FromOctets(10, 9, 9, 10);
+  Ip4Addr b = Ip4Addr::FromOctets(10, 9, 9, 20);
+  for (int i = 0; i < 4; ++i) {
+    det.Observe(a, TcpConnOutcome::kSynDropped);
+    det.Observe(b, TcpConnOutcome::kSynDropped);
+  }
+  EXPECT_EQ(det.detections().size(), 1u);
+  EXPECT_EQ(det.detections()[0].subnet, a.value >> 8);
+}
+
+TEST(BaselineDetector, ScriptedLedgerFlagsOutliers) {
+  Testbed tb(ServerConfig::kAccounting);
+  DetectSpec spec;
+  spec.mode = DetectMode::kBaseline;  // k_sigma 3, min_samples 16, floor 0.25
+  BaselineDetector det(tb.server.get(), nullptr, spec, CyclesFromSeconds(10.0));
+
+  // Identical samples: sigma is exactly 0, so the floor governs. With
+  // mean 100 the effective sigma is 0.25 * 100 + 1 = 26, and the threshold
+  // is 100 + 3 * 26 = 178.
+  for (int i = 0; i < 16; ++i) {
+    det.LearnSample("cgi", 100, 4, 2);
+  }
+  det.Freeze();
+  ASSERT_TRUE(det.frozen());
+  EXPECT_EQ(det.samples_learned("cgi"), 16u);
+  EXPECT_FALSE(det.IsOutlier("cgi", 100, 4, 2));
+  EXPECT_FALSE(det.IsOutlier("cgi", 178, 4, 2));  // exactly at the boundary
+  EXPECT_TRUE(det.IsOutlier("cgi", 179, 4, 2));
+  // Any single dimension over its threshold flags. Pages: 4 + 3*(1+1) = 10.
+  EXPECT_FALSE(det.IsOutlier("cgi", 100, 10, 2));
+  EXPECT_TRUE(det.IsOutlier("cgi", 100, 11, 2));
+}
+
+TEST(BaselineDetector, UnlearnedClassNeverFlags) {
+  Testbed tb(ServerConfig::kAccounting);
+  DetectSpec spec;
+  spec.mode = DetectMode::kBaseline;
+  BaselineDetector det(tb.server.get(), nullptr, spec, CyclesFromSeconds(10.0));
+  for (int i = 0; i < 15; ++i) {  // one short of min_samples
+    det.LearnSample("cgi", 100, 4, 2);
+  }
+  det.Freeze();
+  EXPECT_FALSE(det.IsOutlier("cgi", 1000000, 1000, 1000));
+  EXPECT_FALSE(det.IsOutlier("never-seen", 1000000, 1000, 1000));
+}
+
+TEST(BaselineDetector, FrozenStopsLearning) {
+  Testbed tb(ServerConfig::kAccounting);
+  DetectSpec spec;
+  spec.mode = DetectMode::kBaseline;
+  BaselineDetector det(tb.server.get(), nullptr, spec, CyclesFromSeconds(10.0));
+  for (int i = 0; i < 16; ++i) {
+    det.LearnSample("cgi", 100, 4, 2);
+  }
+  det.Freeze();
+  det.LearnSample("cgi", 100000, 4, 2);  // must not poison the baseline
+  EXPECT_EQ(det.samples_learned("cgi"), 16u);
+  EXPECT_TRUE(det.IsOutlier("cgi", 179, 4, 2));
+}
+
+// End-to-end sharded equivalence: the detection sequence — and therefore
+// the decision digest — must be bit-identical at shards 1 and 4.
+void ExpectDetectionEquivalent(DetectMode mode, int cgi_attackers, double syn_rate) {
+  ExperimentSpec spec;
+  spec.config = ServerConfig::kAccounting;
+  spec.clients = 8;
+  spec.doc = "/doc1b";
+  spec.cgi_attackers = cgi_attackers;
+  spec.syn_attack_rate = syn_rate;
+  spec.detect.mode = mode;
+  spec.warmup_s = 0.1;
+  spec.window_s = 0.3;
+
+  spec.shards = 1;
+  ExperimentResult single = RunExperiment(spec);
+  spec.shards = 4;
+  ExperimentResult sharded = RunExperiment(spec);
+
+  EXPECT_EQ(single.detection.decision_digest, sharded.detection.decision_digest)
+      << DetectModeName(mode);
+  EXPECT_EQ(single.detection.detections, sharded.detection.detections);
+  EXPECT_EQ(single.detection.true_positives, sharded.detection.true_positives);
+  EXPECT_EQ(single.detection.false_positives, sharded.detection.false_positives);
+  EXPECT_EQ(single.detection.blacklist_size, sharded.detection.blacklist_size);
+  EXPECT_EQ(single.detection.first_detection_ms, sharded.detection.first_detection_ms);
+  // The detector must actually have decided something, or the equivalence
+  // check is vacuous.
+  EXPECT_GT(single.detection.detections, 0u) << DetectModeName(mode);
+}
+
+TEST(DetectionShardedEquivalence, SprtOnSynFlood) {
+  ExpectDetectionEquivalent(DetectMode::kSprt, 0, 1000.0);
+}
+
+TEST(DetectionShardedEquivalence, BaselineOnRunawayCgi) {
+  ExpectDetectionEquivalent(DetectMode::kBaseline, 10, 0.0);
+}
+
+}  // namespace
+}  // namespace escort

@@ -101,6 +101,60 @@ TEST(BlacklistPolicy, EntriesExpire) {
   EXPECT_FALSE(policy.IsBlacklisted(addr, 1000 + CyclesFromMillis(11)));
 }
 
+TEST(BlacklistPolicy, PruneOnExpiry) {
+  // Regression: entries_ grew without bound — an address-rotating attacker
+  // could append one map entry per spoofed source forever, because expired
+  // entries were only consulted (IsBlacklisted) and never erased.
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy::Options popts;
+  popts.expiry = CyclesFromMillis(10);
+  BlacklistPolicy policy(tb.server.get(), popts);
+  for (uint8_t i = 1; i <= 50; ++i) {
+    policy.RecordViolation(Ip4Addr::FromOctets(10, 0, 2, i), 1000);
+  }
+  EXPECT_EQ(policy.size(), 50u);
+  // The next violation after the expiry horizon sweeps the dead entries.
+  policy.RecordViolation(Ip4Addr::FromOctets(10, 0, 3, 1),
+                         1000 + CyclesFromMillis(11));
+  EXPECT_EQ(policy.size(), 1u);
+}
+
+TEST(BlacklistPolicy, StrikesResetAfterExpiry) {
+  // Regression: a stale entry's strike counter survived its own expiry, so
+  // two violations a day apart could count as consecutive strikes.
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy::Options popts;
+  popts.strikes = 3;
+  popts.expiry = CyclesFromMillis(10);
+  BlacklistPolicy policy(tb.server.get(), popts);
+  Ip4Addr addr = Ip4Addr::FromOctets(10, 0, 1, 12);
+  policy.RecordViolation(addr, 1000);
+  policy.RecordViolation(addr, 1000);
+  EXPECT_FALSE(policy.IsBlacklisted(addr, 1000));
+  // Long after expiry, the count restarts from scratch: two more strikes
+  // must NOT reach the 3-strike threshold.
+  Cycles later = 1000 + CyclesFromMillis(20);
+  policy.RecordViolation(addr, later);
+  policy.RecordViolation(addr, later);
+  EXPECT_FALSE(policy.IsBlacklisted(addr, later));
+  policy.RecordViolation(addr, later);
+  EXPECT_TRUE(policy.IsBlacklisted(addr, later));
+}
+
+TEST(BlacklistPolicy, ExactExpiryBoundary) {
+  // Regression: `now > expiry deadline` kept an entry blacklisted for one
+  // extra cycle at exactly last_violation + expiry. Deadlines in this
+  // codebase are exclusive (a timer firing at its deadline has fired).
+  Testbed tb(ServerConfig::kAccounting);
+  BlacklistPolicy::Options popts;
+  popts.expiry = CyclesFromMillis(10);
+  BlacklistPolicy policy(tb.server.get(), popts);
+  Ip4Addr addr = Ip4Addr::FromOctets(10, 0, 1, 13);
+  policy.RecordViolation(addr, 1000);
+  EXPECT_TRUE(policy.IsBlacklisted(addr, 1000 + CyclesFromMillis(10) - 1));
+  EXPECT_FALSE(policy.IsBlacklisted(addr, 1000 + CyclesFromMillis(10)));
+}
+
 TEST(PassivePathLimiting, NewConnectionsYieldToExistingPaths) {
   // §4.4.4: "the passive path that fields requests for new TCP connections
   // can be given a limited share of the CPU, meaning that existing active

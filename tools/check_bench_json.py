@@ -8,14 +8,15 @@ tests/test_bench_json.cc pins at the C++ level, but from the outside —
 CI's bench smoke job runs it against freshly produced output.
 
 Checks per file:
-  * parses as JSON, schema_version == 4
+  * parses as JSON, schema_version == 5
   * top-level keys exactly {schema_version, bench, jobs, cells}
   * every cell carries exactly {id, ok, error, tags, spec, metrics,
-    ledger, shard_utilization, perf, memory, extra} with the pinned
-    spec/metric/shard_utilization/perf/memory key sets
+    ledger, shard_utilization, perf, memory, detection, extra} with the
+    pinned spec/metric/shard_utilization/perf/memory/detection key sets
   * cell ids are unique and non-empty; jobs >= 1
   * ok:true cells have empty error; ok:false cells have a message
-  * all metric values are finite numbers
+  * all metric and detection values are finite numbers (detection also
+    non-negative); spec.detect is one of off/sprt/baseline
   * shard_utilization.imbalance is consistent with per_shard events_fired
   * spec.placement_map is a list of shard indices in [0, spec.shards)
 
@@ -28,6 +29,13 @@ Usage:
                                           # determinism-exempt blocks in
                                           # DETERMINISM_EXEMPT_BLOCKS ignored:
                                           # the sharded-equivalence CI check)
+  check_bench_json.py --dump-detection F  # print one canonical line per cell
+                                          # with the detection counters and the
+                                          # decision digest; CI byte-diffs this
+                                          # across --jobs/--shards combinations
+                                          # (detection decisions are required to
+                                          # be bit-identical even though the
+                                          # block is stripped by --expect-equal)
 
 Exit status: 0 all files valid, 1 validation failure, 2 usage/IO error.
 Stdlib only — no dependencies.
@@ -42,11 +50,12 @@ import sys
 
 TOP_KEYS = {"schema_version", "bench", "jobs", "cells"}
 CELL_KEYS = {"id", "ok", "error", "tags", "spec", "metrics", "ledger",
-             "shard_utilization", "perf", "memory", "extra"}
+             "shard_utilization", "perf", "memory", "detection", "extra"}
 SPEC_KEYS = {
     "linux_server", "config", "clients", "doc", "qos_stream",
     "syn_attack_rate", "cgi_attackers", "shards", "adaptive_lookahead",
     "timer_wheel", "placement", "placement_map", "warmup_s", "window_s",
+    "detect",
 }
 METRIC_KEYS = {
     "conns_per_sec", "qos_bytes_per_sec", "completions_total", "client_failures",
@@ -67,13 +76,22 @@ MEMORY_KEYS = {
     "timers_armed", "timer_high_water", "timer_capacity",
     "timer_bytes_reserved", "bytes_per_client",
 }
+DETECTION_KEYS = {
+    "detections", "true_positives", "false_positives",
+    "paths_killed_by_detector", "blacklist_size", "first_detection_ms",
+    "decision_digest",
+}
+DETECT_MODES = ("off", "sprt", "baseline")
 
 # The shared determinism-exempt lists: --expect-equal strips exactly these.
 # Keep in sync with the serializer comments in src/workload/sweep.cc —
 # anything machine-dependent (perf), partition-dependent
 # (shard_utilization, the scheduling spec knobs), or timer-backend-
-# dependent (memory) goes here, nothing else.
-DETERMINISM_EXEMPT_BLOCKS = ("shard_utilization", "perf", "memory")
+# dependent (memory) goes here, nothing else. `detection` is stripped too,
+# but NOT because it may differ: detection decisions are required to be
+# bit-identical at any scheduling, and CI enforces that separately with a
+# --dump-detection byte-diff (the stricter check owns the block).
+DETERMINISM_EXEMPT_BLOCKS = ("shard_utilization", "perf", "memory", "detection")
 SPEC_EXEMPT_KEYS = ("shards", "adaptive_lookahead", "timer_wheel",
                     "placement", "placement_map")
 PLACEMENT_MODES = ("rr", "weighted", "profile")
@@ -100,8 +118,8 @@ def check_file(path: str, require_ok: bool) -> list:
     if not isinstance(root, dict):
         return [f"{path}: top level is not an object"]
     expect_keys(errors, root, TOP_KEYS, f"{path}: top level")
-    if root.get("schema_version") != 4:
-        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 4")
+    if root.get("schema_version") != 5:
+        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 5")
     if not isinstance(root.get("bench"), str) or not root.get("bench"):
         errors.append(f"{path}: 'bench' must be a non-empty string")
     jobs = root.get("jobs")
@@ -147,8 +165,21 @@ def check_file(path: str, require_ok: bool) -> list:
                 errors.append(f"{what}: '{sub}' must be an object")
                 continue
             expect_keys(errors, obj, want, f"{what}.{sub}")
+        detection = cell.get("detection")
+        if not isinstance(detection, dict):
+            errors.append(f"{what}: 'detection' must be an object")
+        else:
+            expect_keys(errors, detection, DETECTION_KEYS, f"{what}.detection")
+            for key, value in detection.items():
+                if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                        or not math.isfinite(value) or value < 0:
+                    errors.append(f"{what}.detection.{key}: not a finite "
+                                  f"non-negative number: {value!r}")
         spec = cell.get("spec")
         if isinstance(spec, dict):
+            if spec.get("detect") not in DETECT_MODES:
+                errors.append(f"{what}.spec.detect: {spec.get('detect')!r} "
+                              f"not one of {DETECT_MODES}")
             if spec.get("placement") not in PLACEMENT_MODES:
                 errors.append(f"{what}.spec.placement: {spec.get('placement')!r} "
                               f"not one of {PLACEMENT_MODES}")
@@ -258,6 +289,35 @@ def check_equal(path_a: str, path_b: str) -> list:
     return errors
 
 
+def dump_detection(path: str) -> list:
+    """Prints one canonical line per cell: id, detection counters, digest.
+    The output is a pure function of the detection decision sequence, so CI
+    byte-diffs it across --jobs/--shards runs of the same grid."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            root = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+    errors: list = []
+    for cell in root.get("cells", []):
+        if not isinstance(cell, dict):
+            continue
+        det = cell.get("detection")
+        if not isinstance(det, dict):
+            errors.append(f"{path}: cell '{cell.get('id')}' has no detection block")
+            continue
+        print(f"{cell.get('id')} "
+              f"detect={cell.get('spec', {}).get('detect')} "
+              f"detections={det.get('detections')} "
+              f"tp={det.get('true_positives')} "
+              f"fp={det.get('false_positives')} "
+              f"killed={det.get('paths_killed_by_detector')} "
+              f"blacklist={det.get('blacklist_size')} "
+              f"first_ms={det.get('first_detection_ms'):.6f} "
+              f"digest={det.get('decision_digest')}")
+    return errors
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
@@ -268,7 +328,20 @@ def main() -> int:
                         help="take exactly two files and require identical results "
                              "modulo jobs and the scheduling knobs "
                              "(sharded-equivalence check)")
+    parser.add_argument("--dump-detection", action="store_true",
+                        help="print canonical per-cell detection lines for the "
+                             "CI detection-determinism byte-diff")
     args = parser.parse_args()
+
+    if args.dump_detection:
+        failures = 0
+        for path in args.files:
+            errors = dump_detection(path)
+            if errors:
+                failures += 1
+                for e in errors:
+                    print(e, file=sys.stderr)
+        return 1 if failures else 0
 
     if args.expect_equal:
         if len(args.files) != 2:

@@ -69,6 +69,16 @@ so this tool checks them statically:
          incarnations under a generation tag; a shared_ptr member keeps
          its referent alive past Release, resurrecting exactly the
          refcount webs and stale-owner aliasing the slab replaces.
+  EL014  detection-accumulator determinism: a type marked
+         ESCORT_DETECT_ACCUMULATOR (src/server/detect.h) holds online
+         detection state whose decision sequence must be bit-identical
+         at any --jobs/--shards. Unordered containers iterate in
+         hash-seed order and float/double members accumulate in
+         arrival order, so both leak scheduling into the decisions:
+         marked types must hold only integer state, and the detection
+         module itself (src/server/detect.*) must use ordered
+         containers throughout. Derive float views (mean, sigma) at
+         compare time from the integer moments instead.
 
 Usage:
   escort_lint.py [--root DIR] [--self-test] [-q]
@@ -507,6 +517,58 @@ def check_slab_slot_members(relpath: str, raw: str, code: str, violations: list)
                                         "(or a plain value) and revalidate at use"))
 
 
+DETECT_ACC_MARKER = re.compile(r"\bESCORT_DETECT_ACCUMULATOR\b")
+UNORDERED_CONTAINER = re.compile(r"\b(?:std\s*::\s*)?unordered_(?:map|set|multimap|multiset)\s*<")
+FLOAT_MEMBER = re.compile(r"^\s*(?:float|double)\s+\w+", re.MULTILINE)
+
+
+def check_detect_accumulators(relpath: str, raw: str, code: str, violations: list) -> None:
+    """EL014 — detection accumulators use only deterministic state.
+
+    Two scopes: (a) any type marked ESCORT_DETECT_ACCUMULATOR must hold
+    only integer members (no float/double, no unordered containers);
+    (b) the detection module files themselves must not use unordered
+    containers anywhere — the accumulator maps are iterated to produce
+    the decision digest, and hash-seed iteration order would leak the
+    host into the decisions.
+    """
+    if relpath.startswith("src/server/detect."):
+        for m in UNORDERED_CONTAINER.finditer(code):
+            violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL014",
+                                        "unordered container in the detection module: accumulator "
+                                        "iteration feeds the decision digest, and hash-seed order "
+                                        "differs across hosts — use std::map/std::set"))
+    for marker in DETECT_ACC_MARKER.finditer(raw):
+        decl = re.compile(r"\b(?:class|struct)\s+\w+").search(code, marker.end())
+        if decl is None:
+            continue
+        i = code.find("{", decl.end())
+        if i < 0:
+            continue
+        depth = 0
+        end = len(code)
+        for j in range(i, len(code)):
+            if code[j] == "{":
+                depth += 1
+            elif code[j] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = j + 1
+                    break
+        body = code[i:end]
+        for m in FLOAT_MEMBER.finditer(body):
+            violations.append(Violation(relpath, code[: i + m.start()].count("\n") + 1, "EL014",
+                                        "float/double member in an ESCORT_DETECT_ACCUMULATOR type: "
+                                        "float accumulation order leaks scheduling into detection "
+                                        "decisions — keep integer moments (fixed-point / sum + "
+                                        "sum-of-squares) and derive float views at compare time"))
+        for m in UNORDERED_CONTAINER.finditer(body):
+            violations.append(Violation(relpath, code[: i + m.start()].count("\n") + 1, "EL014",
+                                        "unordered container in an ESCORT_DETECT_ACCUMULATOR type: "
+                                        "hash-seed iteration order differs across hosts — use "
+                                        "std::map/std::set"))
+
+
 def extract_function_body(code: str, signature_re: str) -> str:
     """Returns the brace-matched body of the first function whose signature
     matches `signature_re`, or '' if not found."""
@@ -623,6 +685,7 @@ def lint_tree(root: str) -> list:
                 check_diagnostics(relpath, code, violations)
                 check_hot_loop_allocations(relpath, code, violations)
                 check_slab_slot_members(relpath, raw, code, violations)
+                check_detect_accumulators(relpath, raw, code, violations)
     check_clock_aliases(files, violations)
     check_pairing_and_completeness(root, files, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
@@ -695,6 +758,20 @@ SELF_TEST_CASES = [
      " private:\n"
      "  std::shared_ptr<Peer> parent_;\n"
      "};\n"),
+    ("EL014", "src/server/detect.cc",
+     "#include <unordered_map>\n"
+     "std::unordered_map<unsigned, long> subnets;\n"),
+    ("EL014", "src/acc_float.cc",
+     "// ESCORT_DETECT_ACCUMULATOR\n"
+     "struct SprtState {\n"
+     "  double llr = 0.0;\n"
+     "};\n"),
+    ("EL014", "src/acc_unordered.cc",
+     "#include <unordered_set>\n"
+     "// ESCORT_DETECT_ACCUMULATOR\n"
+     "struct ClassStats {\n"
+     "  std::unordered_set<int> seen;\n"
+     "};\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -720,6 +797,22 @@ SELF_TEST_CLEAN = [
      "  constexpr static int kOther = 9;\n"
      "};\n"
      "static int Twice(int v) { return static_cast<int>(v) * 2; }\n"),
+    # EL014 negative space: integer-only marked accumulators pass, as do
+    # ordered containers and compare-time float locals in the detection
+    # module.
+    ("src/server/detect.cc",
+     "#include <cstdint>\n"
+     "#include <map>\n"
+     "// ESCORT_DETECT_ACCUMULATOR\n"
+     "struct SprtState {\n"
+     "  int64_t llr = 0;\n"
+     "  uint64_t observations = 0;\n"
+     "};\n"
+     "std::map<unsigned, SprtState> subnets;\n"
+     "bool Exceeds(uint64_t sum, uint64_t n, uint64_t value) {\n"
+     "  double mean = static_cast<double>(sum) / static_cast<double>(n);\n"
+     "  return static_cast<double>(value) > mean;\n"
+     "}\n"),
     # EL010 negative space: the pool implementation itself may use
     # std::thread, and std::this_thread elsewhere must not match.
     ("src/sim/parallel.cc",

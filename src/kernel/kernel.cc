@@ -1,5 +1,6 @@
 #include "src/kernel/kernel.h"
 
+#include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 
 #include <algorithm>
@@ -67,6 +68,20 @@ Kernel::~Kernel() {
   if (softclock_event_id_valid_) {
     eq_->Cancel(softclock_event_id_);
   }
+}
+
+void Kernel::set_metrics(MetricsRegistry* m) {
+  metrics_ = m;
+  if (m == nullptr) {
+    m_pages_in_use_ = nullptr;
+    m_runaway_ = nullptr;
+    return;
+  }
+  m_pages_in_use_ =
+      ESCORT_METRIC_GAUGE(m, "kernel.pages_in_use", "physical pages allocated");
+  MetricSet(m_pages_in_use_, static_cast<int64_t>(pages_.allocated_pages()));
+  m_runaway_ = ESCORT_METRIC_COUNTER(m, "kernel.runaway_detections",
+                                     "threads caught over the run budget");
 }
 
 // --- Owners / domains -----------------------------------------------------------
@@ -404,6 +419,7 @@ void Kernel::FinishItem() {
   bool over_budget = owner->max_thread_run() > 0 && t->run_since_yield_ > owner->max_thread_run();
   if (over_budget) {
     ++runaway_detections_;
+    MetricAdd(m_runaway_);
     if (tracer_ != nullptr && tracer_->lifecycle_enabled()) {
       tracer_->Instant(eq_->now(), OwnerTrack(owner->id(), owner->name()),
                        "runaway-detection", "policy",
@@ -608,12 +624,15 @@ void Kernel::DestroySemaphore(Semaphore* sem) {
 
 Page* Kernel::AllocPage(Owner* owner) {
   ConsumeCharged(config_.costs.alloc_page);
-  return pages_.Alloc(owner);
+  Page* page = pages_.Alloc(owner);
+  MetricSet(m_pages_in_use_, static_cast<int64_t>(pages_.allocated_pages()));
+  return page;
 }
 
 void Kernel::FreePage(Page* page) {
   ConsumeCharged(config_.costs.free_page);
   pages_.Free(page);
+  MetricSet(m_pages_in_use_, static_cast<int64_t>(pages_.allocated_pages()));
 }
 
 bool Kernel::ChargeKmem(Owner* owner, uint64_t bytes) {

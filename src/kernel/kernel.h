@@ -40,6 +40,9 @@
 namespace escort {
 
 class Auditor;
+class MetricCounter;
+class MetricGauge;
+class MetricsRegistry;
 class Tracer;
 
 enum class SchedulerKind { kPriority, kProportionalShare, kEdf };
@@ -231,6 +234,14 @@ class Kernel {
   void set_tracer(Tracer* t) { tracer_ = t; }
   Tracer* tracer() const { return tracer_; }
 
+  // --- Metrics hooks ---------------------------------------------------------------
+  // When set, the kernel and everything above it publish counters/gauges
+  // into the registry (see src/sim/metrics.h). Same contract as the
+  // tracer: caller-owned, null (the default) means metrics are off and
+  // every instrumentation site reduces to one pointer test.
+  void set_metrics(MetricsRegistry* m);
+  MetricsRegistry* metrics() const { return metrics_; }
+
   // Cycles of the in-flight busy segment that have been consumed but not
   // yet charged to any owner. Negative when the segment was partially
   // precharged (teardown costs are billed up front). Zero when the CPU is
@@ -333,6 +344,9 @@ class Kernel {
   uint64_t crossing_violations_ = 0;
   Auditor* auditor_ = nullptr;
   Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricGauge* m_pages_in_use_ = nullptr;
+  MetricCounter* m_runaway_ = nullptr;
 
   Cycles start_time_ = 0;
   uint64_t dispatch_count_ = 0;

@@ -4,6 +4,7 @@
 
 #include "src/net/ip.h"
 #include "src/path/path_manager.h"
+#include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 
 namespace escort {
@@ -42,6 +43,14 @@ void TcpModule::ReportOutcome(TcpPcb* pcb, TcpConnOutcome outcome) {
     return;
   }
   pcb->outcome_reported = true;
+  MetricAdd(m_outcomes_[static_cast<size_t>(outcome)]);
+  if (outcome == TcpConnOutcome::kCompleted) {
+    MetricAdd(m_completed_);
+    if (m_conn_lifetime_us_ != nullptr && pcb->created_at != 0) {
+      const Cycles lifetime = kernel()->now() - pcb->created_at;
+      m_conn_lifetime_us_->Observe(lifetime / (kCpuHz / 1'000'000));
+    }
+  }
   if (conn_outcome_hook) {
     conn_outcome_hook(pcb->key.remote_addr, outcome);
   }
@@ -66,6 +75,26 @@ void TcpModule::Init() {
   Owner* owner = domain();
   kernel()->RegisterEvent(owner, "tcp-master", master_event_period, master_event_period,
                           kernel()->costs().tcp_master_event, pd(), [this] { MasterEventScan(); });
+
+  if (MetricsRegistry* m = kernel()->metrics(); m != nullptr) {
+    for (size_t i = 0; i < 5; ++i) {
+      m_outcomes_[i] = ESCORT_METRIC_COUNTER(
+          m, std::string("tcp.outcomes.") + TcpConnOutcomeName(static_cast<TcpConnOutcome>(i)),
+          "terminal connection outcomes");
+    }
+    m_completed_ =
+        ESCORT_METRIC_COUNTER(m, "tcp.conns_completed", "connections closed cleanly");
+    m_syns_accepted_ =
+        ESCORT_METRIC_COUNTER(m, "tcp.syns_accepted", "SYNs accepted by a listener");
+    m_syns_dropped_ = ESCORT_METRIC_COUNTER(
+        m, "tcp.syns_dropped", "SYNs dropped at demux by a listener's budget");
+    m_retransmits_ = ESCORT_METRIC_COUNTER(m, "tcp.retransmits", "segments retransmitted");
+    m_half_open_ =
+        ESCORT_METRIC_GAUGE(m, "tcp.half_open", "connections in SYN_RECVD (backlog)");
+    m_pcb_live_ = ESCORT_METRIC_GAUGE(m, "tcp.pcb_live", "live PCB slab slots");
+    m_conn_lifetime_us_ = ESCORT_METRIC_HISTOGRAM(
+        m, "tcp.conn_lifetime_us", "open-to-clean-close lifetime, microseconds");
+  }
 }
 
 TcpListener* TcpModule::Listen(uint16_t port, Subnet subnet) {
@@ -107,8 +136,10 @@ OpenResult TcpModule::Open(Path* path, const Attributes& attrs) {
 
   if (role == "tcp-active") {
     ConnHandle h = pcb_slab_.Create();
+    MetricAdd(m_pcb_live_, int64_t{1});
     TcpPcb* pcb = pcb_slab_.Find(h);
     pcb->self = h;
+    pcb->created_at = kernel()->now();
     pcb->key.local_addr = local_ip_;
     pcb->key.local_port = static_cast<uint16_t>(attrs.GetIntOr("lport", 80));
     pcb->key.remote_addr = Ip4Addr{static_cast<uint32_t>(attrs.GetIntOr("raddr", 0))};
@@ -151,6 +182,7 @@ OpenResult TcpModule::Open(Path* path, const Attributes& attrs) {
         UnregisterConn(dying);
       }
       pcb_slab_.Release(h);
+      MetricAdd(m_pcb_live_, int64_t{-1});
     });
     auto ref = std::make_unique<PcbRef>();
     ref->conn = h;
@@ -180,6 +212,7 @@ void TcpModule::UnregisterConn(TcpPcb* pcb) {
   if (pcb->state == TcpState::kSynRecvd && pcb->listener != nullptr &&
       pcb->listener->syn_recvd > 0) {
     pcb->listener->syn_recvd -= 1;
+    MetricAdd(m_half_open_, int64_t{-1});
   }
   auto it = conns_.find(pcb->key);
   if (it != conns_.end() && it->second == pcb->self) {
@@ -251,6 +284,7 @@ DemuxDecision TcpModule::Demux(const Message& msg) {
       // The DoS policy decides during demultiplexing: over-budget SYNs are
       // identified as early as possible and dropped instantly.
       best->syns_dropped_at_demux += 1;
+      MetricAdd(m_syns_dropped_);
       if (conn_outcome_hook) {
         conn_outcome_hook(key.remote_addr, TcpConnOutcome::kSynDropped);
       }
@@ -345,6 +379,8 @@ void TcpModule::AcceptSyn(TcpListener* listener, const TcpHeader& syn, Ip4Addr p
 
   listener->syns_accepted += 1;
   listener->syn_recvd += 1;
+  MetricAdd(m_syns_accepted_);
+  MetricAdd(m_half_open_, int64_t{1});
 
   TcpPcb* pcb = pcb_slab_.Find(conns_[key]);
   if (pcb == nullptr) {
@@ -428,6 +464,7 @@ void TcpModule::HandleAck(TcpPcb* pcb, uint32_t ack) {
     if (pcb->listener != nullptr) {
       if (pcb->listener->syn_recvd > 0) {
         pcb->listener->syn_recvd -= 1;
+        MetricAdd(m_half_open_, int64_t{-1});
       }
       pcb->listener->conns_established += 1;
     }
@@ -664,6 +701,7 @@ void TcpModule::MasterEventScan() {
       target->retx_count += 1;
       target->retransmits += 1;
       ++total_retransmits_;
+      MetricAdd(m_retransmits_);
       target->ssthresh = std::max(target->BytesUnacked() / 2, 2 * target->mss);
       target->cwnd = target->mss;
       target->rto = std::min<Cycles>(target->rto * 2, CyclesFromMillis(3000));

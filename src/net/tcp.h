@@ -28,6 +28,9 @@
 
 namespace escort {
 
+class MetricCounter;
+class MetricGauge;
+class MetricHistogram;
 class PathManager;
 
 enum class TcpState {
@@ -136,6 +139,9 @@ struct TcpPcb {
   uint64_t segments_in = 0;
   uint64_t segments_out = 0;
   uint64_t retransmits = 0;
+
+  // Sim time the active path was opened (connection-lifetime histogram).
+  Cycles created_at = 0;
 
   // Terminal outcome already reported through conn_outcome_hook (at most
   // one per connection).
@@ -255,6 +261,17 @@ class TcpModule : public Module {
   uint64_t total_established_ = 0;
   uint64_t total_retransmits_ = 0;
   uint64_t master_fires_ = 0;
+
+  // Metric handles, registered in Init() when the kernel carries a
+  // registry; null (metrics disabled) costs one pointer test per site.
+  MetricCounter* m_outcomes_[5] = {nullptr, nullptr, nullptr, nullptr, nullptr};
+  MetricCounter* m_completed_ = nullptr;
+  MetricCounter* m_syns_accepted_ = nullptr;
+  MetricCounter* m_syns_dropped_ = nullptr;
+  MetricCounter* m_retransmits_ = nullptr;
+  MetricGauge* m_half_open_ = nullptr;
+  MetricGauge* m_pcb_live_ = nullptr;
+  MetricHistogram* m_conn_lifetime_us_ = nullptr;
 };
 
 }  // namespace escort

@@ -6,6 +6,7 @@
 #include "src/path/path_manager.h"
 #include "src/server/policy.h"
 #include "src/server/web_server.h"
+#include "src/sim/metrics.h"
 #include "src/sim/trace.h"
 
 namespace escort {
@@ -51,7 +52,12 @@ bool ParseDetectMode(const std::string& s, DetectMode* out) {
 }
 
 DetectionPolicy::DetectionPolicy(EscortWebServer* server, BlacklistPolicy* blacklist)
-    : server_(server), blacklist_(blacklist) {}
+    : server_(server), blacklist_(blacklist) {
+  if (MetricsRegistry* m = server_->kernel().metrics(); m != nullptr) {
+    m_decisions_ =
+        ESCORT_METRIC_COUNTER(m, "detect.decisions", "confirmed attack detections");
+  }
+}
 
 uint64_t DetectionPolicy::DecisionDigest() const {
   // FNV-1a, 64-bit.
@@ -75,6 +81,7 @@ uint64_t DetectionPolicy::DecisionDigest() const {
 void DetectionPolicy::ReportDetection(Ip4Addr addr, const char* source) {
   Cycles now = server_->kernel().now();
   detections_.push_back(DetectionEvent{now, addr, SubnetOf(addr), source});
+  MetricAdd(m_decisions_);
   if (blacklist_ != nullptr) {
     blacklist_->RecordViolation(addr, now);
   }
@@ -119,22 +126,36 @@ int64_t SprtDetector::SubnetLlr(Ip4Addr addr) const {
 
 void SprtDetector::Observe(Ip4Addr remote, TcpConnOutcome outcome) {
   Cycles now = server_->kernel().now();
-  SprtState& st = subnets_[SubnetOf(remote)];
+  const uint32_t subnet = SubnetOf(remote);
+  SprtState& st = subnets_[subnet];
   if (now < st.holdoff_until) {
     return;  // already reported; let the penalty path take effect
   }
+  if (st.llr_gauge == nullptr) {
+    if (MetricsRegistry* m = server_->kernel().metrics(); m != nullptr) {
+      // Per-subnet LLR trajectory, sampled by the sim-time sampler into a
+      // series. Integer micro-nats (EL014).
+      const std::string name = "detect.llr." + std::to_string((subnet >> 16) & 0xff) +
+                               "." + std::to_string((subnet >> 8) & 0xff) + "." +
+                               std::to_string(subnet & 0xff);
+      st.llr_gauge = ESCORT_METRIC_GAUGE(m, name, "SPRT log-likelihood ratio, micro-nats");
+    }
+  }
   st.llr += outcome == TcpConnOutcome::kCompleted ? inc_good_ : inc_bad_;
   st.observations += 1;
+  MetricSet(st.llr_gauge, st.llr);
   if (st.llr >= accept_llr_) {
     // H1 accepted: the subnet's bad-outcome rate is lambda1-like.
     ReportDetection(remote, "sprt");
     st.llr = 0;
     st.observations = 0;
     st.holdoff_until = now + spec_.sprt_holdoff;
+    MetricSet(st.llr_gauge, st.llr);
   } else if (st.llr <= reject_llr_) {
     // H0 accepted: benign. Restart the test so the subnet stays watched.
     st.llr = 0;
     st.observations = 0;
+    MetricSet(st.llr_gauge, st.llr);
   }
 }
 

@@ -123,6 +123,7 @@ class DetectionPolicy {
   EscortWebServer* const server_;
   BlacklistPolicy* const blacklist_;  // may be null (detection-only mode)
   std::vector<DetectionEvent> detections_;
+  MetricCounter* m_decisions_ = nullptr;
 };
 
 // Per-subnet SPRT over TCP connection outcomes.
@@ -154,6 +155,9 @@ class SprtDetector : public DetectionPolicy {
     int64_t llr = 0;            // micro-nats
     uint64_t observations = 0;  // outcomes folded since the last restart
     Cycles holdoff_until = 0;   // ignore outcomes until this deadline
+    // LLR trajectory gauge ("detect.llr.<a>.<b>.<c>", micro-nats),
+    // registered on the subnet's first observation; null = metrics off.
+    MetricGauge* llr_gauge = nullptr;
   };
 
   const DetectSpec spec_;

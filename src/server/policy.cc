@@ -1,6 +1,7 @@
 #include "src/server/policy.h"
 
 #include "src/server/web_server.h"
+#include "src/sim/metrics.h"
 
 namespace escort {
 
@@ -25,6 +26,12 @@ BlacklistPolicy::BlacklistPolicy(EscortWebServer* server, Options options)
     server_->set_violation_hook(
         [this](Ip4Addr addr) { RecordViolation(addr, server_->kernel().now()); });
   }
+  if (MetricsRegistry* m = server_->kernel().metrics(); m != nullptr) {
+    m_strikes_ = ESCORT_METRIC_COUNTER(m, "policy.strikes",
+                                       "resource-bound violations recorded");
+    m_blacklist_size_ =
+        ESCORT_METRIC_GAUGE(m, "policy.blacklist_size", "tracked offender addresses");
+  }
 }
 
 void BlacklistPolicy::RecordViolation(Ip4Addr addr, Cycles now) {
@@ -45,6 +52,8 @@ void BlacklistPolicy::RecordViolation(Ip4Addr addr, Cycles now) {
   Entry& e = entries_[addr];
   e.strikes += 1;
   e.last_violation = now;
+  MetricAdd(m_strikes_);
+  MetricSet(m_blacklist_size_, static_cast<int64_t>(entries_.size()));
   Tracer* t = server_->kernel().tracer();
   if (t != nullptr && t->lifecycle_enabled()) {
     t->Instant(now, "policy", e.strikes >= options_.strikes ? "blacklist-insert"

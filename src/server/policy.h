@@ -79,6 +79,8 @@ class BlacklistPolicy {
   TcpListener* penalty_listener_ = nullptr;
   std::map<Ip4Addr, Entry> entries_;
   uint64_t violations_ = 0;
+  MetricCounter* m_strikes_ = nullptr;
+  MetricGauge* m_blacklist_size_ = nullptr;
 };
 
 }  // namespace escort

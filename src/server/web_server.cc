@@ -1,5 +1,7 @@
 #include "src/server/web_server.h"
 
+#include "src/sim/metrics.h"
+
 namespace escort {
 
 const char* ServerConfigName(ServerConfig c) {
@@ -25,6 +27,11 @@ EscortWebServer::EscortWebServer(EventQueue* eq, SharedLink* link, WebServerOpti
   // Attach before anything builds so boot-time work (listener passive
   // paths, module registration) appears in the timeline too.
   kernel_->set_tracer(options_.tracer);
+  kernel_->set_metrics(options_.metrics);
+  if (options_.metrics != nullptr) {
+    m_paths_killed_ = ESCORT_METRIC_COUNTER(options_.metrics, "server.paths_killed",
+                                            "paths destroyed for resource violations");
+  }
 
   // Protection domains: in the PD configuration every module runs in its
   // own domain (the paper's worst case, Figure 3); otherwise everything is
@@ -113,6 +120,7 @@ EscortWebServer::EscortWebServer(EventQueue* eq, SharedLink* link, WebServerOpti
     }
     Cycles cost = paths_->Kill(path);
     ++paths_killed_;
+    MetricAdd(m_paths_killed_);
     kill_cost_cycles_.Add(static_cast<double>(cost));
   });
   // Protection faults (illegal domain crossing) get the same treatment.
@@ -123,6 +131,7 @@ EscortWebServer::EscortWebServer(EventQueue* eq, SharedLink* link, WebServerOpti
     auto* path = static_cast<Path*>(owner);
     Cycles cost = paths_->Kill(path);
     ++paths_killed_;
+    MetricAdd(m_paths_killed_);
     kill_cost_cycles_.Add(static_cast<double>(cost));
   });
 }
@@ -150,6 +159,7 @@ EscortWebServer::ConnSlabStats EscortWebServer::conn_slab_stats() const {
 Cycles EscortWebServer::KillPathForViolation(Path* path) {
   Cycles cost = paths_->Kill(path);
   ++paths_killed_;
+  MetricAdd(m_paths_killed_);
   kill_cost_cycles_.Add(static_cast<double>(cost));
   return cost;
 }
@@ -157,6 +167,11 @@ Cycles EscortWebServer::KillPathForViolation(Path* path) {
 void EscortWebServer::ConfigureQosListener(TcpListener* listener) {
   listener->active_label = "QoS Path";
   listener->active_tickets = options_.qos_tickets;
+  if (MetricsRegistry* m = kernel_->metrics(); m != nullptr) {
+    m_qos_tickets_ = ESCORT_METRIC_GAUGE(m, "policy.qos_tickets",
+                                         "proportional-share tickets for QoS paths");
+    m_qos_tickets_->Set(static_cast<int64_t>(options_.qos_tickets));
+  }
   Tracer* t = kernel_->tracer();
   if (t != nullptr && t->lifecycle_enabled()) {
     // QoS throttling is ticket-based: record the share decision so the

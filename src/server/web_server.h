@@ -74,6 +74,11 @@ struct WebServerOptions {
 
   // Deterministic trace sink (see src/sim/trace.h). Not owned; null = off.
   Tracer* tracer = nullptr;
+
+  // Metrics registry (see src/sim/metrics.h). Not owned; null = off. The
+  // server installs it on its kernel, so every layer above (TCP, policy,
+  // detectors) publishes through kernel().metrics().
+  MetricsRegistry* metrics = nullptr;
 };
 
 class EscortWebServer : public NetEndpoint {
@@ -159,6 +164,8 @@ class EscortWebServer : public NetEndpoint {
   uint64_t paths_killed_ = 0;
   Samples kill_cost_cycles_;
   std::function<void(Ip4Addr)> violation_hook_;
+  MetricCounter* m_paths_killed_ = nullptr;
+  MetricGauge* m_qos_tickets_ = nullptr;
 };
 
 }  // namespace escort

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "src/sim/metrics.h"
 #include "src/sim/parallel.h"
 
 namespace escort {
@@ -61,6 +62,7 @@ bool EventQueue::Step() {
     TimerWheel::Callback fn = wheel_->PopDue(&key, &exec_stream);
     now_ = key.when;
     ++fired_count_;
+    MetricRecord(timer_series_, 0, key.when, -1);
     fn();
     return true;
   }
@@ -122,6 +124,7 @@ EventQueue::TimerId EventQueue::ScheduleTimerAt(Cycles when, Callback fn) {
   // timers and events interleave exactly as if both lived in the heap.
   TimerKey key{when, 0, next_seq_++, 0};
   TimerRef ref = wheel_->Arm(key, 0, std::move(fn));
+  MetricRecord(timer_series_, 0, now_, 1);
   return (static_cast<TimerId>(ref.index) << 32) | ref.gen;
 }
 
@@ -132,8 +135,19 @@ bool EventQueue::CancelTimer(TimerId id) {
   if (wheel_ == nullptr) {
     return false;
   }
-  return wheel_->Cancel(TimerRef{static_cast<uint32_t>((id >> 32) & 0xffffff),
-                                 static_cast<uint32_t>(id)});
+  const bool cancelled = wheel_->Cancel(TimerRef{
+      static_cast<uint32_t>((id >> 32) & 0xffffff), static_cast<uint32_t>(id)});
+  if (cancelled) {
+    MetricRecord(timer_series_, 0, now_, -1);
+  }
+  return cancelled;
+}
+
+void EventQueue::AttachMetrics(MetricsRegistry* m) {
+  timer_series_ =
+      m == nullptr ? nullptr
+                   : ESCORT_METRIC_SHARDED(m, "sim.timers_armed",
+                                           "timer-wheel resident timers", 1);
 }
 
 EventQueue::TimerWheelStats EventQueue::timer_stats() const {
@@ -367,6 +381,7 @@ void ShardedEventQueue::ExecuteTop(size_t s) {
     TimerWheel::Callback fn = sh.wheel->PopDue(&tk, &exec_stream);
     ++sh.fired;
     sh.clock = tk.when;
+    MetricRecord(timer_series_, static_cast<uint32_t>(s), tk.when, -1);
     ExecContext saved = tls_exec;
     tls_exec = ExecContext{this, static_cast<StreamId>(exec_stream), tk.when, false, 0, 0};
     fn();
@@ -705,6 +720,10 @@ EventQueue::TimerId ShardedEventQueue::ScheduleTimerAt(Cycles when, Callback fn)
   }
   TimerRef ref = sh.wheel->Arm(TimerKey{key.when, key.stream, key.seq, key.minor},
                                static_cast<uint32_t>(exec), std::move(fn));
+  // Occupancy +1 at the arm time. `base` is the caller's event time (or
+  // the serial-point floor) — partition-independent, so the merged series
+  // is identical at any shard count.
+  MetricRecord(timer_series_, static_cast<uint32_t>(shard), base, 1);
   return (static_cast<TimerId>(shard) << kShardShift) |
          (static_cast<TimerId>(ref.index) << 32) | ref.gen;
 }
@@ -721,8 +740,23 @@ bool ShardedEventQueue::CancelTimer(TimerId id) {
   if (sh.wheel == nullptr) {
     return false;
   }
-  return sh.wheel->Cancel(TimerRef{static_cast<uint32_t>((id >> 32) & 0xffffff),
-                                   static_cast<uint32_t>(id)});
+  const bool cancelled =
+      sh.wheel->Cancel(TimerRef{static_cast<uint32_t>((id >> 32) & 0xffffff),
+                                static_cast<uint32_t>(id)});
+  if (cancelled) {
+    ExecContext* ctx = (tls_exec.owner == this) ? &tls_exec : nullptr;
+    MetricRecord(timer_series_, static_cast<uint32_t>(shard),
+                 ctx != nullptr ? ctx->now : now_floor_, -1);
+  }
+  return cancelled;
+}
+
+void ShardedEventQueue::AttachMetrics(MetricsRegistry* m) {
+  timer_series_ = m == nullptr
+                      ? nullptr
+                      : ESCORT_METRIC_SHARDED(m, "sim.timers_armed",
+                                              "timer-wheel resident timers",
+                                              static_cast<uint32_t>(shards_.size()));
 }
 
 EventQueue::TimerWheelStats ShardedEventQueue::timer_stats() const {

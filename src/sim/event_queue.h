@@ -42,7 +42,9 @@
 
 namespace escort {
 
+class MetricsRegistry;
 class ShardGang;
+class ShardedSeries;
 
 // Tracks which event ids have been consumed (fired or cancelled). Ids are
 // dense and monotonically increasing, so instead of one bit per event ever
@@ -180,6 +182,13 @@ class EventQueue {
   void set_timer_wheel(bool on) { use_timer_wheel_ = on; }
   bool timer_wheel() const { return use_timer_wheel_; }
 
+  // Registers the "sim.timers_armed" occupancy series in `m` (null
+  // detaches): one lane per shard, per-shard (time-bin, delta) appends
+  // merged deterministically at serialization (src/sim/metrics.h). Call
+  // at a serial point before any timers are armed; zero in heap-fallback
+  // mode (timers live in the event heap, like timer_stats()).
+  virtual void AttachMetrics(MetricsRegistry* m);
+
   // Wheel occupancy for the bench `memory` block (aggregated over shards).
   struct TimerWheelStats {
     uint64_t armed = 0;
@@ -276,6 +285,9 @@ class EventQueue {
 
  protected:
   bool use_timer_wheel_ = true;
+  // Wheel-timer occupancy series; null = metrics off (one pointer test
+  // per arm/fire/cancel).
+  ShardedSeries* timer_series_ = nullptr;
 
  private:
   struct Event {
@@ -388,6 +400,7 @@ class ShardedEventQueue : public EventQueue {
   bool Cancel(EventId id) override;
   TimerId ScheduleTimerAt(Cycles when, Callback fn) override;
   bool CancelTimer(TimerId id) override;
+  void AttachMetrics(MetricsRegistry* m) override;
   TimerWheelStats timer_stats() const override;
   bool Step() override;
   void RunUntil(Cycles deadline) override;

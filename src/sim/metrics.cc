@@ -1,0 +1,306 @@
+#include "src/sim/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+namespace escort {
+
+namespace {
+
+// JSON string literal with escaping (same rules as the tracer).
+std::string Str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string SNum(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+MetricHistogram::MetricHistogram(uint32_t buckets)
+    : buckets_(buckets > 1 ? buckets : 2, 0) {}
+
+uint32_t MetricHistogram::BucketOf(uint64_t v, uint32_t buckets) {
+  if (v == 0) return 0;
+  uint32_t k = 1;
+  while (v > 1 && k + 1 < buckets) {
+    v >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+uint64_t MetricHistogram::BucketUpperBound(uint32_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~0ull;
+  return (1ull << bucket) - 1;
+}
+
+void MetricHistogram::Observe(uint64_t v) {
+  buckets_[BucketOf(v, static_cast<uint32_t>(buckets_.size()))] += 1;
+  count_ += 1;
+  sum_ += v;
+}
+
+uint64_t MetricHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the p-quantile sample, 1-based, rounded up.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count_));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < buckets_.size(); ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return BucketUpperBound(b);
+  }
+  return BucketUpperBound(static_cast<uint32_t>(buckets_.size()) - 1);
+}
+
+ShardedSeries::ShardedSeries(uint32_t lanes, Cycles bin_interval)
+    : lanes_(lanes > 0 ? lanes : 1), interval_(bin_interval > 0 ? bin_interval : 1) {}
+
+void ShardedSeries::Record(uint32_t lane, Cycles when, int64_t delta) {
+  if (lane >= lanes_.size()) lane = static_cast<uint32_t>(lanes_.size()) - 1;
+  Lane& l = lanes_[lane];
+  const uint64_t bin = when / interval_;
+  if (!l.bins.empty() && l.bins.back().first == bin) {
+    l.bins.back().second += delta;
+    return;
+  }
+  l.bins.emplace_back(bin, delta);
+}
+
+std::vector<std::pair<Cycles, int64_t>> ShardedSeries::Merged() const {
+  // Elementwise bin sum across lanes. A shard may briefly run behind the
+  // serial clock, so per-lane bins are only *mostly* sorted; std::map
+  // absorbs any order and keys the result deterministically.
+  std::map<uint64_t, int64_t> by_bin;
+  for (const Lane& l : lanes_) {
+    for (const auto& [bin, delta] : l.bins) by_bin[bin] += delta;
+  }
+  std::vector<std::pair<Cycles, int64_t>> out;
+  out.reserve(by_bin.size());
+  int64_t running = 0;
+  for (const auto& [bin, delta] : by_bin) {
+    running += delta;
+    out.emplace_back(bin * interval_, running);
+  }
+  return out;
+}
+
+MetricsRegistry::MetricsRegistry(MetricsConfig config) : config_(std::move(config)) {}
+
+MetricCounter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                                const char* help) {
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) it->second.help = help;
+  return &it->second.metric;
+}
+
+MetricGauge* MetricsRegistry::RegisterGauge(const std::string& name, const char* help) {
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) it->second.help = help;
+  return &it->second.metric;
+}
+
+MetricHistogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                                    const char* help) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, HistogramEntry(config_.histogram_buckets)).first;
+    it->second.help = help;
+  }
+  return &it->second.metric;
+}
+
+ShardedSeries* MetricsRegistry::RegisterShardedSeries(const std::string& name,
+                                                      const char* help,
+                                                      uint32_t lanes) {
+  auto it = sharded_.find(name);
+  if (it == sharded_.end()) {
+    it = sharded_.emplace(name, ShardedEntry(lanes, config_.sample_interval)).first;
+    it->second.help = help;
+  }
+  return &it->second.series;
+}
+
+const MetricCounter* MetricsRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second.metric;
+}
+
+const MetricGauge* MetricsRegistry::FindGauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second.metric;
+}
+
+const MetricHistogram* MetricsRegistry::FindHistogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second.metric;
+}
+
+void MetricsRegistry::Sample(Cycles now) {
+  for (auto& [name, e] : counters_) {
+    const int64_t v = static_cast<int64_t>(e.metric.value());
+    if (!e.series.empty() && e.series.back().value == v) continue;
+    e.series.push_back(SeriesPoint{now, v});
+  }
+  for (auto& [name, e] : gauges_) {
+    const int64_t v = e.metric.value();
+    if (!e.series.empty() && e.series.back().value == v) continue;
+    e.series.push_back(SeriesPoint{now, v});
+  }
+}
+
+namespace {
+
+void AppendSeries(std::string* out, const std::vector<std::pair<Cycles, int64_t>>& pts) {
+  *out += "[";
+  bool first = true;
+  for (const auto& [ts, v] : pts) {
+    if (!first) *out += ",";
+    first = false;
+    *out += "[" + Num(ts) + "," + SNum(v) + "]";
+  }
+  *out += "]";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::SerializeCell(const std::string& cell_id) const {
+  std::string out = "{\"cell\": " + Str(cell_id) +
+                    ", \"sample_interval\": " + Num(config_.sample_interval) + ",\n";
+
+  out += "\"counters\": [";
+  bool first = true;
+  for (const auto& [name, e] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": " + Str(name) + ", \"help\": " + Str(e.help) +
+           ", \"value\": " + Num(e.metric.value()) + ", \"series\": ";
+    std::vector<std::pair<Cycles, int64_t>> pts;
+    pts.reserve(e.series.size());
+    for (const SeriesPoint& p : e.series) pts.emplace_back(p.ts, p.value);
+    AppendSeries(&out, pts);
+    out += "}";
+  }
+  out += "],\n";
+
+  out += "\"gauges\": [";
+  first = true;
+  for (const auto& [name, e] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\": " + Str(name) + ", \"help\": " + Str(e.help) +
+           ", \"value\": " + SNum(e.metric.value()) + ", \"series\": ";
+    std::vector<std::pair<Cycles, int64_t>> pts;
+    pts.reserve(e.series.size());
+    for (const SeriesPoint& p : e.series) pts.emplace_back(p.ts, p.value);
+    AppendSeries(&out, pts);
+    out += "}";
+  }
+  out += "],\n";
+
+  out += "\"histograms\": [";
+  first = true;
+  for (const auto& [name, e] : histograms_) {
+    if (!first) out += ",";
+    first = false;
+    const MetricHistogram& h = e.metric;
+    out += "\n{\"name\": " + Str(name) + ", \"help\": " + Str(e.help) +
+           ", \"count\": " + Num(h.count()) + ", \"sum\": " + Num(h.sum()) +
+           ", \"p50\": " + Num(h.Percentile(0.50)) +
+           ", \"p90\": " + Num(h.Percentile(0.90)) +
+           ", \"p99\": " + Num(h.Percentile(0.99)) + ", \"buckets\": [";
+    // Trailing empty buckets are elided to keep the document compact.
+    size_t last = h.buckets().size();
+    while (last > 0 && h.buckets()[last - 1] == 0) --last;
+    for (size_t b = 0; b < last; ++b) {
+      if (b != 0) out += ",";
+      out += Num(h.buckets()[b]);
+    }
+    out += "]}";
+  }
+  out += "],\n";
+
+  out += "\"sharded\": [";
+  first = true;
+  for (const auto& [name, e] : sharded_) {
+    if (!first) out += ",";
+    first = false;
+    // No lane count here: lanes mirror the shard partition, and the
+    // document must be byte-identical at any --shards. Merged() already
+    // collapses the partition away.
+    out += "\n{\"name\": " + Str(name) + ", \"help\": " + Str(e.help) + ", \"series\": ";
+    AppendSeries(&out, e.series.Merged());
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::WrapDocument(const std::vector<std::string>& fragments) {
+  std::string out = "{\n\"escort_metrics_schema\": 1,\n\"cpu_hz\": " + Num(kCpuHz) +
+                    ",\n\"cells\": [\n";
+  bool first = true;
+  for (const std::string& f : fragments) {
+    if (f.empty()) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += f;
+  }
+  out += "\n]\n}\n";
+  return out;
+}
+
+bool MetricsRegistry::WriteFile(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t wrote = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return wrote == json.size();
+}
+
+}  // namespace escort

@@ -1,0 +1,239 @@
+// Deterministic metrics plane: counters, gauges, log2-bucketed histograms
+// and per-shard time-binned series, sampled into sim-time series and
+// exported as a byte-stable JSON document.
+//
+// Determinism contract (same as the tracer, src/sim/trace.h):
+//
+//  * Serial-domain metrics (counters, gauges, histograms) may only be
+//    mutated from stream 0 or at serial points. All server-side code runs
+//    on stream 0, so kernel/TCP/policy/detector instrumentation is safe by
+//    construction. `Sample()` runs on stream 0 at fixed sim times, so the
+//    sampled series are identical at any --jobs/--shards setting.
+//  * Shard-domain metrics use `ShardedSeries`: each shard appends
+//    (time-bin, delta) pairs to its own lane with no synchronization.
+//    Lanes are merged at a serial point by summing deltas per bin and
+//    prefix-summing into a cumulative series. Bin boundaries are fixed sim
+//    times and every delta lands in the bin of its (partition-independent)
+//    event time, so the merged series is identical at any shard count.
+//  * Serialization iterates std::map (sorted by metric name) — the
+//    document does not depend on registration order, worker count, or
+//    pointer values. The same `--metrics PATH` document is byte-identical
+//    across --jobs/--shards (CI diffs it).
+//
+// Zero cost when disabled: instrumented components hold raw metric
+// pointers that stay null when no registry is attached; every hot-path
+// site is a single null test (see MetricAdd/MetricObserve helpers).
+//
+// Registration goes through the ESCORT_METRIC_* macros so escort_lint
+// EL015 can flag ad-hoc registration (or static counters) elsewhere.
+
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace escort {
+
+struct MetricsConfig {
+  // Standalone JSON document path (--metrics PATH). Empty: no standalone
+  // file; the registry still feeds the bench-JSON `incidents` block.
+  std::string path;
+  // Sampling period for counter/gauge series and the health monitor.
+  Cycles sample_interval = CyclesFromMillis(5.0);
+  // Histogram bucket count: bucket 0 holds value 0, bucket k>0 holds
+  // [2^(k-1), 2^k). 40 buckets cover ~1.8 hours of cycle-valued samples.
+  uint32_t histogram_buckets = 40;
+};
+
+// Monotonic counter. ESCORT_SERIAL_ONLY: mutate from stream 0 or at
+// serial points.
+class MetricCounter {
+ public:
+  void Add(uint64_t delta) { value_ += delta; }
+  void Increment() { ++value_; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Signed instantaneous value. ESCORT_SERIAL_ONLY.
+class MetricGauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Log2-bucketed histogram of non-negative integer samples (cycles, us,
+// bytes). ESCORT_SERIAL_ONLY.
+class MetricHistogram {
+ public:
+  explicit MetricHistogram(uint32_t buckets);
+
+  // Bucket index for a value: 0 for 0, else 1 + floor(log2(v)), clamped
+  // to the last bucket.
+  static uint32_t BucketOf(uint64_t v, uint32_t buckets);
+  // Inclusive upper bound of a bucket (0 for bucket 0, 2^k - 1 for k>0).
+  static uint64_t BucketUpperBound(uint32_t bucket);
+
+  void Observe(uint64_t v);
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  // Upper bound of the bucket holding the p-quantile (p in [0,1]);
+  // 0 when empty. Deterministic: pure function of the bucket vector.
+  uint64_t Percentile(double p) const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+// Per-shard time-binned delta accumulator for quantities mutated inside
+// shard windows (timer-wheel occupancy). ESCORT_SHARD_SAFE: lane `i` may
+// only be touched by the shard that owns it; `Merged()` only at serial
+// points.
+class ShardedSeries {
+ public:
+  ShardedSeries(uint32_t lanes, Cycles bin_interval);
+
+  // Records `delta` at sim time `when` into `lane`. Appends are
+  // shard-local; consecutive records in the same bin coalesce.
+  void Record(uint32_t lane, Cycles when, int64_t delta);
+
+  // Merges all lanes into a cumulative series [(bin_start_cycles, value)],
+  // one entry per bin with any activity. ESCORT_SERIAL_ONLY.
+  std::vector<std::pair<Cycles, int64_t>> Merged() const;
+
+  uint32_t lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+  Cycles bin_interval() const { return interval_; }
+
+ private:
+  struct Lane {
+    // (bin index, summed delta), bin indices non-decreasing per lane.
+    std::vector<std::pair<uint64_t, int64_t>> bins;
+  };
+
+  std::vector<Lane> lanes_;
+  Cycles interval_;
+};
+
+// Registry of named metrics for one experiment cell. Instance-based (no
+// global state); the kernel, event queue and server modules hold a raw
+// pointer that is null when metrics are disabled.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(MetricsConfig config = MetricsConfig{});
+
+  const MetricsConfig& config() const { return config_; }
+
+  // Get-or-create by name. Returned pointers are stable for the registry's
+  // lifetime. ESCORT_SERIAL_ONLY. Call through the ESCORT_METRIC_* macros
+  // (escort_lint EL015).
+  MetricCounter* RegisterCounter(const std::string& name, const char* help);
+  MetricGauge* RegisterGauge(const std::string& name, const char* help);
+  MetricHistogram* RegisterHistogram(const std::string& name, const char* help);
+  ShardedSeries* RegisterShardedSeries(const std::string& name, const char* help,
+                                       uint32_t lanes);
+
+  // Lookup without creating (null when absent).
+  const MetricCounter* FindCounter(const std::string& name) const;
+  const MetricGauge* FindGauge(const std::string& name) const;
+  const MetricHistogram* FindHistogram(const std::string& name) const;
+
+  // Appends one series point per counter/gauge (coalescing repeats of the
+  // same value). Called from the stream-0 sampler at fixed sim times.
+  // ESCORT_SERIAL_ONLY.
+  void Sample(Cycles now);
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t gauge_count() const { return gauges_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+  size_t sharded_count() const { return sharded_.size(); }
+
+  // Byte-stable JSON fragment for one sweep cell. ESCORT_SERIAL_ONLY.
+  std::string SerializeCell(const std::string& cell_id) const;
+
+  // Wraps per-cell fragments (grid order) into the pinned document.
+  static std::string WrapDocument(const std::vector<std::string>& fragments);
+
+  // Writes `json` to `path` ("wb"); false on I/O error.
+  static bool WriteFile(const std::string& path, const std::string& json);
+
+ private:
+  struct SeriesPoint {
+    Cycles ts = 0;
+    int64_t value = 0;
+  };
+  struct CounterEntry {
+    std::string help;
+    MetricCounter metric;
+    std::vector<SeriesPoint> series;
+  };
+  struct GaugeEntry {
+    std::string help;
+    MetricGauge metric;
+    std::vector<SeriesPoint> series;
+  };
+  struct HistogramEntry {
+    std::string help;
+    MetricHistogram metric;
+    explicit HistogramEntry(uint32_t buckets) : metric(buckets) {}
+  };
+  struct ShardedEntry {
+    std::string help;
+    ShardedSeries series;
+    ShardedEntry(uint32_t lanes, Cycles interval) : series(lanes, interval) {}
+  };
+
+  const MetricsConfig config_;
+  // std::map: sorted iteration makes serialization independent of
+  // registration order (EL004-friendly, byte-stable).
+  std::map<std::string, CounterEntry> counters_;
+  std::map<std::string, GaugeEntry> gauges_;
+  std::map<std::string, HistogramEntry> histograms_;
+  std::map<std::string, ShardedEntry> sharded_;
+};
+
+// Null-safe hot-path helpers: one pointer test when metrics are disabled.
+inline void MetricAdd(MetricCounter* c, uint64_t delta = 1) {
+  if (c != nullptr) c->Add(delta);
+}
+inline void MetricAdd(MetricGauge* g, int64_t delta) {
+  if (g != nullptr) g->Add(delta);
+}
+inline void MetricSet(MetricGauge* g, int64_t v) {
+  if (g != nullptr) g->Set(v);
+}
+inline void MetricObserve(MetricHistogram* h, uint64_t v) {
+  if (h != nullptr) h->Observe(v);
+}
+inline void MetricRecord(ShardedSeries* s, uint32_t lane, Cycles when, int64_t delta) {
+  if (s != nullptr) s->Record(lane, when, delta);
+}
+
+// EL015: all metric registration goes through these macros so the linter
+// can spot ad-hoc registration calls and static counters elsewhere.
+#define ESCORT_METRIC_COUNTER(registry, name, help) \
+  ((registry)->RegisterCounter((name), (help)))
+#define ESCORT_METRIC_GAUGE(registry, name, help) \
+  ((registry)->RegisterGauge((name), (help)))
+#define ESCORT_METRIC_HISTOGRAM(registry, name, help) \
+  ((registry)->RegisterHistogram((name), (help)))
+#define ESCORT_METRIC_SHARDED(registry, name, help, lanes) \
+  ((registry)->RegisterShardedSeries((name), (help), (lanes)))
+
+}  // namespace escort
+
+#endif  // SRC_SIM_METRICS_H_

@@ -85,11 +85,15 @@ struct Testbed {
   RateMeter completions;
 };
 
-std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer = nullptr) {
+std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer = nullptr,
+                                      MetricsRegistry* metrics = nullptr) {
   auto tb = std::make_unique<Testbed>(spec.shards, spec.adaptive_lookahead);
   // Must precede any construction that arms a timer (the server's master
   // event, client retransmits): heap-fallback mode is a whole-run choice.
   tb->eq.set_timer_wheel(spec.timer_wheel);
+  // Attach at the serial point, before any timer is armed, so the
+  // occupancy series covers every arm/fire/cancel of the run.
+  tb->eq.AttachMetrics(metrics);
   tb->peer_slabs.resize(static_cast<size_t>(spec.shards));
   for (auto& slab : tb->peer_slabs) {
     slab = std::make_unique<Slab<TcpPeer>>();
@@ -109,6 +113,7 @@ std::unique_ptr<Testbed> BuildTestbed(const ExperimentSpec& spec, Tracer* tracer
     opts.mac = kServerMac;
     opts.ip = kServerIp;
     opts.tracer = tracer;
+    opts.metrics = metrics;
     tb->server = std::make_unique<EscortWebServer>(&tb->eq, tb->link.get(), opts);
     // Every experiment run doubles as a resource-conservation audit
     // (enforced — i.e. violations abort — under ESCORT_AUDIT builds).
@@ -258,6 +263,36 @@ void ScheduleLedgerSampler(EventQueue* eq, Kernel* kernel, Tracer* tracer, Cycle
   });
 }
 
+// One metrics-plane tick: refresh the per-account cycle gauges from the
+// kernel ledger, snapshot every counter/gauge into its sim-time series,
+// then let the health monitor evaluate its SLO rules. Same stream-0
+// contract as SampleLedger, so the sampled series — and every incident
+// decision — are part of the queue's deterministic total order.
+void SampleMetrics(MetricsRegistry* registry, HealthMonitor* health, Kernel* kernel,
+                   Cycles now) {
+  CycleLedger snapshot = kernel->Snapshot();
+  for (const auto& [label, cycles] : snapshot.totals()) {
+    MetricSet(ESCORT_METRIC_GAUGE(registry, "kernel.cycles." + label,
+                                  "cycles charged to this ledger account"),
+              static_cast<int64_t>(cycles));
+  }
+  registry->Sample(now);
+  if (health != nullptr) {
+    health->Sample(now);
+  }
+}
+
+void ScheduleMetricsSampler(EventQueue* eq, MetricsRegistry* registry, HealthMonitor* health,
+                            Kernel* kernel, Cycles at, Cycles interval, Cycles end) {
+  if (at > end) {
+    return;
+  }
+  eq->ScheduleAt(at, [eq, registry, health, kernel, at, interval, end] {
+    SampleMetrics(registry, health, kernel, eq->now());
+    ScheduleMetricsSampler(eq, registry, health, kernel, at + interval, interval, end);
+  });
+}
+
 }  // namespace
 
 ExperimentResult RunExperiment(const ExperimentSpec& spec) {
@@ -272,8 +307,28 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
     tracer = owned_tracer.get();
   }
 
-  auto tb = BuildTestbed(spec, tracer);
+  // Metrics: use the caller's registry (sweep cells) or own one for the
+  // run. On by default — the health monitor needs the registry, and the
+  // zero-perturbation test pins that collection never changes results.
+  std::unique_ptr<MetricsRegistry> owned_metrics;
+  MetricsRegistry* metrics = spec.metrics_registry;
+  if (metrics == nullptr && spec.collect_metrics) {
+    owned_metrics = std::make_unique<MetricsRegistry>(spec.metrics);
+    metrics = owned_metrics.get();
+  }
+
+  auto tb = BuildTestbed(spec, tracer, metrics);
   EventQueue& eq = tb->eq;
+
+  std::unique_ptr<HealthMonitor> health;
+  if (metrics != nullptr && tb->server != nullptr) {
+    HealthConfig hc = spec.health;
+    if (hc.total_pages == 0) {
+      hc.total_pages = tb->server->kernel().pages().total_pages();
+    }
+    health = std::make_unique<HealthMonitor>(metrics, hc);
+    health->set_tracer(tracer);
+  }
 
   Cycles run_end = CyclesFromSeconds(warmup_s) + CyclesFromSeconds(window_s);
   if (tracer != nullptr && tracer->ledger_enabled() && tb->server != nullptr) {
@@ -282,12 +337,21 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
                           : CyclesFromMillis(5.0);
     ScheduleLedgerSampler(&eq, &tb->server->kernel(), tracer, 0, interval, run_end);
   }
+  if (metrics != nullptr && tb->server != nullptr) {
+    Cycles interval = metrics->config().sample_interval > 0 ? metrics->config().sample_interval
+                                                            : CyclesFromMillis(5.0);
+    ScheduleMetricsSampler(&eq, metrics, health.get(), &tb->server->kernel(), 0, interval,
+                           run_end);
+  }
 
   double sim_start_ms = MonotonicMillis();
   eq.RunUntil(CyclesFromSeconds(warmup_s));
 
   Cycles window_start = eq.now();
   tb->completions.OpenWindow(window_start);
+  if (health != nullptr) {
+    health->OpenWindow(window_start);
+  }
   if (tb->qos_receiver != nullptr) {
     tb->qos_receiver->meter().OpenWindow(window_start);
   }
@@ -404,6 +468,20 @@ ExperimentResult RunExperiment(const ExperimentSpec& spec) {
     if (owned_tracer != nullptr) {
       owned_tracer->WriteStandalone();
     }
+  }
+  if (health != nullptr) {
+    r.incidents = health->incidents();
+  }
+  if (owned_metrics != nullptr && !spec.metrics.path.empty()) {
+    // Tear the testbed down first so the document includes teardown-time
+    // bookkeeping exactly like a sweep-merged cell does (the sweep
+    // serializes after RunExperiment returns). Teardown order is serial
+    // and partition-independent, so this stays byte-stable.
+    health.reset();
+    tb.reset();
+    MetricsRegistry::WriteFile(
+        spec.metrics.path,
+        MetricsRegistry::WrapDocument({owned_metrics->SerializeCell("run")}));
   }
   return r;
 }

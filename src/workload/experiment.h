@@ -11,8 +11,10 @@
 #include <vector>
 
 #include "src/server/detect.h"
+#include "src/server/health.h"
 #include "src/server/monolithic_server.h"
 #include "src/server/web_server.h"
+#include "src/sim/metrics.h"
 #include "src/workload/http_client.h"
 #include "src/workload/placement.h"
 
@@ -59,6 +61,18 @@ struct ExperimentSpec {
   // per-cell sink here and merges all cells into one trace document.
   TraceConfig trace;
   Tracer* tracer = nullptr;                // not owned
+
+  // Deterministic metrics plane (src/sim/metrics.h). Collection is on by
+  // default — the registry feeds the HealthMonitor, so incidents land in
+  // the bench JSON even without --metrics. A standalone JSON document is
+  // written only when `metrics.path` is set (or the sweep runner passes a
+  // per-cell `metrics_registry` sink and merges the cells itself).
+  MetricsConfig metrics;
+  MetricsRegistry* metrics_registry = nullptr;  // not owned
+  bool collect_metrics = true;
+  // SLO rules for the HealthMonitor (incident detection). Always active
+  // when collect_metrics is on; thresholds are overridable per run.
+  HealthConfig health;
 };
 
 // Memory footprint of one cell: slab/wheel occupancy and reservations at
@@ -125,6 +139,10 @@ struct ExperimentResult {
   // Detection decisions (bench JSON `detection` block). All-zero when
   // spec.detect.mode == kOff.
   DetectionStats detection;
+  // HealthMonitor incident records (bench JSON schema-v6 `incidents`
+  // block): onset → detection → containment → recovery with derived
+  // TTD/TTR. Empty when collect_metrics is off or the run stayed healthy.
+  std::vector<IncidentRecord> incidents;
   // Wall-clock spent inside the event-queue run (warmup + window), which
   // is what the bench JSON `perf` block rates: testbed construction and
   // teardown are setup cost, not scheduler throughput. Machine-dependent

@@ -57,7 +57,17 @@ namespace {
                "               (default), sprt, or baseline (src/server/detect.h)\n"
                "  --json PATH  also write machine-readable results to PATH\n"
                "  --trace PATH write a deterministic Chrome trace (Perfetto /\n"
-               "               chrome://tracing) covering every cell\n",
+               "               chrome://tracing) covering every cell\n"
+               "  --metrics PATH\n"
+               "               write a deterministic metrics JSON (counters,\n"
+               "               gauges, histograms, sim-time series) covering\n"
+               "               every cell; byte-identical across --jobs/--shards\n"
+               "  --health-p99-ms MS\n"
+               "               p99 connection-lifetime SLO for incident\n"
+               "               detection (default 100)\n"
+               "  --health-goodput-frac F\n"
+               "               goodput-collapse fraction of the warmup baseline\n"
+               "               (default 0.35)\n",
                argv0);
   std::exit(2);
 }
@@ -89,6 +99,18 @@ int ParseShards(const char* argv0, const char* value) {
 
 int ParseClients(const char* argv0, const char* value) {
   return ParseCount(argv0, "--clients", value, 16'000'000);
+}
+
+// Same strictness as ParseCount for the health-rule thresholds:
+// `--health-p99-ms fast` must be an error, not a silent 0.
+double ParsePositiveDouble(const char* argv0, const char* flag, const char* value) {
+  char* end = nullptr;
+  double v = std::strtod(value, &end);
+  if (end == value || *end != '\0' || !std::isfinite(v) || v <= 0.0) {
+    std::fprintf(stderr, "%s expects a positive number, got '%s'\n", flag, value);
+    UsageAndExit(argv0, nullptr);
+  }
+  return v;
 }
 
 void AppendEscaped(std::string* out, const std::string& s) {
@@ -214,6 +236,20 @@ SweepOptions ParseSweepArgs(int argc, char** argv) {
       opts.trace_path = argv[++i];
     } else if (std::strncmp(a, "--trace=", 8) == 0) {
       opts.trace_path = a + 8;
+    } else if (std::strcmp(a, "--metrics") == 0 && i + 1 < argc) {
+      opts.metrics_path = argv[++i];
+    } else if (std::strncmp(a, "--metrics=", 10) == 0) {
+      opts.metrics_path = a + 10;
+    } else if (std::strcmp(a, "--health-p99-ms") == 0 && i + 1 < argc) {
+      opts.health_p99_ms = ParsePositiveDouble(argv[0], "--health-p99-ms", argv[++i]);
+    } else if (std::strncmp(a, "--health-p99-ms=", 16) == 0) {
+      opts.health_p99_ms = ParsePositiveDouble(argv[0], "--health-p99-ms", a + 16);
+    } else if (std::strcmp(a, "--health-goodput-frac") == 0 && i + 1 < argc) {
+      opts.health_goodput_frac =
+          ParsePositiveDouble(argv[0], "--health-goodput-frac", argv[++i]);
+    } else if (std::strncmp(a, "--health-goodput-frac=", 22) == 0) {
+      opts.health_goodput_frac =
+          ParsePositiveDouble(argv[0], "--health-goodput-frac", a + 22);
     } else {
       UsageAndExit(argv[0], a);
     }
@@ -310,6 +346,13 @@ void Sweep::Run(const SweepOptions& opts) {
     // Record the exact actor→shard map the testbed will use, so any run is
     // reproducible from its JSON spec alone.
     cell.spec.placement_map = ComputePlacement(cell.spec);
+    // Health-rule overrides (--health-p99-ms / --health-goodput-frac).
+    if (opts.health_p99_ms > 0.0) {
+      cell.spec.health.p99_latency_us = static_cast<uint64_t>(opts.health_p99_ms * 1000.0);
+    }
+    if (opts.health_goodput_frac > 0.0) {
+      cell.spec.health.goodput_collapse_frac = opts.health_goodput_frac;
+    }
   }
   // Tracing: each cell gets its own sink (cells run concurrently), and the
   // per-cell buffers are merged in grid order afterwards — one trace
@@ -324,6 +367,21 @@ void Sweep::Run(const SweepOptions& opts) {
       tracers[i] = std::make_unique<Tracer>(tc);
       cells_[i].spec.trace = tc;
       cells_[i].spec.tracer = tracers[i].get();
+    }
+  }
+  // Metrics: same shape as tracing — each cell gets its own registry
+  // (cells run concurrently), and the per-cell fragments are merged in
+  // grid order afterwards, so the document is byte-identical at any
+  // --jobs (and, by the registry's contract, any --shards).
+  std::vector<std::unique_ptr<MetricsRegistry>> registries;
+  if (!opts.metrics_path.empty()) {
+    registries.resize(cells_.size());
+    for (size_t i = 0; i < cells_.size(); ++i) {
+      MetricsConfig mc;
+      mc.path = opts.metrics_path;
+      registries[i] = std::make_unique<MetricsRegistry>(mc);
+      cells_[i].spec.metrics = mc;
+      cells_[i].spec.metrics_registry = registries[i].get();
     }
   }
   results_.assign(cells_.size(), CellResult());
@@ -359,6 +417,17 @@ void Sweep::Run(const SweepOptions& opts) {
     }
     if (!Tracer::WriteFile(opts.trace_path, Tracer::WrapDocument(fragments))) {
       Die("cannot write trace output to " + opts.trace_path);
+    }
+  }
+  if (!opts.metrics_path.empty()) {
+    std::vector<std::string> fragments;
+    fragments.reserve(registries.size());
+    for (size_t i = 0; i < registries.size(); ++i) {
+      fragments.push_back(registries[i]->SerializeCell(cells_[i].id));
+    }
+    if (!MetricsRegistry::WriteFile(opts.metrics_path,
+                                    MetricsRegistry::WrapDocument(fragments))) {
+      Die("cannot write metrics output to " + opts.metrics_path);
     }
   }
   if (!opts.json_path.empty() && !WriteJson(opts.json_path)) {
@@ -411,7 +480,7 @@ std::string Sweep::ToJson() const {
   out.reserve(4096 + 1024 * cells_.size());
   out += "{\n  ";
   AppendKey(&out, "schema_version");
-  out += "5,\n  ";
+  out += "6,\n  ";
   AppendKey(&out, "bench");
   AppendEscaped(&out, name_);
   out += ",\n  ";
@@ -739,6 +808,56 @@ std::string Sweep::ToJson() const {
     AppendKey(&out, "decision_digest");
     AppendUint(&out, det.decision_digest);
     out += "},\n     ";
+    // HealthMonitor incident forensics (schema v6): the onset →
+    // detection → containment → recovery timeline with derived TTD/TTR.
+    // Fully deterministic (stream-0 sampling at fixed sim times) and NOT
+    // exempt from --expect-equal: incident records must be byte-identical
+    // at any --jobs/--shards.
+    AppendKey(&out, "incidents");
+    out += "{";
+    AppendKey(&out, "count");
+    AppendUint(&out, static_cast<uint64_t>(e.incidents.size()));
+    out += ", ";
+    AppendKey(&out, "records");
+    out += "[";
+    for (size_t n = 0; n < e.incidents.size(); ++n) {
+      const IncidentRecord& inc = e.incidents[n];
+      if (n != 0) {
+        out += ", ";
+      }
+      out += "{";
+      AppendKey(&out, "trigger");
+      AppendEscaped(&out, inc.trigger);
+      out += ", ";
+      AppendKey(&out, "onset_ms");
+      AppendDouble(&out, MillisFromCycles(inc.onset));
+      out += ", ";
+      AppendKey(&out, "detected_ms");
+      AppendDouble(&out, inc.detected != 0 ? MillisFromCycles(inc.detected) : -1.0);
+      out += ", ";
+      AppendKey(&out, "contained_ms");
+      AppendDouble(&out, inc.contained != 0 ? MillisFromCycles(inc.contained) : -1.0);
+      out += ", ";
+      AppendKey(&out, "recovered_ms");
+      AppendDouble(&out, inc.recovered != 0 ? MillisFromCycles(inc.recovered) : -1.0);
+      out += ", ";
+      AppendKey(&out, "ttd_ms");
+      AppendDouble(&out, inc.ttd_ms());
+      out += ", ";
+      AppendKey(&out, "ttr_ms");
+      AppendDouble(&out, inc.ttr_ms());
+      out += ", ";
+      AppendKey(&out, "pressure_breaches");
+      AppendUint(&out, inc.pressure_breaches);
+      out += ", ";
+      AppendKey(&out, "detection_signals");
+      AppendUint(&out, inc.detection_signals);
+      out += ", ";
+      AppendKey(&out, "containment_actions");
+      AppendUint(&out, inc.containment_actions);
+      out += "}";
+    }
+    out += "]},\n     ";
     AppendKey(&out, "extra");
     out += "{";
     first = true;

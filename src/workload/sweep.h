@@ -46,6 +46,15 @@
 //                (one process per cell, merged in grid order; byte-
 //                identical across --jobs and --shards). Flight-recorder
 //                dumps land next to it as PATH.<cell>.flight.json.
+//   --metrics PATH
+//                deterministic metrics JSON of every cell (src/sim/
+//                metrics.h: counters, gauges, log2 histograms, sim-time
+//                series; merged in grid order, byte-identical across
+//                --jobs and --shards — the same contract as --trace).
+//   --health-p99-ms MS / --health-goodput-frac F
+//                HealthMonitor SLO overrides (src/server/health.h): the
+//                p99 connection-lifetime threshold and the goodput-
+//                collapse fraction of the warmup baseline.
 //   --quick      the bench's reduced grid
 
 #ifndef SRC_WORKLOAD_SWEEP_H_
@@ -102,14 +111,19 @@ struct SweepOptions {
   // "" keeps each spec's own detection mode; else "off", "sprt", or
   // "baseline" (--detect).
   std::string detect;
-  std::string json_path;   // empty: no JSON emitted
-  std::string trace_path;  // empty: no trace emitted
+  std::string json_path;    // empty: no JSON emitted
+  std::string trace_path;   // empty: no trace emitted
+  std::string metrics_path; // empty: no standalone metrics document
+  // <= 0: keep the HealthConfig defaults (src/server/health.h).
+  double health_p99_ms = 0.0;
+  double health_goodput_frac = 0.0;
   bool quick = false;
 };
 
 // Parses the common bench flags (--jobs N, --shards N, --clients N,
 // --adaptive-lookahead, --timer-wheel / --no-timer-wheel,
-// --placement MODE, --detect MODE, --json PATH, --trace PATH, --quick).
+// --placement MODE, --detect MODE, --json PATH, --trace PATH,
+// --metrics PATH, --health-p99-ms MS, --health-goodput-frac F, --quick).
 // Prints usage and exits with status 2 on an unknown argument.
 SweepOptions ParseSweepArgs(int argc, char** argv);
 
@@ -144,7 +158,7 @@ class Sweep {
   const std::vector<CellResult>& results() const { return results_; }
   int failed_count() const;
 
-  // JSON serialization of the whole sweep (schema_version 5; the schema
+  // JSON serialization of the whole sweep (schema_version 6; the schema
   // is pinned by tests/test_bench_json.cc and tools/check_bench_json.py).
   std::string ToJson() const;
   bool WriteJson(const std::string& path) const;

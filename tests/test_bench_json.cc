@@ -233,7 +233,8 @@ class JsonParser {
 const std::vector<std::string> kTopKeys = {"schema_version", "bench", "jobs", "cells"};
 const std::vector<std::string> kCellKeys = {
     "id",   "ok",      "error",  "tags",              "spec",
-    "metrics", "ledger", "shard_utilization", "perf", "memory", "detection", "extra"};
+    "metrics", "ledger", "shard_utilization", "perf", "memory", "detection",
+    "incidents", "extra"};
 const std::vector<std::string> kSpecKeys = {
     "linux_server", "config",        "clients",  "doc",      "qos_stream",
     "syn_attack_rate", "cgi_attackers", "shards", "adaptive_lookahead",
@@ -259,6 +260,11 @@ const std::vector<std::string> kMemoryKeys = {
 const std::vector<std::string> kDetectionKeys = {
     "detections",     "true_positives", "false_positives", "paths_killed_by_detector",
     "blacklist_size", "first_detection_ms", "decision_digest"};
+const std::vector<std::string> kIncidentsKeys = {"count", "records"};
+const std::vector<std::string> kIncidentRecordKeys = {
+    "trigger", "onset_ms", "detected_ms", "contained_ms", "recovered_ms",
+    "ttd_ms",  "ttr_ms",   "pressure_breaches", "detection_signals",
+    "containment_actions"};
 
 void ExpectExactKeys(const JsonValue& obj, const std::vector<std::string>& keys,
                      const std::string& what) {
@@ -306,7 +312,7 @@ TEST(BenchJson, SchemaIsPinned) {
   ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
 
   ExpectExactKeys(root, kTopKeys, "top-level");
-  EXPECT_EQ(root.At("schema_version").number, 5.0);
+  EXPECT_EQ(root.At("schema_version").number, 6.0);
   EXPECT_EQ(root.At("bench").str, "json_schema_probe");
   EXPECT_EQ(root.At("jobs").number, 2.0);
 
@@ -326,6 +332,19 @@ TEST(BenchJson, SchemaIsPinned) {
     // Detection stays off unless a cell's spec opts in.
     EXPECT_EQ(cell.At("spec").At("detect").str, "off");
     EXPECT_EQ(cell.At("detection").At("detections").number, 0.0);
+    // Incidents (schema v6): count mirrors the record array, and a benign
+    // probe cell reports none.
+    ExpectExactKeys(cell.At("incidents"), kIncidentsKeys,
+                    "incidents of " + cell.At("id").str);
+    const JsonValue& inc = cell.At("incidents");
+    ASSERT_EQ(inc.At("records").kind, JsonValue::Kind::kArray);
+    EXPECT_EQ(inc.At("count").number,
+              static_cast<double>(inc.At("records").array.size()));
+    EXPECT_EQ(inc.At("count").number, 0.0);
+    for (const JsonValue& rec : inc.At("records").array) {
+      ExpectExactKeys(rec, kIncidentRecordKeys,
+                      "incident record of " + cell.At("id").str);
+    }
   }
 
   // Grid order is preserved in the JSON.

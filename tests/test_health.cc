@@ -1,0 +1,252 @@
+// HealthMonitor incident state machine: rule evaluation, pressure
+// persistence, immediate opens on detection signals, the recovery
+// clean-streak, baseline arming, and the end-to-end property that attack
+// experiments produce exactly one incident with finite TTD/TTR while
+// benign experiments produce none.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/server/health.h"
+#include "src/sim/metrics.h"
+#include "src/workload/experiment.h"
+
+namespace escort {
+namespace {
+
+constexpr Cycles kTick = CyclesFromMillis(5.0);
+
+// Drives the monitor directly through a hand-held registry: tests pick
+// exactly which metrics exist and how they move between samples.
+struct Harness {
+  MetricsRegistry registry;
+  HealthConfig config;
+
+  Harness() {
+    // Keep the default rule set small and fully controllable.
+    config.memory_page_frac = 0.0;  // no memory rule without total_pages
+  }
+};
+
+TEST(HealthMonitorTest, DetectionSignalOpensImmediatelyWithZeroTtd) {
+  Harness h;
+  HealthMonitor mon(&h.registry, h.config);
+  MetricCounter* drops =
+      ESCORT_METRIC_COUNTER(&h.registry, "tcp.syns_dropped", "t");
+
+  mon.Sample(kTick);  // primes the delta baselines; no incident
+  EXPECT_TRUE(mon.incidents().empty());
+
+  drops->Add(3);
+  mon.Sample(2 * kTick);
+  ASSERT_EQ(mon.incidents().size(), 1u);
+  const IncidentRecord& rec = mon.incidents()[0];
+  // tcp.syns_dropped is both a detection rule (syn-budget) and a
+  // containment rule (syn-drop): one sample stamps onset, detected and
+  // contained all at once — TTD is legitimately zero.
+  EXPECT_EQ(rec.trigger, "syn-budget");
+  EXPECT_EQ(rec.onset, 2 * kTick);
+  EXPECT_EQ(rec.detected, 2 * kTick);
+  EXPECT_EQ(rec.contained, 2 * kTick);
+  EXPECT_EQ(rec.ttd_ms(), 0.0);
+  EXPECT_EQ(rec.detection_signals, 3u);
+  EXPECT_EQ(rec.containment_actions, 3u);
+  EXPECT_TRUE(mon.incident_open());
+}
+
+TEST(HealthMonitorTest, PressureNeedsPersistenceConsecutiveBreaches) {
+  Harness h;
+  HealthMonitor mon(&h.registry, h.config);
+  MetricGauge* backlog = ESCORT_METRIC_GAUGE(&h.registry, "tcp.half_open", "t");
+
+  // half-open-backlog has persistence 3: two breached samples, one clean
+  // sample, then two more breaches must NOT open an incident.
+  backlog->Set(h.config.half_open_high_water + 1);
+  mon.Sample(1 * kTick);
+  mon.Sample(2 * kTick);
+  backlog->Set(0);
+  mon.Sample(3 * kTick);  // streak resets
+  backlog->Set(h.config.half_open_high_water + 1);
+  mon.Sample(4 * kTick);
+  mon.Sample(5 * kTick);
+  EXPECT_TRUE(mon.incidents().empty());
+
+  // The third consecutive breach opens it.
+  mon.Sample(6 * kTick);
+  ASSERT_EQ(mon.incidents().size(), 1u);
+  EXPECT_EQ(mon.incidents()[0].trigger, "half-open-backlog");
+  EXPECT_EQ(mon.incidents()[0].onset, 6 * kTick);
+  // Pressure alone never stamps detection: TTD is the -1 sentinel.
+  EXPECT_EQ(mon.incidents()[0].ttd_ms(), -1.0);
+}
+
+TEST(HealthMonitorTest, RecoveryAfterCleanSamplesPostContainment) {
+  Harness h;
+  h.config.recovery_clean_samples = 4;
+  HealthMonitor mon(&h.registry, h.config);
+  MetricCounter* drops =
+      ESCORT_METRIC_COUNTER(&h.registry, "tcp.syns_dropped", "t");
+  MetricGauge* backlog = ESCORT_METRIC_GAUGE(&h.registry, "tcp.half_open", "t");
+
+  mon.Sample(kTick);
+  drops->Add(1);
+  backlog->Set(h.config.half_open_high_water + 1);  // pressure during attack
+  mon.Sample(2 * kTick);
+  ASSERT_EQ(mon.incidents().size(), 1u);
+
+  // Pressure still breaching: the clean streak cannot start.
+  mon.Sample(3 * kTick);
+  EXPECT_EQ(mon.incidents()[0].recovered, 0u);
+
+  // Pressure clears; recovery needs 4 clean ticks after containment.
+  backlog->Set(0);
+  mon.Sample(4 * kTick);
+  mon.Sample(5 * kTick);
+  mon.Sample(6 * kTick);
+  EXPECT_EQ(mon.incidents()[0].recovered, 0u);
+  mon.Sample(7 * kTick);
+  EXPECT_EQ(mon.incidents()[0].recovered, 7 * kTick);
+  EXPECT_GT(mon.incidents()[0].ttr_ms(), 0.0);
+
+  // One incident per run: later signals accumulate, never reopen.
+  drops->Add(5);
+  mon.Sample(8 * kTick);
+  EXPECT_EQ(mon.incidents().size(), 1u);
+  EXPECT_EQ(mon.incidents()[0].detection_signals, 1u + 5u);
+}
+
+TEST(HealthMonitorTest, GoodputRuleDisarmedWithoutBaseline) {
+  Harness h;
+  HealthMonitor mon(&h.registry, h.config);
+  ESCORT_METRIC_COUNTER(&h.registry, "tcp.conns_completed", "t");
+
+  // Never OpenWindow'd: a flat completion counter (rate 0, far below any
+  // baseline fraction) must not breach.
+  for (Cycles t = kTick; t <= 40 * kTick; t += kTick) mon.Sample(t);
+  EXPECT_TRUE(mon.incidents().empty());
+  EXPECT_EQ(mon.baseline_rate(), 0.0);
+}
+
+TEST(HealthMonitorTest, OpenWindowArmsBaselineAboveMinimumRate) {
+  Harness h;
+  HealthMonitor mon(&h.registry, h.config);
+  MetricCounter* done =
+      ESCORT_METRIC_COUNTER(&h.registry, "tcp.conns_completed", "t");
+
+  // 100 completions over 0.1 s of warmup = 1000 conns/s baseline.
+  done->Add(100);
+  mon.OpenWindow(CyclesFromSeconds(0.1));
+  EXPECT_DOUBLE_EQ(mon.baseline_rate(), 1000.0);
+
+  // Below min_baseline_rate the rule stays disarmed.
+  Harness h2;
+  HealthMonitor idle(&h2.registry, h2.config);
+  MetricCounter* few =
+      ESCORT_METRIC_COUNTER(&h2.registry, "tcp.conns_completed", "t");
+  few->Add(1);  // 10 conns/s < min_baseline_rate? no: 1/0.1s = 10 > 5
+  idle.OpenWindow(CyclesFromSeconds(10.0));  // 0.1 conns/s < 5
+  EXPECT_EQ(idle.baseline_rate(), 0.0);
+}
+
+TEST(HealthMonitorTest, GoodputCollapseOpensAfterPersistence) {
+  Harness h;
+  h.config.goodput_trailing_samples = 4;
+  h.config.goodput_persistence = 2;
+  HealthMonitor mon(&h.registry, h.config);
+  MetricCounter* done =
+      ESCORT_METRIC_COUNTER(&h.registry, "tcp.conns_completed", "t");
+
+  done->Add(100);
+  mon.OpenWindow(CyclesFromSeconds(0.1));  // 1000 conns/s baseline
+  ASSERT_GT(mon.baseline_rate(), 0.0);
+
+  // Healthy window first: ~1000 conns/s (5 per 5 ms tick) fills the ring.
+  Cycles t = CyclesFromSeconds(0.1);
+  for (int i = 0; i < 8; ++i) {
+    t += kTick;
+    done->Add(5);
+    mon.Sample(t);
+  }
+  EXPECT_TRUE(mon.incidents().empty());
+
+  // Collapse: the counter stops. The trailing rate needs 4 ticks to flush
+  // the healthy samples, then 2 persistent breaches open the incident.
+  int samples_to_open = 0;
+  while (mon.incidents().empty() && samples_to_open < 20) {
+    t += kTick;
+    mon.Sample(t);
+    ++samples_to_open;
+  }
+  ASSERT_EQ(mon.incidents().size(), 1u);
+  EXPECT_EQ(mon.incidents()[0].trigger, "goodput-collapse");
+  EXPECT_GE(samples_to_open, 2);  // persistence floor
+}
+
+TEST(HealthMonitorTest, CustomRuleParticipates) {
+  Harness h;
+  HealthMonitor mon(&h.registry, h.config);
+  MetricGauge* depth = ESCORT_METRIC_GAUGE(&h.registry, "custom.depth", "t");
+  HealthRule rule;
+  rule.name = "custom-depth";
+  rule.role = RuleRole::kDetection;
+  rule.kind = RuleKind::kGaugeAbove;
+  rule.metric = "custom.depth";
+  rule.threshold = 10.0;
+  mon.AddRule(rule);
+
+  depth->Set(11);
+  mon.Sample(kTick);
+  ASSERT_EQ(mon.incidents().size(), 1u);
+  EXPECT_EQ(mon.incidents()[0].trigger, "custom-depth");
+}
+
+// --- end-to-end through RunExperiment ------------------------------------
+
+ExperimentSpec BaseSpec() {
+  ExperimentSpec spec;
+  spec.config = ServerConfig::kAccountingPd;
+  spec.clients = 4;
+  spec.doc = "/doc1k";
+  spec.warmup_s = 0.05;
+  spec.window_s = 0.2;
+  return spec;
+}
+
+TEST(HealthIncidentE2ETest, SynAttackYieldsOneIncidentWithFiniteTtdTtr) {
+  ExperimentSpec spec = BaseSpec();
+  spec.syn_attack_rate = 800.0;
+  const ExperimentResult r = RunExperiment(spec);
+  ASSERT_EQ(r.incidents.size(), 1u);
+  const IncidentRecord& rec = r.incidents[0];
+  EXPECT_EQ(rec.trigger, "syn-budget");
+  EXPECT_GE(rec.ttd_ms(), 0.0);
+  EXPECT_GT(rec.ttr_ms(), 0.0);
+  EXPECT_GT(rec.detection_signals, 0u);
+  EXPECT_GT(rec.containment_actions, 0u);
+}
+
+TEST(HealthIncidentE2ETest, CgiAttackYieldsRunawayKillIncident) {
+  ExperimentSpec spec = BaseSpec();
+  spec.cgi_attackers = 2;
+  const ExperimentResult r = RunExperiment(spec);
+  ASSERT_GE(r.incidents.size(), 1u);
+  const IncidentRecord& rec = r.incidents[0];
+  EXPECT_EQ(rec.trigger, "runaway-kill");
+  EXPECT_GE(rec.ttd_ms(), 0.0);
+  EXPECT_GT(rec.ttr_ms(), 0.0);
+}
+
+TEST(HealthIncidentE2ETest, BenignRunYieldsNoIncidents) {
+  for (int clients : {4, 64}) {
+    ExperimentSpec spec = BaseSpec();
+    spec.clients = clients;
+    const ExperimentResult r = RunExperiment(spec);
+    EXPECT_TRUE(r.incidents.empty())
+        << "clients=" << clients << " trigger="
+        << (r.incidents.empty() ? "" : r.incidents[0].trigger);
+  }
+}
+
+}  // namespace
+}  // namespace escort

@@ -8,11 +8,16 @@ tests/test_bench_json.cc pins at the C++ level, but from the outside —
 CI's bench smoke job runs it against freshly produced output.
 
 Checks per file:
-  * parses as JSON, schema_version == 5
+  * parses as JSON, schema_version in {4, 5, 6} (4/5: committed snapshots
+    from earlier PRs; 5 added `detection`, 6 adds the per-cell
+    `incidents` block — key sets are enforced per version)
   * top-level keys exactly {schema_version, bench, jobs, cells}
   * every cell carries exactly {id, ok, error, tags, spec, metrics,
-    ledger, shard_utilization, perf, memory, detection, extra} with the
-    pinned spec/metric/shard_utilization/perf/memory/detection key sets
+    ledger, shard_utilization, perf, memory, detection, [incidents,]
+    extra} with the pinned spec/metric/shard_utilization/perf/memory/
+    detection/incidents key sets
+  * v6: incidents.count == len(records); each record has finite
+    onset_ms >= 0 and ttd_ms/ttr_ms either -1 (unreached) or >= 0
   * cell ids are unique and non-empty; jobs >= 1
   * ok:true cells have empty error; ok:false cells have a message
   * all metric and detection values are finite numbers (detection also
@@ -49,14 +54,18 @@ import math
 import sys
 
 TOP_KEYS = {"schema_version", "bench", "jobs", "cells"}
+SCHEMA_VERSIONS = (4, 5, 6)
 CELL_KEYS = {"id", "ok", "error", "tags", "spec", "metrics", "ledger",
              "shard_utilization", "perf", "memory", "detection", "extra"}
+CELL_KEYS_V4 = CELL_KEYS - {"detection"}
+CELL_KEYS_V6 = CELL_KEYS | {"incidents"}
 SPEC_KEYS = {
     "linux_server", "config", "clients", "doc", "qos_stream",
     "syn_attack_rate", "cgi_attackers", "shards", "adaptive_lookahead",
     "timer_wheel", "placement", "placement_map", "warmup_s", "window_s",
     "detect",
 }
+SPEC_KEYS_V4 = SPEC_KEYS - {"detect"}
 METRIC_KEYS = {
     "conns_per_sec", "qos_bytes_per_sec", "completions_total", "client_failures",
     "paths_killed", "syns_dropped_at_demux", "syns_sent", "runaway_detections",
@@ -82,6 +91,12 @@ DETECTION_KEYS = {
     "decision_digest",
 }
 DETECT_MODES = ("off", "sprt", "baseline")
+INCIDENTS_KEYS = {"count", "records"}
+INCIDENT_RECORD_KEYS = {
+    "trigger", "onset_ms", "detected_ms", "contained_ms", "recovered_ms",
+    "ttd_ms", "ttr_ms", "pressure_breaches", "detection_signals",
+    "containment_actions",
+}
 
 # The shared determinism-exempt lists: --expect-equal strips exactly these.
 # Keep in sync with the serializer comments in src/workload/sweep.cc —
@@ -118,8 +133,10 @@ def check_file(path: str, require_ok: bool) -> list:
     if not isinstance(root, dict):
         return [f"{path}: top level is not an object"]
     expect_keys(errors, root, TOP_KEYS, f"{path}: top level")
-    if root.get("schema_version") != 5:
-        errors.append(f"{path}: schema_version is {root.get('schema_version')!r}, expected 5")
+    schema = root.get("schema_version")
+    if schema not in SCHEMA_VERSIONS:
+        errors.append(f"{path}: schema_version is {schema!r}, "
+                      f"expected one of {SCHEMA_VERSIONS}")
     if not isinstance(root.get("bench"), str) or not root.get("bench"):
         errors.append(f"{path}: 'bench' must be a non-empty string")
     jobs = root.get("jobs")
@@ -137,7 +154,9 @@ def check_file(path: str, require_ok: bool) -> list:
         if not isinstance(cell, dict):
             errors.append(f"{what}: not an object")
             continue
-        expect_keys(errors, cell, CELL_KEYS, what)
+        cell_keys = (CELL_KEYS_V6 if schema == 6
+                     else CELL_KEYS if schema == 5 else CELL_KEYS_V4)
+        expect_keys(errors, cell, cell_keys, what)
         cid = cell.get("id")
         if not isinstance(cid, str) or not cid:
             errors.append(f"{what}: 'id' must be a non-empty string")
@@ -158,26 +177,67 @@ def check_file(path: str, require_ok: bool) -> list:
             if require_ok:
                 errors.append(f"{what}: cell failed ({err!r}) and --require-ok is set")
 
-        for sub, want in (("spec", SPEC_KEYS), ("metrics", METRIC_KEYS),
+        spec_keys = SPEC_KEYS if schema != 4 else SPEC_KEYS_V4
+        for sub, want in (("spec", spec_keys), ("metrics", METRIC_KEYS),
                           ("perf", PERF_KEYS), ("memory", MEMORY_KEYS)):
             obj = cell.get(sub)
             if not isinstance(obj, dict):
                 errors.append(f"{what}: '{sub}' must be an object")
                 continue
             expect_keys(errors, obj, want, f"{what}.{sub}")
-        detection = cell.get("detection")
-        if not isinstance(detection, dict):
-            errors.append(f"{what}: 'detection' must be an object")
-        else:
-            expect_keys(errors, detection, DETECTION_KEYS, f"{what}.detection")
-            for key, value in detection.items():
-                if not isinstance(value, (int, float)) or isinstance(value, bool) \
-                        or not math.isfinite(value) or value < 0:
-                    errors.append(f"{what}.detection.{key}: not a finite "
-                                  f"non-negative number: {value!r}")
+        if schema != 4:
+            detection = cell.get("detection")
+            if not isinstance(detection, dict):
+                errors.append(f"{what}: 'detection' must be an object")
+            else:
+                expect_keys(errors, detection, DETECTION_KEYS, f"{what}.detection")
+                for key, value in detection.items():
+                    if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                            or not math.isfinite(value) or value < 0:
+                        errors.append(f"{what}.detection.{key}: not a finite "
+                                      f"non-negative number: {value!r}")
+        if schema == 6:
+            incidents = cell.get("incidents")
+            if not isinstance(incidents, dict):
+                errors.append(f"{what}: 'incidents' must be an object (schema v6)")
+            else:
+                expect_keys(errors, incidents, INCIDENTS_KEYS, f"{what}.incidents")
+                records = incidents.get("records")
+                if not isinstance(records, list):
+                    errors.append(f"{what}.incidents.records: not an array")
+                else:
+                    if incidents.get("count") != len(records):
+                        errors.append(
+                            f"{what}.incidents: count={incidents.get('count')!r} "
+                            f"but records has {len(records)} entries")
+                    for j, rec in enumerate(records):
+                        rwhat = f"{what}.incidents.records[{j}]"
+                        if not isinstance(rec, dict):
+                            errors.append(f"{rwhat}: not an object")
+                            continue
+                        expect_keys(errors, rec, INCIDENT_RECORD_KEYS, rwhat)
+                        if not isinstance(rec.get("trigger"), str) or not rec.get("trigger"):
+                            errors.append(f"{rwhat}.trigger: must be a non-empty string")
+                        for key in ("onset_ms", "detected_ms", "contained_ms",
+                                    "recovered_ms", "ttd_ms", "ttr_ms"):
+                            v = rec.get(key)
+                            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                                    or not math.isfinite(v):
+                                errors.append(f"{rwhat}.{key}: not a finite number: {v!r}")
+                            elif key == "onset_ms" and v < 0:
+                                errors.append(f"{rwhat}.onset_ms: negative: {v!r}")
+                            elif v < 0 and v != -1.0:
+                                errors.append(f"{rwhat}.{key}: {v!r} is neither >= 0 "
+                                              "nor the -1 unreached sentinel")
+                        for key in ("pressure_breaches", "detection_signals",
+                                    "containment_actions"):
+                            v = rec.get(key)
+                            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                                errors.append(f"{rwhat}.{key}: not a non-negative "
+                                              f"integer: {v!r}")
         spec = cell.get("spec")
         if isinstance(spec, dict):
-            if spec.get("detect") not in DETECT_MODES:
+            if schema != 4 and spec.get("detect") not in DETECT_MODES:
                 errors.append(f"{what}.spec.detect: {spec.get('detect')!r} "
                               f"not one of {DETECT_MODES}")
             if spec.get("placement") not in PLACEMENT_MODES:

@@ -19,8 +19,18 @@ Checks per file:
     and every track ends at depth 0 (Tracer::Finalize guarantees this)
   * C events carry a non-empty numeric args series
 
+Flight-recorder dumps: when the HealthMonitor opens an incident it asks
+the tracer to dump its in-memory ring to PATH.flight.json (standalone
+runs) or PATH.<cell>.flight.json (sweeps). Those documents carry a
+top-level `flight` object ({reason, ts, depth}) and are *partial* by
+construction — the ring may begin mid-span — so the span-balance checks
+relax but the per-track monotonicity checks still apply. This script
+discovers the dumps next to each FILE argument automatically and
+validates them with the same machinery (plus the flight-header schema).
+
 Usage:
   check_trace_json.py FILE [FILE...]
+  check_trace_json.py --no-flight FILE...  # skip sibling dump discovery
   check_trace_json.py --expect-equal A B   # byte-for-byte determinism diff
 
 Exit status: 0 all files valid, 1 validation failure, 2 usage/IO error.
@@ -30,12 +40,50 @@ Stdlib only — no dependencies.
 from __future__ import annotations
 
 import argparse
+import glob
 import json
 import sys
 
 TOP_KEYS = {"traceEvents", "displayTimeUnit", "otherData"}
+FLIGHT_KEYS = {"reason", "ts", "depth"}
 PHASES = {"B", "E", "I", "C", "M"}
 MAX_ERRORS_PER_FILE = 20
+
+
+def check_flight_header(path: str, flight, err) -> None:
+    """Schema of the `flight` object Tracer::DumpFlight writes."""
+    if not isinstance(flight, dict):
+        err(f"{path}: 'flight' must be an object, got {type(flight).__name__}")
+        return
+    extra = flight.keys() - FLIGHT_KEYS
+    missing = FLIGHT_KEYS - flight.keys()
+    if missing:
+        err(f"{path}: flight header missing keys {sorted(missing)}")
+    if extra:
+        err(f"{path}: flight header has unexpected keys {sorted(extra)}")
+    reason = flight.get("reason")
+    if "reason" in flight and (not isinstance(reason, str) or not reason):
+        err(f"{path}: flight.reason must be a non-empty string, got {reason!r}")
+    for key in ("ts", "depth"):
+        v = flight.get(key)
+        if key in flight and (not isinstance(v, int) or isinstance(v, bool)
+                              or v < 0):
+            err(f"{path}: flight.{key} must be a non-negative integer, "
+                f"got {v!r}")
+
+
+def find_flight_dumps(path: str) -> list:
+    """Sibling flight-recorder dumps for a trace at `path`.
+
+    Standalone runs write PATH.flight.json; sweeps write one
+    PATH.<cell-id>.flight.json per cell (src/sim/trace.cc
+    ResolvedFlightPath / sweep.cc per-cell flight paths).
+    """
+    if path.endswith(".flight.json"):
+        return []  # already a dump; don't recurse
+    found = set(glob.glob(glob.escape(path) + ".flight.json"))
+    found.update(glob.glob(glob.escape(path) + ".*.flight.json"))
+    return sorted(found)
 
 
 def check_file(path: str) -> list:
@@ -69,7 +117,11 @@ def check_file(path: str) -> list:
     # Per-(pid,tid) state for the monotonicity and span-balance checks.
     last_ts: dict = {}
     depth: dict = {}
-    flight = isinstance(root.get("flight"), dict)  # flight dumps are partial
+    flight = "flight" in root  # flight dumps are partial
+    if flight:
+        check_flight_header(path, root.get("flight"), err)
+    elif path.endswith(".flight.json"):
+        err(f"{path}: named like a flight dump but has no 'flight' header")
     for i, ev in enumerate(events):
         what = f"{path}: traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -148,6 +200,9 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("files", nargs="+", help="trace .json files to validate")
+    parser.add_argument("--no-flight", action="store_true",
+                        help="do not discover and validate sibling "
+                             "PATH[.<cell>].flight.json flight-recorder dumps")
     parser.add_argument("--expect-equal", action="store_true",
                         help="take exactly two files and require them to be "
                              "byte-identical (cross-shard determinism check)")
@@ -165,8 +220,14 @@ def main() -> int:
         print(f"{args.files[0]} == {args.files[1]} (byte-identical)")
         return 0
 
-    failures = 0
+    paths = []
     for path in args.files:
+        paths.append(path)
+        if not args.no_flight:
+            paths.extend(find_flight_dumps(path))
+
+    failures = 0
+    for path in paths:
         errors = check_file(path)
         if errors:
             failures += 1
@@ -174,8 +235,10 @@ def main() -> int:
                 print(e, file=sys.stderr)
         else:
             with open(path, encoding="utf-8") as f:
-                n = len(json.load(f)["traceEvents"])
-            print(f"{path}: valid ({n} events)")
+                root = json.load(f)
+            n = len(root["traceEvents"])
+            kind = "flight dump" if "flight" in root else "trace"
+            print(f"{path}: valid {kind} ({n} events)")
     return 1 if failures else 0
 
 

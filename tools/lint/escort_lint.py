@@ -79,6 +79,13 @@ so this tool checks them statically:
          module itself (src/server/detect.*) must use ordered
          containers throughout. Derive float views (mean, sigma) at
          compare time from the integer moments instead.
+  EL015  metric registration goes through the ESCORT_METRIC_* macros
+         (src/sim/metrics.h): no direct MetricsRegistry::Register*
+         calls in src/ outside the metrics module itself. The macros
+         keep every instrumentation site greppable under one prefix
+         and preserve the null-registry (metrics disabled) idiom the
+         MetricAdd/MetricSet/MetricObserve helpers rely on. Tests and
+         benches exercise the registry directly and are exempt.
 
 Usage:
   escort_lint.py [--root DIR] [--self-test] [-q]
@@ -569,6 +576,31 @@ def check_detect_accumulators(relpath: str, raw: str, code: str, violations: lis
                                         "std::map/std::set"))
 
 
+METRIC_REGISTER = re.compile(
+    r"\bRegister(?:Counter|Gauge|Histogram|ShardedSeries)\s*\(")
+# The metrics module declares/defines Register* and the macros that wrap
+# them; everything else in src/ must call through the macros.
+METRICS_ALLOWLIST = ("src/sim/metrics.h", "src/sim/metrics.cc")
+
+
+def check_metric_registration(relpath: str, code: str, violations: list) -> None:
+    """EL015 — metric registration goes through the ESCORT_METRIC_* macros.
+
+    A direct Register* call site is invisible to a grep for
+    ESCORT_METRIC_ and tends to skip the null-registry guard (metrics
+    are optional; raw pointers are null when collection is off). Macro
+    call sites contain no Register* token of their own, so the scan is a
+    plain token match over stripped text.
+    """
+    if not relpath.startswith("src/") or relpath in METRICS_ALLOWLIST:
+        return
+    for m in METRIC_REGISTER.finditer(code):
+        violations.append(Violation(relpath, code[: m.start()].count("\n") + 1, "EL015",
+                                    "direct MetricsRegistry::Register* call; register through "
+                                    "the ESCORT_METRIC_* macros (src/sim/metrics.h) so every "
+                                    "instrumentation site is greppable and null-registry safe"))
+
+
 def extract_function_body(code: str, signature_re: str) -> str:
     """Returns the brace-matched body of the first function whose signature
     matches `signature_re`, or '' if not found."""
@@ -686,6 +718,7 @@ def lint_tree(root: str) -> list:
                 check_hot_loop_allocations(relpath, code, violations)
                 check_slab_slot_members(relpath, raw, code, violations)
                 check_detect_accumulators(relpath, raw, code, violations)
+                check_metric_registration(relpath, code, violations)
     check_clock_aliases(files, violations)
     check_pairing_and_completeness(root, files, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
@@ -772,6 +805,17 @@ SELF_TEST_CASES = [
      "struct ClassStats {\n"
      "  std::unordered_set<int> seen;\n"
      "};\n"),
+    ("EL015", "src/server/rogue_metric.cc",
+     "#include \"src/sim/metrics.h\"\n"
+     "void Wire(MetricsRegistry* m) {\n"
+     "  auto* drops = m->RegisterCounter(\"net.drops\", \"dropped SYNs\");\n"
+     "  (void)drops;\n"
+     "}\n"),
+    ("EL015", "src/server/rogue_sharded.cc",
+     "#include \"src/sim/metrics.h\"\n"
+     "void Wire(MetricsRegistry* m) {\n"
+     "  m->RegisterShardedSeries(\"sim.timers\", \"armed timers\", 4);\n"
+     "}\n"),
 ]
 
 SELF_TEST_CLEAN = [
@@ -871,6 +915,21 @@ SELF_TEST_CLEAN = [
      "struct FreeRoaming {\n"
      "  std::shared_ptr<int> token;  // not a slab slot: allowed\n"
      "};\n"),
+    # EL015 negative space: macro call sites in src/ pass (no Register*
+    # token of their own), and tests may drive the registry directly.
+    ("src/server/metric_macro_ok.cc",
+     "#include \"src/sim/metrics.h\"\n"
+     "void Wire(MetricsRegistry* m) {\n"
+     "  auto* drops = ESCORT_METRIC_COUNTER(m, \"net.drops\", \"dropped SYNs\");\n"
+     "  auto* depth = ESCORT_METRIC_SHARDED(m, \"sim.timers\", \"armed\", 4);\n"
+     "  (void)drops;\n"
+     "  (void)depth;\n"
+     "}\n"),
+    ("tests/test_registry_direct.cc",
+     "#include \"src/sim/metrics.h\"\n"
+     "void Probe(MetricsRegistry* m) {\n"
+     "  m->RegisterGauge(\"x\", \"direct registration in a test is fine\");\n"
+     "}\n"),
 ]
 
 # EL007/EL008 fixture: a counter charged but never released, a tracking
